@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation bench for the extension features on top of the paper's
+ * design points:
+ *
+ *  - attention implementation (Megatron unfused vs FlashAttention vs
+ *    FlashAttention-2): Sec. VI argues profiling-based estimation
+ *    captures such framework upgrades with no model changes;
+ *  - ZeRO-1 optimizer sharding (Megatron-DeepSpeed): memory freed vs
+ *    iteration-time cost;
+ *  - hierarchical vs flat (Eq. 1) inter-node All-Reduce — the
+ *    communication-model refinement the paper leaves as future work.
+ */
+#include "bench_common.h"
+
+#include <iostream>
+
+using namespace vtrain;
+
+int
+main()
+{
+    setVerbose(false);
+    bench::banner("Extensions ablation",
+                  "FlashAttention / ZeRO-1 / hierarchical All-Reduce "
+                  "on the paper's design points");
+
+    // ---------------- Attention implementation ----------------------
+    std::printf("Attention kernels (GPT-3 175B, (8,16,8,m=1), 1,024 "
+                "GPUs, seq sweep):\n");
+    TextTable attn({"seq length", "megatron (s)", "flash (s)",
+                    "flash-2 (s)", "flash-2 util"});
+    for (int64_t s : {2048, 4096, 8192}) {
+        ModelConfig model = zoo::gpt3_175b();
+        model.seq_length = s;
+        ParallelConfig plan = bench::makePlan(8, 16, 8, 1, 512);
+        std::vector<double> iters;
+        double util2 = 0.0;
+        for (AttentionImpl impl :
+             {AttentionImpl::Megatron, AttentionImpl::FlashAttention,
+              AttentionImpl::FlashAttention2}) {
+            SimOptions options;
+            options.attention = impl;
+            Simulator sim(makeCluster(1024), options);
+            const auto r = sim.simulateIteration(model, plan);
+            iters.push_back(r.iteration_seconds);
+            util2 = r.utilization;
+        }
+        attn.addRow({fmtInt(s), fmtDouble(iters[0], 2),
+                     fmtDouble(iters[1], 2), fmtDouble(iters[2], 2),
+                     fmtPercent(util2)});
+    }
+    attn.print(std::cout);
+
+    // ---------------- ZeRO-1 ----------------------------------------
+    std::printf("\nZeRO-1 optimizer sharding (39.1B, 256 GPUs, "
+                "(8,32,1,m=1)):\n");
+    TextTable zero({"zero stage", "fits 80GB", "per-GPU mem",
+                    "iteration (s)"});
+    for (int stage : {0, 1}) {
+        ModelConfig model = zoo::scaled39_1b();
+        ParallelConfig plan = bench::makePlan(8, 32, 1, 1, 1536);
+        plan.zero_stage = stage;
+        const auto mem = estimateMemory(model, plan);
+        std::string iter = "(out of memory)";
+        if (fitsInMemory(model, plan, a100Sxm80GB())) {
+            Simulator sim(makeCluster(256));
+            iter = fmtDouble(
+                sim.simulateIteration(model, plan).iteration_seconds,
+                3);
+        }
+        zero.addRow({fmtInt(stage),
+                     fitsInMemory(model, plan, a100Sxm80GB()) ? "yes"
+                                                              : "no",
+                     formatBytes(mem.total), iter});
+    }
+    zero.print(std::cout);
+
+    // ---------------- Hierarchical All-Reduce ------------------------
+    std::printf("\nHierarchical vs flat inter-node All-Reduce "
+                "(future-work model; 18.4B, 256 GPUs, t=1 so 8 DP "
+                "members share each node):\n");
+    TextTable hier({"comm model", "iteration (s)", "DP-AR time (s)"});
+    for (bool hierarchical : {false, true}) {
+        ClusterSpec cluster = makeCluster(256);
+        cluster.hierarchical_allreduce = hierarchical;
+        Simulator sim(cluster);
+        ModelConfig model = zoo::scaled18_4b();
+        ParallelConfig plan = bench::makePlan(1, 32, 8, 1, 1024);
+        plan.zero_stage = 1; // fits at t=1 only with sharding
+        const auto r = sim.simulateIteration(model, plan);
+        hier.addRow(
+            {hierarchical ? "hierarchical" : "flat (Eq. 1)",
+             fmtDouble(r.iteration_seconds, 3),
+             fmtDouble(
+                 r.time_by_tag[static_cast<size_t>(
+                     TaskTag::DpAllReduce)],
+                 3)});
+    }
+    hier.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: plan construction and
+ * uniform headers so every bench prints the paper artifact it
+ * regenerates.
+ */
+#ifndef VTRAIN_BENCH_BENCH_COMMON_H
+#define VTRAIN_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+
+#include "vtrain/vtrain.h"
+
+namespace vtrain {
+namespace bench {
+
+/** Builds a (t, d, p, m) plan with the given global batch. */
+inline ParallelConfig
+makePlan(int t, int d, int p, int m, int global_batch)
+{
+    ParallelConfig plan;
+    plan.tensor = t;
+    plan.data = d;
+    plan.pipeline = p;
+    plan.micro_batch_size = m;
+    plan.global_batch_size = global_batch;
+    return plan;
+}
+
+/** Prints the standard bench banner. */
+inline void
+banner(const char *artifact, const char *description)
+{
+    std::printf("==========================================================="
+                "=====\n");
+    std::printf("vTrain reproduction - %s\n", artifact);
+    std::printf("%s\n", description);
+    std::printf("==========================================================="
+                "=====\n\n");
+}
+
+} // namespace bench
+} // namespace vtrain
+
+#endif // VTRAIN_BENCH_BENCH_COMMON_H

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared setup for the multi-tenant GPU-cluster benches (Figs. 12-14):
+ * builds ElasticFlow-baseline and vTrain-optimal throughput profiles
+ * for the three Table III models over the 1,024-GPU cluster's
+ * allocation sizes.
+ */
+#ifndef VTRAIN_BENCH_CLUSTER_COMMON_H
+#define VTRAIN_BENCH_CLUSTER_COMMON_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace vtrain {
+namespace bench {
+
+/** Profiles and metadata shared by the scheduling benches. */
+struct ClusterBenchSetup {
+    std::vector<ModelConfig> models;
+    std::map<std::string, ThroughputProfile> baseline;
+    std::map<std::string, ThroughputProfile> vtrain;
+    std::map<std::string, double> ref_seconds_per_iter;
+
+    std::map<std::string, const ThroughputProfile *>
+    profileMap(bool use_vtrain) const
+    {
+        std::map<std::string, const ThroughputProfile *> out;
+        for (const auto &model : models) {
+            const auto &src = use_vtrain ? vtrain : baseline;
+            out[model.name] = &src.at(model.name);
+        }
+        return out;
+    }
+};
+
+/** Builds both profile sets (Table III models, Sec. V-B cluster). */
+inline ClusterBenchSetup
+buildClusterSetup()
+{
+    ClusterBenchSetup setup;
+    setup.models = zoo::tableIIIModels();
+    const ClusterSpec cluster = schedulingCluster1024();
+    Explorer explorer(cluster, SimOptions{});
+    const std::vector<int> counts = {8,   16,  32,  48,  64,  96,
+                                     128, 192, 256, 384, 512, 1024};
+
+    std::printf("building throughput profiles for %zu models x %zu "
+                "allocation sizes...\n",
+                setup.models.size(), counts.size());
+    for (const auto &model : setup.models) {
+        const int batch = zoo::tableIIIBatchSize(model);
+        setup.baseline.emplace(
+            model.name,
+            ThroughputProfile::build(model, batch, explorer,
+                                     ProfileMode::ElasticFlowBaseline,
+                                     counts));
+        setup.vtrain.emplace(
+            model.name,
+            ThroughputProfile::build(model, batch, explorer,
+                                     ProfileMode::VTrainOptimal,
+                                     counts));
+        // Deadline reference duration: the vTrain throughput at a
+        // 128-GPU reference allocation.
+        const double thr =
+            setup.vtrain.at(model.name).throughputAt(128);
+        setup.ref_seconds_per_iter[model.name] =
+            thr > 0.0 ? 1.0 / thr : 10.0;
+        std::printf("  %s: baseline %zu sizes, vtrain %zu sizes, ref "
+                    "iter %.2f s\n",
+                    model.name.c_str(),
+                    setup.baseline.at(model.name).points().size(),
+                    setup.vtrain.at(model.name).points().size(),
+                    setup.ref_seconds_per_iter.at(model.name));
+    }
+    std::printf("\n");
+    return setup;
+}
+
+/** Generates the trace for one experiment id. */
+inline std::vector<JobSpec>
+makeTrace(const ClusterBenchSetup &setup, int trace_id, int n_jobs,
+          bool with_deadlines, double window_hours)
+{
+    TraceSpec spec;
+    spec.n_jobs = n_jobs;
+    spec.seed = 1000 + static_cast<uint64_t>(trace_id);
+    spec.arrival_window_seconds = window_hours * 3600.0;
+    spec.with_deadlines = with_deadlines;
+    spec.min_iterations = 1000.0;
+    spec.max_iterations = 8000.0;
+    return generateTrace(
+        spec, setup.models,
+        [](const ModelConfig &m) { return zoo::tableIIIBatchSize(m); },
+        [&](const ModelConfig &m) {
+            return setup.ref_seconds_per_iter.at(m.name);
+        });
+}
+
+} // namespace bench
+} // namespace vtrain
+
+#endif // VTRAIN_BENCH_CLUSTER_COMMON_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 1: wall-clock training time (and cost) of GPT-3 175B on
+ * 1,024 NVIDIA A100 GPUs as a function of GPU compute utilization.
+ *
+ * The paper's headline: degrading average utilization from 50% to 40%
+ * adds about 8 days of training and millions of dollars of cost.
+ */
+#include "bench_common.h"
+
+#include <iostream>
+
+using namespace vtrain;
+
+int
+main()
+{
+    setVerbose(false);
+    bench::banner("Figure 1",
+                  "GPT-3 175B training time vs. GPU compute utilization "
+                  "(1,024 A100s, 300B tokens, AWS P4d pricing)");
+
+    const ModelConfig model = zoo::gpt3_175b();
+    const int n_gpus = 1024;
+    const double tokens = 300e9;
+    CostModel cost;
+
+    TextTable table({"GPU utilization", "Training days", "$/hour",
+                     "Total cost"});
+    for (int util_pct = 30; util_pct <= 70; util_pct += 5) {
+        const PlanCost c = cost.fromUtilization(
+            model, n_gpus, a100Sxm80GB().peakFlops(Precision::FP16),
+            util_pct / 100.0, tokens);
+        table.addRow({fmtInt(util_pct) + "%", fmtDouble(c.total_days, 1),
+                      formatDollars(c.dollars_per_hour),
+                      formatDollars(c.total_dollars)});
+    }
+    table.print(std::cout);
+
+    const double d50 =
+        cost.fromUtilization(model, n_gpus, 312e12, 0.50, tokens)
+            .total_days;
+    const double d40 =
+        cost.fromUtilization(model, n_gpus, 312e12, 0.40, tokens)
+            .total_days;
+    std::printf("\nHeadline: dropping 50%% -> 40%% utilization adds "
+                "%.1f days (paper: ~8 days)\n",
+                d40 - d50);
+    return 0;
+}

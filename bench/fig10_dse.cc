@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 10: full design-space exploration of MT-NLG 530B's
+ * (t, d, p)-way 3D parallelism — single-iteration training time (a)
+ * and GPU compute utilization (b) over the whole space, swept up to
+ * t=16, d=32, p=105.
+ *
+ * The bench prints, for every (t, p) pair, the best-over-(d, m)
+ * iteration time and utilization (a textual rendering of the paper's
+ * 3D scatter), plus the paper's reference points: performance is best
+ * at (16, 16, 105) but utilization there collapses (~17%).
+ * Exploring the full space must take well under the paper's
+ * <200-second budget.
+ */
+#include "bench_common.h"
+
+#include <chrono>
+#include <iostream>
+#include <map>
+
+using namespace vtrain;
+
+int
+main()
+{
+    setVerbose(false);
+    bench::banner("Figure 10",
+                  "MT-NLG (t, d, p) design-space exploration: "
+                  "iteration time and GPU utilization");
+
+    const ModelConfig model = zoo::mtNlg530b();
+    const ClusterSpec cluster = makeCluster(16 * 32 * 105 / 8 * 8);
+    SweepSpec spec;
+    spec.global_batch_size = 1920;
+    spec.max_tensor = 16;
+    spec.max_data = 32;
+    spec.max_pipeline = 105;
+    spec.micro_batch_sizes = {1, 2, 4};
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto plans = enumeratePlans(model, cluster, spec);
+    Explorer explorer(cluster, SimOptions{});
+    const auto results = explorer.sweep(model, plans);
+    const double sweep_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::printf("design points evaluated: %zu (memory-feasible out of "
+                "the (t,d,p,m) grid)\n",
+                results.size());
+    std::printf("full-sweep wall-clock: %.1f s (paper: < 200 s)\n\n",
+                sweep_seconds);
+
+    // Best-over-(d, m) per (t, p): the readable projection of the 3D
+    // scatter in Fig. 10(a)/(b).
+    std::map<std::pair<int, int>, const ExploreResult *> best;
+    for (const auto &r : results) {
+        const auto key = std::make_pair(r.plan.tensor, r.plan.pipeline);
+        auto it = best.find(key);
+        if (it == best.end() || r.sim.iteration_seconds <
+                                    it->second->sim.iteration_seconds)
+            best[key] = &r;
+    }
+
+    TextTable table({"t", "p", "best d", "m", "GPUs", "Iteration (s)",
+                     "GPU util"});
+    for (const auto &[key, r] : best) {
+        table.addRow({fmtInt(key.first), fmtInt(key.second),
+                      fmtInt(r->plan.data),
+                      fmtInt(r->plan.micro_batch_size),
+                      fmtInt(r->plan.totalGpus()),
+                      fmtDouble(r->sim.iteration_seconds, 2),
+                      fmtPercent(r->sim.utilization)});
+    }
+    table.print(std::cout);
+
+    // Paper reference point: the fastest plan overall.
+    const int fastest = bestByIterationTime(results);
+    std::printf("\nFastest plan: %s  iter=%.2fs util=%s (paper: "
+                "(16,16,105) is fastest but only ~17%% utilization)\n",
+                results[fastest].plan.brief().c_str(),
+                results[fastest].sim.iteration_seconds,
+                fmtPercent(results[fastest].sim.utilization).c_str());
+    const int most_efficient = bestByUtilization(results);
+    std::printf("Highest-utilization plan: %s  iter=%.2fs util=%s\n",
+                results[most_efficient].plan.brief().c_str(),
+                results[most_efficient].sim.iteration_seconds,
+                fmtPercent(results[most_efficient].sim.utilization)
+                    .c_str());
+    return 0;
+}

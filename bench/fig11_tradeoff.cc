@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 11: iteration time vs. GPU compute utilization for the
+ * 8-way tensor-parallel slice of MT-NLG's design space, highlighting
+ * the three baseline MT-NLG plans (black dots in the paper) and the
+ * three cost-effective plans vTrain uncovers (red dots).
+ */
+#include "bench_common.h"
+
+#include <algorithm>
+#include <iostream>
+
+using namespace vtrain;
+
+int
+main()
+{
+    setVerbose(false);
+    bench::banner("Figure 11",
+                  "Iteration time vs. GPU utilization, t=8 slice of "
+                  "the MT-NLG design space");
+
+    const ModelConfig model = zoo::mtNlg530b();
+    const ClusterSpec cluster = makeCluster(8 * 32 * 105);
+    SweepSpec spec;
+    spec.global_batch_size = 1920;
+    spec.max_tensor = 8;
+    spec.max_data = 32;
+    spec.max_pipeline = 105;
+    spec.micro_batch_sizes = {1, 2};
+
+    Explorer explorer(cluster, SimOptions{});
+    auto results = explorer.sweep(model, spec);
+    // Keep the t = 8 slice, as the paper does.
+    results.erase(std::remove_if(results.begin(), results.end(),
+                                 [](const ExploreResult &r) {
+                                     return r.plan.tensor != 8;
+                                 }),
+                  results.end());
+    std::printf("t=8 design points: %zu\n\n", results.size());
+
+    auto is_highlight = [](const ParallelConfig &p, int d, int pp) {
+        return p.data == d && p.pipeline == pp &&
+               p.micro_batch_size == 1;
+    };
+
+    TextTable table({"Series", "(t,d,p)", "GPUs", "Iteration (s)",
+                     "GPU util"});
+    std::vector<std::pair<int, int>> mtnlg = {{8, 35}, {10, 35},
+                                              {12, 35}};
+    std::vector<std::pair<int, int>> ours = {{12, 21}, {16, 21},
+                                             {20, 21}};
+    for (const auto &r : results) {
+        const char *series = nullptr;
+        for (const auto &[d, p] : mtnlg)
+            if (is_highlight(r.plan, d, p))
+                series = "MT-NLG (black)";
+        for (const auto &[d, p] : ours)
+            if (is_highlight(r.plan, d, p))
+                series = "vTrain (red)";
+        if (!series)
+            continue;
+        table.addRow({series, r.plan.brief(),
+                      fmtInt(r.plan.totalGpus()),
+                      fmtDouble(r.sim.iteration_seconds, 2),
+                      fmtPercent(r.sim.utilization)});
+    }
+    table.print(std::cout);
+
+    // The full scatter, bucketed by iteration time, showing the
+    // utilization frontier the red dots sit on.
+    std::printf("\nScatter summary (all t=8 points, 20 s iteration-time "
+                "buckets):\n");
+    TextTable scatter({"Iteration bucket", "points", "best util",
+                       "best plan"});
+    for (double lo = 0.0; lo < 200.0; lo += 20.0) {
+        const ExploreResult *best = nullptr;
+        int count = 0;
+        for (const auto &r : results) {
+            if (r.sim.iteration_seconds < lo ||
+                r.sim.iteration_seconds >= lo + 20.0)
+                continue;
+            ++count;
+            if (!best || r.sim.utilization > best->sim.utilization)
+                best = &r;
+        }
+        if (!count)
+            continue;
+        scatter.addRow({fmtDouble(lo, 0) + "-" + fmtDouble(lo + 20, 0) +
+                            " s",
+                        fmtInt(count),
+                        fmtPercent(best->sim.utilization),
+                        best->plan.brief()});
+    }
+    scatter.print(std::cout);
+    return 0;
+}

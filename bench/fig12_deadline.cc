@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 12: deadline satisfactory ratio of ElasticFlow-baseline vs.
+ * vTrain-enabled scheduling over nine workload traces, at 64 and 128
+ * jobs per trace (paper: vTrain improves the ratio by 1.09x and
+ * 1.23x on average, respectively, and never loses).
+ */
+#include "cluster_common.h"
+
+#include <iostream>
+
+using namespace vtrain;
+using namespace vtrain::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 12",
+           "Deadline satisfactory ratio, ElasticFlow vs. "
+           "vTrain-enabled scheduling (1,024-GPU cluster)");
+    const ClusterBenchSetup setup = buildClusterSetup();
+    const ClusterSimConfig config{1024};
+
+    for (int n_jobs : {64, 128}) {
+        std::printf("--- %d jobs per trace (Fig. 12(%s)) ---\n", n_jobs,
+                    n_jobs == 64 ? "a" : "b");
+        TextTable table({"Trace", "ElasticFlow", "vTrain", "Ratio"});
+        double sum_base = 0.0, sum_ours = 0.0;
+        for (int trace_id = 1; trace_id <= 9; ++trace_id) {
+            const auto jobs =
+                makeTrace(setup, trace_id + 100 * n_jobs, n_jobs,
+                          /*with_deadlines=*/true,
+                          /*window_hours=*/240.0);
+            ClusterSimulator base_sim(config,
+                                      setup.profileMap(false));
+            ClusterSimulator ours_sim(config, setup.profileMap(true));
+            const double base =
+                deadlineSatisfactoryRatio(base_sim.run(jobs));
+            const double ours =
+                deadlineSatisfactoryRatio(ours_sim.run(jobs));
+            sum_base += base;
+            sum_ours += ours;
+            table.addRow({fmtInt(trace_id), fmtDouble(base, 3),
+                          fmtDouble(ours, 3),
+                          fmtDouble(base > 0 ? ours / base : 0.0, 2) +
+                              "x"});
+        }
+        table.addRow({"Avg.", fmtDouble(sum_base / 9.0, 3),
+                      fmtDouble(sum_ours / 9.0, 3),
+                      fmtDouble(sum_ours / sum_base, 2) + "x"});
+        table.print(std::cout);
+        std::printf("paper average improvement: %.2fx\n\n",
+                    n_jobs == 64 ? 1.09 : 1.23);
+    }
+    return 0;
+}

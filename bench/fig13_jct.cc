@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 13: average job completion time over nine 32-job
+ * deadline-free traces, normalized to the ElasticFlow baseline
+ * (paper: vTrain reduces JCT by 15.21% on average and is never
+ * worse).
+ */
+#include "cluster_common.h"
+
+#include <iostream>
+
+using namespace vtrain;
+using namespace vtrain::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 13",
+           "Average JCT (32-job deadline-free traces), normalized to "
+           "ElasticFlow");
+    const ClusterBenchSetup setup = buildClusterSetup();
+    const ClusterSimConfig config{1024};
+
+    TextTable table({"Trace", "ElasticFlow JCT (h)", "vTrain JCT (h)",
+                     "Normalized"});
+    double sum_norm = 0.0;
+    bool never_worse = true;
+    for (int trace_id = 1; trace_id <= 9; ++trace_id) {
+        const auto jobs = makeTrace(setup, trace_id, 32,
+                                    /*with_deadlines=*/false,
+                                    /*window_hours=*/60.0);
+        ClusterSimulator base_sim(config, setup.profileMap(false));
+        ClusterSimulator ours_sim(config, setup.profileMap(true));
+        const double base = averageJctSeconds(base_sim.run(jobs));
+        const double ours = averageJctSeconds(ours_sim.run(jobs));
+        const double norm = ours / base;
+        sum_norm += norm;
+        never_worse &= norm <= 1.0 + 1e-9;
+        table.addRow({fmtInt(trace_id), fmtDouble(base / 3600.0, 2),
+                      fmtDouble(ours / 3600.0, 2),
+                      fmtDouble(norm, 3)});
+    }
+    table.print(std::cout);
+    std::printf("\naverage JCT reduction: %.2f%% (paper: 15.21%%), "
+                "never worse: %s (paper: always)\n",
+                100.0 * (1.0 - sum_norm / 9.0),
+                never_worse ? "yes" : "NO");
+    return 0;
+}

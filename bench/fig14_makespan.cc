@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 14: makespan of N simultaneously submitted jobs, normalized
+ * to the ElasticFlow baseline, for N in {16, 32, 48, 64, 72}
+ * (paper: vTrain reduces makespan by up to 23.03%, with the gap
+ * growing as the cluster gets more loaded).
+ */
+#include "cluster_common.h"
+
+#include <iostream>
+
+using namespace vtrain;
+using namespace vtrain::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    banner("Figure 14",
+           "Makespan of N simultaneously submitted jobs, normalized "
+           "to ElasticFlow");
+    const ClusterBenchSetup setup = buildClusterSetup();
+    const ClusterSimConfig config{1024};
+
+    TextTable table({"# Jobs", "ElasticFlow (h)", "vTrain (h)",
+                     "Normalized"});
+    double best_reduction = 0.0;
+    for (int n_jobs : {16, 32, 48, 64, 72}) {
+        const auto jobs = makeTrace(setup, n_jobs, n_jobs,
+                                    /*with_deadlines=*/false,
+                                    /*window_hours=*/0.0);
+        ClusterSimulator base_sim(config, setup.profileMap(false));
+        ClusterSimulator ours_sim(config, setup.profileMap(true));
+        const double base = makespanSeconds(base_sim.run(jobs));
+        const double ours = makespanSeconds(ours_sim.run(jobs));
+        best_reduction =
+            std::max(best_reduction, 100.0 * (1.0 - ours / base));
+        table.addRow({fmtInt(n_jobs), fmtDouble(base / 3600.0, 2),
+                      fmtDouble(ours / 3600.0, 2),
+                      fmtDouble(ours / base, 3)});
+    }
+    table.print(std::cout);
+    std::printf("\nlargest makespan reduction: %.2f%% (paper: up to "
+                "23.03%%)\n",
+                best_reduction);
+    return 0;
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator pipeline
+ * (Sec. III-F: profiling is O(1) thanks to necessary-operator
+ * deduplication; a single configuration simulates in seconds; a full
+ * DSE finishes in minutes).  Also benches the two ablations DESIGN.md
+ * calls out: memoization off and operator-collapse on.
+ */
+#include <benchmark/benchmark.h>
+
+#include "vtrain/vtrain.h"
+
+namespace {
+
+using namespace vtrain;
+
+ParallelConfig
+mtNlgPlan()
+{
+    ParallelConfig plan;
+    plan.tensor = 8;
+    plan.data = 8;
+    plan.pipeline = 35;
+    plan.micro_batch_size = 1;
+    plan.global_batch_size = 1920;
+    return plan;
+}
+
+void
+BM_GraphBuild(benchmark::State &state)
+{
+    setVerbose(false);
+    const ModelConfig model = zoo::mtNlg530b();
+    const ClusterSpec cluster = makeCluster(3360);
+    const ParallelConfig plan = mtNlgPlan();
+    CommModel comm(cluster);
+    GraphBuilder builder(model, plan, cluster, comm);
+    BuildOptions options;
+    options.n_micro_override = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        OpGraph g = builder.build(options);
+        benchmark::DoNotOptimize(g.numNodes());
+    }
+}
+BENCHMARK(BM_GraphBuild)->Arg(8)->Arg(72)->Arg(240);
+
+void
+BM_TaskExpansion(benchmark::State &state)
+{
+    setVerbose(false);
+    const ModelConfig model = zoo::mtNlg530b();
+    const ClusterSpec cluster = makeCluster(3360);
+    const ParallelConfig plan = mtNlgPlan();
+    CommModel comm(cluster);
+    GraphBuilder builder(model, plan, cluster, comm);
+    BuildOptions options;
+    options.n_micro_override = 72;
+    const OpGraph ops = builder.build(options);
+    SyntheticProfiler profiler(cluster.node.gpu);
+    for (auto _ : state) {
+        OperatorToTaskTable table(profiler,
+                                  /*memoize=*/state.range(0) != 0);
+        TaskGraph tg = TaskGraph::expand(ops, table);
+        benchmark::DoNotOptimize(tg.numTasks());
+    }
+}
+// Ablation: memoized ("necessary operators") vs re-profiling every
+// lookup.  The memoized path profiles O(1) operators.
+BENCHMARK(BM_TaskExpansion)->Arg(1)->Arg(0);
+
+void
+BM_EngineRun(benchmark::State &state)
+{
+    setVerbose(false);
+    const ModelConfig model = zoo::mtNlg530b();
+    const ClusterSpec cluster = makeCluster(3360);
+    const ParallelConfig plan = mtNlgPlan();
+    CommModel comm(cluster);
+    GraphBuilder builder(model, plan, cluster, comm);
+    BuildOptions options;
+    options.n_micro_override = 72;
+    const OpGraph ops = builder.build(options);
+    SyntheticProfiler profiler(cluster.node.gpu);
+    OperatorToTaskTable table(profiler);
+    ExpandOptions expand;
+    expand.collapse_operators = state.range(0) != 0;
+    const TaskGraph tg = TaskGraph::expand(ops, table, expand);
+    for (auto _ : state) {
+        EngineResult r = runSimulation(tg);
+        benchmark::DoNotOptimize(r.makespan);
+    }
+    state.counters["tasks"] = static_cast<double>(tg.numTasks());
+}
+// Ablation: kernel-granularity vs collapsed operator-granularity
+// replay (identical timing, fewer tasks).
+BENCHMARK(BM_EngineRun)->Arg(0)->Arg(1);
+
+void
+BM_SimulateIteration_MtNlg(benchmark::State &state)
+{
+    setVerbose(false);
+    const ModelConfig model = zoo::mtNlg530b();
+    Simulator sim(makeCluster(3360));
+    const ParallelConfig plan = mtNlgPlan();
+    for (auto _ : state) {
+        SimulationResult r = sim.simulateIteration(model, plan);
+        benchmark::DoNotOptimize(r.iteration_seconds);
+    }
+}
+BENCHMARK(BM_SimulateIteration_MtNlg)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateIteration_Gpt3(benchmark::State &state)
+{
+    setVerbose(false);
+    const ModelConfig model = zoo::gpt3_175b();
+    Simulator sim(makeCluster(1024));
+    ParallelConfig plan;
+    plan.tensor = 8;
+    plan.data = 16;
+    plan.pipeline = 8;
+    plan.micro_batch_size = 1;
+    plan.global_batch_size = 1536;
+    for (auto _ : state) {
+        SimulationResult r = sim.simulateIteration(model, plan);
+        benchmark::DoNotOptimize(r.iteration_seconds);
+    }
+}
+BENCHMARK(BM_SimulateIteration_Gpt3)->Unit(benchmark::kMillisecond);
+
+void
+BM_ExactVsFast(benchmark::State &state)
+{
+    setVerbose(false);
+    const ModelConfig model = zoo::scaled18_4b();
+    SimOptions options;
+    options.fast_mode = state.range(0) != 0;
+    Simulator sim(makeCluster(256), options);
+    ParallelConfig plan;
+    plan.tensor = 8;
+    plan.data = 16;
+    plan.pipeline = 2;
+    plan.micro_batch_size = 1;
+    plan.global_batch_size = 1024;
+    for (auto _ : state) {
+        SimulationResult r = sim.simulateIteration(model, plan);
+        benchmark::DoNotOptimize(r.iteration_seconds);
+    }
+}
+// Ablation: affine micro-batch extrapolation vs exact simulation.
+BENCHMARK(BM_ExactVsFast)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void
+BM_NcclTableLookup(benchmark::State &state)
+{
+    const NcclLatencyTable table(dgxA100Node());
+    double bytes = 1e6;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.allReduceSeconds(8, bytes));
+        bytes = bytes < 1e9 ? bytes * 1.7 : 1e6;
+    }
+}
+BENCHMARK(BM_NcclTableLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

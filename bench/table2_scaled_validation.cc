@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Table II: validation of vTrain-predicted vs. measured iteration
+ * time on 64/256/512-GPU systems, comparing the Megatron-LM [40]
+ * training plans against the cost-effective plans vTrain's DSE
+ * uncovers.  The qualitative claim to reproduce: the vTrain plan wins
+ * on *both* predicted and measured time at every scale.
+ */
+#include "bench_common.h"
+
+#include <iostream>
+
+using namespace vtrain;
+
+namespace {
+
+struct Row {
+    const char *label;
+    ModelConfig model;
+    int gpus, t, d, p, m, batch;
+    double paper_pred, paper_meas;
+};
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    bench::banner("Table II",
+                  "Predicted vs. measured iteration time: Megatron-LM "
+                  "[40] plans vs. vTrain-uncovered plans");
+
+    const std::vector<Row> rows = {
+        {"3.6B  [40]", zoo::scaled3_6b(), 64, 2, 32, 1, 16, 512, 2.919,
+         3.938},
+        {"3.6B  ours", zoo::scaled3_6b(), 64, 1, 64, 1, 8, 512, 2.746,
+         3.567},
+        {"18.4B [40]", zoo::scaled18_4b(), 256, 8, 32, 1, 4, 1024,
+         7.533, 9.928},
+        {"18.4B ours", zoo::scaled18_4b(), 256, 8, 32, 1, 8, 1024,
+         7.259, 9.604},
+        {"39.1B [40]", zoo::scaled39_1b(), 512, 8, 32, 2, 4, 1536,
+         13.859, 14.757},
+        {"39.1B ours", zoo::scaled39_1b(), 512, 4, 32, 4, 2, 1536,
+         12.226, 13.876},
+    };
+
+    TextTable table({"Config", "GPUs", "(t,d,p,m)", "Pred (s)",
+                     "paper pred", "Meas (s)", "paper meas"});
+    std::vector<double> pred(rows.size()), meas(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        const ClusterSpec cluster = makeCluster(row.gpus);
+        Simulator predictor(cluster);
+        TestbedSimulator testbed(cluster);
+        ParallelConfig plan =
+            bench::makePlan(row.t, row.d, row.p, row.m, row.batch);
+        pred[i] = predictor.simulateIteration(row.model, plan)
+                      .iteration_seconds;
+        meas[i] = testbed.measureIteration(row.model, plan)
+                      .iteration_seconds;
+        table.addRow({row.label, fmtInt(row.gpus), plan.brief(),
+                      fmtDouble(pred[i], 3),
+                      fmtDouble(row.paper_pred, 3),
+                      fmtDouble(meas[i], 3),
+                      fmtDouble(row.paper_meas, 3)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nKey property - the vTrain plan beats the [40] plan "
+                "at every scale, on both predicted and measured time:\n");
+    for (size_t i = 0; i + 1 < rows.size(); i += 2) {
+        const double pred_gain = 100.0 * (pred[i] - pred[i + 1]) /
+                                 pred[i];
+        const double meas_gain = 100.0 * (meas[i] - meas[i + 1]) /
+                                 meas[i];
+        std::printf("  %-10s: predicted %.1f%% faster, measured %.1f%% "
+                    "faster (paper: %.0f%% / %.0f%%) -> %s\n",
+                    rows[i].label, pred_gain, meas_gain,
+                    100.0 * (rows[i].paper_pred - rows[i + 1].paper_pred) /
+                        rows[i].paper_pred,
+                    100.0 * (rows[i].paper_meas - rows[i + 1].paper_meas) /
+                        rows[i].paper_meas,
+                    (pred_gain > 0 && meas_gain > 0) ? "holds"
+                                                     : "VIOLATED");
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Compute-optimal model sizing example (Case Study #3): "what is the
+ * best LLM one can develop within N days using M GPUs?"
+ *
+ *   ./chinchilla_planner [n_gpus] [budget_days]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "vtrain/vtrain.h"
+
+using namespace vtrain;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const int n_gpus = argc > 1 ? std::atoi(argv[1]) : 3360;
+    const double budget_days = argc > 2 ? std::atof(argv[2]) : 30.0;
+    const int batch = 1680;
+
+    const ChinchillaLaw law;
+    const double naive_budget = ChinchillaLaw::budgetFlops(
+        n_gpus, budget_days, a100Sxm80GB().peakFlops(Precision::FP16),
+        1.0);
+    std::printf("budget: %d A100 GPUs for %.0f days\n", n_gpus,
+                budget_days);
+    std::printf("naive Chinchilla point (100%% utility): %.1fB params, "
+                "%.0fB tokens\n\n",
+                law.optimalParams(naive_budget) / 1e9,
+                law.optimalTokens(naive_budget) / 1e9);
+
+    const ClusterSpec cluster = makeCluster(n_gpus);
+    Explorer explorer(cluster);
+    ChinchillaPlanner planner(explorer, n_gpus, batch);
+    const auto candidates =
+        planner.evaluateAll(zoo::tableIVCandidates());
+
+    TextTable table({"Candidate", "Params (B)", "Tokens (B)",
+                     "Best plan", "Util", "Days", "Fits budget"});
+    for (const auto &c : candidates) {
+        table.addRow(
+            {c.model.brief(), fmtDouble(c.params / 1e9, 2),
+             fmtDouble(c.tokens / 1e9, 0),
+             c.has_plan ? c.best_plan.brief() : "-",
+             c.has_plan ? fmtPercent(c.utilization) : "-",
+             c.has_plan ? fmtDouble(c.estimated_days, 1) : "-",
+             c.has_plan && c.estimated_days <= budget_days ? "yes"
+                                                           : "no"});
+    }
+    table.print(std::cout);
+
+    const int best =
+        ChinchillaPlanner::pickOptimal(candidates, budget_days);
+    if (best >= 0) {
+        std::printf("\n=> compute-optimal model: %.2fB parameters "
+                    "(%.0f%% of the naive estimate), trained on %.0fB "
+                    "tokens with plan %s\n",
+                    candidates[best].params / 1e9,
+                    100.0 * candidates[best].params /
+                        law.optimalParams(naive_budget),
+                    candidates[best].tokens / 1e9,
+                    candidates[best].best_plan.brief().c_str());
+    } else {
+        std::printf("\n=> no candidate fits the budget; add smaller "
+                    "(h, L) candidates\n");
+    }
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Multi-tenant cluster scheduling example (Case Study #2): build
+ * throughput profiles for the Table III models on a small cluster,
+ * generate a workload trace, and compare ElasticFlow-baseline vs.
+ * vTrain-enabled scheduling on deadline ratio, JCT and makespan.
+ *
+ *   ./cluster_scheduling [n_jobs] [cluster_gpus]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "vtrain/vtrain.h"
+
+using namespace vtrain;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const int n_jobs = argc > 1 ? std::atoi(argv[1]) : 24;
+    const int n_gpus = argc > 2 ? std::atoi(argv[2]) : 256;
+
+    const ClusterSpec cluster = makeCluster(n_gpus);
+    Explorer explorer(cluster);
+    const auto models = zoo::tableIIIModels();
+    std::vector<int> counts;
+    for (int g = 8; g <= n_gpus; g *= 2)
+        counts.push_back(g);
+
+    std::printf("profiling %zu models over %zu allocation sizes on a "
+                "%d-GPU cluster...\n\n",
+                models.size(), counts.size(), n_gpus);
+    std::map<std::string, ThroughputProfile> baseline, vtrain_prof;
+    std::map<std::string, double> ref_iter;
+    for (const auto &model : models) {
+        const int batch = zoo::tableIIIBatchSize(model);
+        baseline.emplace(model.name,
+                         ThroughputProfile::build(
+                             model, batch, explorer,
+                             ProfileMode::ElasticFlowBaseline, counts));
+        vtrain_prof.emplace(
+            model.name,
+            ThroughputProfile::build(model, batch, explorer,
+                                     ProfileMode::VTrainOptimal,
+                                     counts));
+        const auto &profile = vtrain_prof.at(model.name);
+        ref_iter[model.name] =
+            profile.empty()
+                ? 10.0
+                : 1.0 / profile.points().back().iterations_per_second;
+
+        std::printf("%s profiles (iterations/s):\n", model.name.c_str());
+        TextTable table({"GPUs", "ElasticFlow", "vTrain",
+                         "vTrain plan"});
+        for (const auto &point : vtrain_prof.at(model.name).points()) {
+            table.addRow(
+                {fmtInt(point.n_gpus),
+                 fmtDouble(baseline.at(model.name)
+                               .throughputAt(point.n_gpus),
+                           4),
+                 fmtDouble(point.iterations_per_second, 4),
+                 point.plan.brief()});
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    // One deadline trace through both systems.
+    TraceSpec spec;
+    spec.n_jobs = n_jobs;
+    spec.seed = 7;
+    spec.arrival_window_seconds = 48.0 * 3600.0;
+    spec.with_deadlines = true;
+    spec.min_iterations = 200.0;
+    spec.max_iterations = 2000.0;
+    const auto jobs = generateTrace(
+        spec, models,
+        [](const ModelConfig &m) { return zoo::tableIIIBatchSize(m); },
+        [&](const ModelConfig &m) { return ref_iter.at(m.name); });
+
+    auto profile_map =
+        [&](std::map<std::string, ThroughputProfile> &src) {
+            std::map<std::string, const ThroughputProfile *> out;
+            for (const auto &model : models)
+                out[model.name] = &src.at(model.name);
+            return out;
+        };
+    ClusterSimulator base_sim(ClusterSimConfig{n_gpus},
+                              profile_map(baseline));
+    ClusterSimulator ours_sim(ClusterSimConfig{n_gpus},
+                              profile_map(vtrain_prof));
+    const auto base_out = base_sim.run(jobs);
+    const auto ours_out = ours_sim.run(jobs);
+
+    std::printf("scheduling %d jobs over %.0f hours of arrivals:\n",
+                n_jobs, spec.arrival_window_seconds / 3600.0);
+    TextTable table({"Metric", "ElasticFlow", "vTrain-enabled"});
+    table.addRow({"deadline satisfactory ratio",
+                  fmtDouble(deadlineSatisfactoryRatio(base_out), 3),
+                  fmtDouble(deadlineSatisfactoryRatio(ours_out), 3)});
+    table.addRow({"average JCT (h)",
+                  fmtDouble(averageJctSeconds(base_out) / 3600.0, 2),
+                  fmtDouble(averageJctSeconds(ours_out) / 3600.0, 2)});
+    table.addRow({"makespan (h)",
+                  fmtDouble(makespanSeconds(base_out) / 3600.0, 2),
+                  fmtDouble(makespanSeconds(ours_out) / 3600.0, 2)});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Design-space exploration example (Case Study #1): sweep the
+ * (t, d, p, m) space for a target model and GPU budget, then print
+ * the Pareto frontier of iteration time vs. training cost.
+ *
+ *   ./dse_mtnlg [max_gpus] [max_points_printed]
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "vtrain/vtrain.h"
+
+using namespace vtrain;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const int max_gpus = argc > 1 ? std::atoi(argv[1]) : 2048;
+    const size_t top_k =
+        argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 10;
+
+    const ModelConfig model = zoo::mtNlg530b();
+    const double tokens = 270e9;
+    const ClusterSpec cluster = makeCluster(max_gpus);
+
+    SweepSpec spec;
+    spec.global_batch_size = 1920;
+    spec.max_tensor = 8;
+    spec.max_data = 32;
+    spec.max_pipeline = 105;
+    spec.micro_batch_sizes = {1, 2};
+    spec.max_gpus = max_gpus;
+
+    std::printf("sweeping %s plans on up to %d GPUs...\n",
+                model.name.c_str(), max_gpus);
+    Explorer explorer(cluster);
+    const auto results = explorer.sweep(model, spec);
+    std::printf("%zu feasible design points\n\n", results.size());
+
+    // Cost every point and print the cheapest plans.
+    CostModel cost;
+    struct Costed {
+        const ExploreResult *r;
+        PlanCost c;
+    };
+    std::vector<Costed> costed;
+    costed.reserve(results.size());
+    for (const auto &r : results)
+        costed.push_back(
+            {&r, cost.evaluate(model, r.plan, r.sim, tokens)});
+    std::sort(costed.begin(), costed.end(),
+              [](const Costed &a, const Costed &b) {
+                  return a.c.total_dollars < b.c.total_dollars;
+              });
+
+    TextTable table({"Rank", "(t,d,p,m)", "GPUs", "Iter (s)", "Days",
+                     "Util", "Total cost"});
+    for (size_t i = 0; i < costed.size() && i < top_k; ++i) {
+        const auto &[r, c] = costed[i];
+        table.addRow({fmtInt(static_cast<long long>(i) + 1),
+                      r->plan.brief(), fmtInt(c.n_gpus),
+                      fmtDouble(c.iteration_seconds, 2),
+                      fmtDouble(c.total_days, 1),
+                      fmtPercent(c.utilization),
+                      formatDollars(c.total_dollars)});
+    }
+    std::printf("cheapest %zu plans for %.0fB tokens:\n", top_k,
+                tokens / 1e9);
+    table.print(std::cout);
+
+    // Pareto frontier: no other plan is both faster and cheaper.
+    std::printf("\ntime/cost Pareto frontier:\n");
+    TextTable pareto({"(t,d,p,m)", "GPUs", "Days", "Total cost"});
+    for (const auto &[r, c] : costed) {
+        bool dominated = false;
+        for (const auto &[r2, c2] : costed) {
+            if (c2.total_days < c.total_days &&
+                c2.total_dollars < c.total_dollars) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            pareto.addRow({r->plan.brief(), fmtInt(c.n_gpus),
+                           fmtDouble(c.total_days, 1),
+                           formatDollars(c.total_dollars)});
+    }
+    pareto.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quickstart: predict the single-iteration training time, GPU
+ * utilization, memory footprint and end-to-end training cost of
+ * GPT-3 175B on a 1,024-GPU A100 cluster with one (t, d, p, m) plan.
+ *
+ *   ./quickstart [t d p m]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "vtrain/vtrain.h"
+
+using namespace vtrain;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    // 1. Describe the system: 128 DGX-A100 nodes = 1,024 GPUs.
+    const ClusterSpec cluster = makeCluster(1024);
+
+    // 2. Describe the model: GPT-3 175B, trained on 300B tokens.
+    const ModelConfig model = zoo::gpt3_175b();
+    const double total_tokens = 300e9;
+
+    // 3. Describe the parallelization plan.
+    ParallelConfig plan;
+    plan.tensor = argc > 4 ? std::atoi(argv[1]) : 8;
+    plan.data = argc > 4 ? std::atoi(argv[2]) : 16;
+    plan.pipeline = argc > 4 ? std::atoi(argv[3]) : 8;
+    plan.micro_batch_size = argc > 4 ? std::atoi(argv[4]) : 1;
+    plan.global_batch_size = 1536;
+
+    std::printf("model: %s (%s), %.1fB parameters\n",
+                model.name.c_str(), model.brief().c_str(),
+                model.numParameters() / 1e9);
+    std::printf("plan:  %s on %d GPUs, schedule=%s, bucketing=%s, "
+                "recompute=%s\n\n",
+                plan.brief().c_str(), plan.totalGpus(),
+                toString(plan.schedule).c_str(),
+                plan.gradient_bucketing ? "on" : "off",
+                plan.activation_recompute ? "on" : "off");
+
+    // 4. Check feasibility before simulating.
+    const MemoryFootprint mem = estimateMemory(model, plan);
+    std::printf("per-GPU memory: weights %s + grads %s + optimizer %s "
+                "+ activations %s = %s (%s)\n",
+                formatBytes(mem.weights).c_str(),
+                formatBytes(mem.gradients).c_str(),
+                formatBytes(mem.optimizer_states).c_str(),
+                formatBytes(mem.activations).c_str(),
+                formatBytes(mem.total).c_str(),
+                fitsInMemory(model, plan, cluster.node.gpu)
+                    ? "fits an 80GB A100"
+                    : "DOES NOT FIT");
+
+    // 5. Simulate one training iteration.
+    Simulator sim(cluster);
+    const SimulationResult result = sim.simulateIteration(model, plan);
+    std::printf("\npredicted iteration time: %s\n",
+                formatSeconds(result.iteration_seconds).c_str());
+    std::printf("GPU compute utilization:  %.2f%%\n",
+                100.0 * result.utilization);
+    std::printf("pipeline bubbles (approx): %.1f%%\n",
+                100.0 * result.bubble_fraction);
+    std::printf("graph: %zu operators -> %zu CUDA-kernel tasks "
+                "(%zu distinct operators profiled)\n",
+                result.num_operators, result.num_tasks,
+                result.distinct_operators_profiled);
+
+    // 6. Project to end-to-end training and cost.
+    const TrainingProjection proj =
+        sim.projectTraining(model, plan, total_tokens);
+    CostModel cost;
+    const double dollars = cost.pricing().totalDollars(
+        plan.totalGpus(), proj.total_seconds);
+    std::printf("\nend-to-end: %.0f iterations, %.1f days, %s at "
+                "%s/hour\n",
+                proj.num_iterations, proj.total_days,
+                formatDollars(dollars).c_str(),
+                formatDollars(cost.pricing().dollarsPerHour(
+                                  plan.totalGpus()))
+                    .c_str());
+    return 0;
+}

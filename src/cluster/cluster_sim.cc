@@ -1,0 +1,139 @@
+#include "cluster/cluster_sim.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+namespace {
+
+constexpr double kEpsIterations = 1e-6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ActiveJob {
+    size_t outcome_idx;
+    double remaining_iterations;
+};
+
+} // namespace
+
+ClusterSimulator::ClusterSimulator(
+    ClusterSimConfig config,
+    std::map<std::string, const ThroughputProfile *> profiles)
+    : config_(config), profiles_(std::move(profiles))
+{
+    VTRAIN_REQUIRE(config_.total_gpus > 0, "cluster needs GPUs");
+}
+
+std::vector<JobOutcome>
+ClusterSimulator::run(const std::vector<JobSpec> &jobs) const
+{
+    std::vector<JobOutcome> outcomes(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i)
+        outcomes[i].spec = jobs[i];
+
+    // Arrival order.
+    std::vector<size_t> order(jobs.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return jobs[a].arrival_seconds < jobs[b].arrival_seconds;
+    });
+
+    std::vector<ActiveJob> active;
+    size_t next_arrival = 0;
+    double now = 0.0;
+
+    auto profile_of = [&](const JobSpec &job) {
+        auto it = profiles_.find(job.model.name);
+        VTRAIN_REQUIRE(it != profiles_.end(), "no profile for model ",
+                       job.model.name);
+        return it->second;
+    };
+
+    while (next_arrival < order.size() || !active.empty()) {
+        // Admit everything that has arrived by `now`.
+        while (next_arrival < order.size() &&
+               jobs[order[next_arrival]].arrival_seconds <= now) {
+            const size_t idx = order[next_arrival++];
+            active.push_back(
+                ActiveJob{idx, jobs[idx].total_iterations});
+        }
+        if (active.empty()) {
+            VTRAIN_CHECK(next_arrival < order.size(),
+                         "idle cluster with no pending arrivals");
+            now = jobs[order[next_arrival]].arrival_seconds;
+            continue;
+        }
+
+        // Re-plan allocations; terminations free GPUs immediately, so
+        // loop until the active set is stable.
+        std::vector<AllocationDecision> decisions;
+        for (;;) {
+            std::vector<AllocationRequest> requests;
+            requests.reserve(active.size());
+            for (const auto &a : active) {
+                const JobSpec &spec = outcomes[a.outcome_idx].spec;
+                AllocationRequest req;
+                req.profile = profile_of(spec);
+                req.remaining_iterations = a.remaining_iterations;
+                req.deadline_seconds = spec.deadline_seconds;
+                req.arrival_seconds = spec.arrival_seconds;
+                requests.push_back(req);
+            }
+            decisions =
+                elasticFlowAllocate(requests, now, config_.total_gpus);
+            bool terminated_any = false;
+            for (size_t i = decisions.size(); i-- > 0;) {
+                if (!decisions[i].terminate)
+                    continue;
+                outcomes[active[i].outcome_idx].terminated = true;
+                active.erase(active.begin() +
+                             static_cast<ptrdiff_t>(i));
+                terminated_any = true;
+            }
+            if (!terminated_any)
+                break;
+            if (active.empty())
+                break;
+        }
+        if (active.empty())
+            continue;
+
+        // Next event: first arrival or earliest completion.
+        double next_event =
+            next_arrival < order.size()
+                ? jobs[order[next_arrival]].arrival_seconds
+                : kInf;
+        for (size_t i = 0; i < active.size(); ++i) {
+            if (decisions[i].throughput <= 0.0)
+                continue;
+            next_event = std::min(
+                next_event, now + active[i].remaining_iterations /
+                                      decisions[i].throughput);
+        }
+        VTRAIN_CHECK(next_event < kInf,
+                     "stalled cluster: no progress and no arrivals");
+        next_event = std::max(next_event, now);
+
+        // Fluid progress until the event, then retire completions.
+        const double dt = next_event - now;
+        now = next_event;
+        for (size_t i = active.size(); i-- > 0;) {
+            active[i].remaining_iterations -=
+                dt * decisions[i].throughput;
+            if (active[i].remaining_iterations <= kEpsIterations) {
+                JobOutcome &out = outcomes[active[i].outcome_idx];
+                out.completed = true;
+                out.completion_seconds = now;
+                active.erase(active.begin() +
+                             static_cast<ptrdiff_t>(i));
+            }
+        }
+    }
+    return outcomes;
+}
+
+} // namespace vtrain

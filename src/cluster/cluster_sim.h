@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Event-driven multi-tenant GPU-cluster simulator (paper Sec. V-B).
+ *
+ * Evaluates "the entire lifetime of a training job, from its arrival
+ * to its completion" on a shared cluster: at every arrival/completion
+ * event the ElasticFlow allocator re-plans GPU shares from the jobs'
+ * throughput profiles, and job progress advances fluidly at the
+ * allocated throughput between events.
+ */
+#ifndef VTRAIN_CLUSTER_CLUSTER_SIM_H
+#define VTRAIN_CLUSTER_CLUSTER_SIM_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/job.h"
+#include "cluster/scheduler.h"
+#include "cluster/throughput_profile.h"
+
+namespace vtrain {
+
+/** Cluster-level simulation parameters. */
+struct ClusterSimConfig {
+    int total_gpus = 1024;
+};
+
+/** Discrete-event simulator of one workload trace. */
+class ClusterSimulator
+{
+  public:
+    /**
+     * @param config   cluster size.
+     * @param profiles throughput profile per model name; every job's
+     *                 model must have an entry.
+     */
+    ClusterSimulator(
+        ClusterSimConfig config,
+        std::map<std::string, const ThroughputProfile *> profiles);
+
+    /** Simulates the trace to completion; returns per-job outcomes. */
+    std::vector<JobOutcome> run(const std::vector<JobSpec> &jobs) const;
+
+  private:
+    ClusterSimConfig config_;
+    std::map<std::string, const ThroughputProfile *> profiles_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_CLUSTER_CLUSTER_SIM_H

@@ -1,0 +1,21 @@
+#include "cluster/job.h"
+
+namespace vtrain {
+
+bool
+JobOutcome::metDeadline() const
+{
+    if (!spec.hasDeadline())
+        return completed;
+    return completed && completion_seconds <= spec.deadline_seconds;
+}
+
+double
+JobOutcome::jctSeconds() const
+{
+    if (!completed)
+        return -1.0;
+    return completion_seconds - spec.arrival_seconds;
+}
+
+} // namespace vtrain

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Training-job model for the multi-tenant GPU-cluster study
+ * (paper Sec. V-B).
+ *
+ * Jobs follow the serverless model: a user submits only the model to
+ * train, its iteration count and (optionally) a completion deadline;
+ * the cluster manager owns all systems decisions.
+ */
+#ifndef VTRAIN_CLUSTER_JOB_H
+#define VTRAIN_CLUSTER_JOB_H
+
+#include <string>
+
+#include "model/model_config.h"
+
+namespace vtrain {
+
+/** One submitted LLM training job. */
+struct JobSpec {
+    int id = 0;
+    ModelConfig model;
+    int global_batch_size = 1;
+
+    /** Training iterations the job must run. */
+    double total_iterations = 0.0;
+
+    /** Absolute submission time, seconds. */
+    double arrival_seconds = 0.0;
+
+    /** Absolute deadline, seconds; <= 0 means no deadline. */
+    double deadline_seconds = 0.0;
+
+    bool hasDeadline() const { return deadline_seconds > 0.0; }
+};
+
+/** Final outcome of one job after a cluster simulation. */
+struct JobOutcome {
+    JobSpec spec;
+
+    /** Completion time (absolute seconds); < 0 if never completed. */
+    double completion_seconds = -1.0;
+
+    bool completed = false;
+
+    /** Terminated by the deadline-aware scheduler as unsatisfiable. */
+    bool terminated = false;
+
+    /** @return true iff the job completed by its deadline. */
+    bool metDeadline() const;
+
+    /** Job completion time (completion - arrival), seconds. */
+    double jctSeconds() const;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_CLUSTER_JOB_H

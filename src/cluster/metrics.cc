@@ -1,0 +1,44 @@
+#include "cluster/metrics.h"
+
+#include <algorithm>
+
+namespace vtrain {
+
+double
+deadlineSatisfactoryRatio(const std::vector<JobOutcome> &outcomes)
+{
+    if (outcomes.empty())
+        return 0.0;
+    size_t met = 0;
+    for (const auto &o : outcomes)
+        if (o.metDeadline())
+            ++met;
+    return static_cast<double>(met) /
+           static_cast<double>(outcomes.size());
+}
+
+double
+averageJctSeconds(const std::vector<JobOutcome> &outcomes)
+{
+    double sum = 0.0;
+    size_t count = 0;
+    for (const auto &o : outcomes) {
+        if (o.completed) {
+            sum += o.jctSeconds();
+            ++count;
+        }
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double
+makespanSeconds(const std::vector<JobOutcome> &outcomes)
+{
+    double end = 0.0;
+    for (const auto &o : outcomes)
+        if (o.completed)
+            end = std::max(end, o.completion_seconds);
+    return end;
+}
+
+} // namespace vtrain

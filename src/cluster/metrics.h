@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Scheduling-quality metrics of the multi-tenant study (Sec. V-B):
+ * deadline satisfactory ratio (Fig. 12), average job completion time
+ * (Fig. 13) and makespan (Fig. 14).
+ */
+#ifndef VTRAIN_CLUSTER_METRICS_H
+#define VTRAIN_CLUSTER_METRICS_H
+
+#include <vector>
+
+#include "cluster/job.h"
+
+namespace vtrain {
+
+/** Fraction of jobs that completed by their deadline. */
+double deadlineSatisfactoryRatio(const std::vector<JobOutcome> &outcomes);
+
+/** Mean job completion time over completed jobs, seconds. */
+double averageJctSeconds(const std::vector<JobOutcome> &outcomes);
+
+/** Time until the last job completes, seconds. */
+double makespanSeconds(const std::vector<JobOutcome> &outcomes);
+
+} // namespace vtrain
+
+#endif // VTRAIN_CLUSTER_METRICS_H

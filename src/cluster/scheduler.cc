@@ -1,0 +1,107 @@
+#include "cluster/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+std::vector<AllocationDecision>
+elasticFlowAllocate(const std::vector<AllocationRequest> &requests,
+                    double now, int total_gpus)
+{
+    const size_t n = requests.size();
+    std::vector<AllocationDecision> decisions(n);
+    // Current profile index per job; -1 = no allocation yet.
+    std::vector<int> level(n, -1);
+    int free_gpus = total_gpus;
+
+    // --- Step 1 & 2: minimum satisfactory shares, EDF admission ------
+    std::vector<size_t> deadline_jobs;
+    for (size_t i = 0; i < n; ++i) {
+        VTRAIN_CHECK(requests[i].profile != nullptr,
+                     "allocation request without a profile");
+        if (requests[i].deadline_seconds > 0.0)
+            deadline_jobs.push_back(i);
+    }
+    std::sort(deadline_jobs.begin(), deadline_jobs.end(),
+              [&](size_t a, size_t b) {
+                  return requests[a].deadline_seconds <
+                         requests[b].deadline_seconds;
+              });
+
+    for (size_t i : deadline_jobs) {
+        const auto &req = requests[i];
+        const int min_idx = req.profile->minSatisfactoryIndex(
+            req.remaining_iterations, req.deadline_seconds - now);
+        if (min_idx < 0) {
+            // Even the largest profiled allocation misses the
+            // deadline: ElasticFlow terminates the job.
+            decisions[i].terminate = true;
+            continue;
+        }
+        const int share = req.profile->points()[min_idx].n_gpus;
+        if (share > free_gpus) {
+            // Minimum share does not fit given earlier deadlines.
+            decisions[i].terminate = true;
+            continue;
+        }
+        level[i] = min_idx;
+        free_gpus -= share;
+    }
+
+    // --- Step 3: elastic scaling by marginal gain ---------------------
+    // Best-effort jobs start unallocated; every job may climb through
+    // its profiled sizes while GPUs remain.
+    for (;;) {
+        double best_gain = 0.0;
+        size_t best_job = n;
+        for (size_t i = 0; i < n; ++i) {
+            if (decisions[i].terminate)
+                continue;
+            const auto &points = requests[i].profile->points();
+            const int next = level[i] + 1;
+            if (next >= static_cast<int>(points.size()))
+                continue;
+            const int cur_gpus =
+                level[i] < 0 ? 0 : points[level[i]].n_gpus;
+            const double cur_thr =
+                level[i] < 0
+                    ? 0.0
+                    : points[level[i]].iterations_per_second;
+            const int delta = points[next].n_gpus - cur_gpus;
+            if (delta > free_gpus)
+                continue;
+            const double gain =
+                (points[next].iterations_per_second - cur_thr) /
+                static_cast<double>(delta);
+            // Tie-break FIFO by arrival so queueing is fair.
+            if (gain > best_gain ||
+                (gain == best_gain && best_job < n &&
+                 requests[i].arrival_seconds <
+                     requests[best_job].arrival_seconds)) {
+                best_gain = gain;
+                best_job = i;
+            }
+        }
+        if (best_job >= n || best_gain <= 0.0)
+            break;
+        const auto &points = requests[best_job].profile->points();
+        const int cur_gpus =
+            level[best_job] < 0 ? 0 : points[level[best_job]].n_gpus;
+        ++level[best_job];
+        free_gpus -= points[level[best_job]].n_gpus - cur_gpus;
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+        if (decisions[i].terminate || level[i] < 0)
+            continue;
+        const auto &point = requests[i].profile->points()[level[i]];
+        decisions[i].n_gpus = point.n_gpus;
+        decisions[i].throughput = point.iterations_per_second;
+    }
+    return decisions;
+}
+
+} // namespace vtrain

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ElasticFlow-style deadline-aware elastic GPU allocation (Sec. V-B).
+ *
+ * The scheduling algorithm is the same for the baseline and the
+ * vTrain-enabled system — "the difference ... primarily lies in how
+ * close the best profiled training performance is to the performance
+ * achievable with an optimal parallelization plan".  Given the active
+ * jobs and their profiles it:
+ *
+ *   1. computes each deadline job's *minimum satisfactory share* (the
+ *      smallest profiled allocation that still meets the deadline),
+ *   2. admits deadline jobs in earliest-deadline order while their
+ *      minimum shares fit; jobs whose deadline can no longer be met
+ *      are terminated (ElasticFlow semantics),
+ *   3. distributes leftover GPUs by the largest marginal throughput
+ *      gain per GPU, stepping jobs through their profiled allocation
+ *      sizes (elastic scaling).
+ */
+#ifndef VTRAIN_CLUSTER_SCHEDULER_H
+#define VTRAIN_CLUSTER_SCHEDULER_H
+
+#include <vector>
+
+#include "cluster/throughput_profile.h"
+
+namespace vtrain {
+
+/** Allocation request for one active job at a scheduling event. */
+struct AllocationRequest {
+    const ThroughputProfile *profile = nullptr;
+    double remaining_iterations = 0.0;
+
+    /** Absolute deadline, seconds; <= 0 means best-effort. */
+    double deadline_seconds = 0.0;
+
+    /** Arrival time (FIFO tie-break for best-effort jobs). */
+    double arrival_seconds = 0.0;
+};
+
+/** Allocation decision for one job. */
+struct AllocationDecision {
+    int n_gpus = 0;                //!< 0 = queued this round
+    double throughput = 0.0;       //!< iterations/second at n_gpus
+    bool terminate = false;        //!< deadline unsatisfiable
+};
+
+/** Runs one ElasticFlow allocation round. */
+std::vector<AllocationDecision> elasticFlowAllocate(
+    const std::vector<AllocationRequest> &requests, double now,
+    int total_gpus);
+
+} // namespace vtrain
+
+#endif // VTRAIN_CLUSTER_SCHEDULER_H

@@ -1,0 +1,183 @@
+#include "cluster/throughput_profile.h"
+
+#include <algorithm>
+
+#include "parallel/memory_model.h"
+#include "util/logging.h"
+
+namespace vtrain {
+
+std::string
+toString(ProfileMode mode)
+{
+    switch (mode) {
+      case ProfileMode::ElasticFlowBaseline:
+        return "elasticflow";
+      case ProfileMode::VTrainOptimal:
+        return "vtrain";
+    }
+    VTRAIN_PANIC("unknown profile mode");
+}
+
+std::pair<int, int>
+ThroughputProfile::baselineMinTp(const ModelConfig &model,
+                                 const ClusterSpec &cluster,
+                                 int global_batch)
+{
+    const int t = std::min(8, cluster.node.gpus_per_node);
+    for (int p = 1; p <= model.num_layers; ++p) {
+        if (model.num_layers % p != 0)
+            continue;
+        ParallelConfig plan;
+        plan.tensor = t;
+        plan.pipeline = p;
+        plan.data = 1;
+        plan.micro_batch_size = 1;
+        plan.global_batch_size = global_batch;
+        if (!plan.valid(model, cluster))
+            continue;
+        if (fitsInMemory(model, plan, cluster.node.gpu))
+            return {t, p};
+    }
+    VTRAIN_FATAL("model ", model.name,
+                 " does not fit the cluster at any pipeline depth");
+}
+
+ThroughputProfile
+ThroughputProfile::fromPoints(std::vector<ProfilePoint> points)
+{
+    ThroughputProfile profile;
+    profile.points_ = std::move(points);
+    std::sort(profile.points_.begin(), profile.points_.end(),
+              [](const ProfilePoint &a, const ProfilePoint &b) {
+                  return a.n_gpus < b.n_gpus;
+              });
+    for (size_t i = 1; i < profile.points_.size(); ++i) {
+        if (profile.points_[i].iterations_per_second <
+            profile.points_[i - 1].iterations_per_second) {
+            profile.points_[i].iterations_per_second =
+                profile.points_[i - 1].iterations_per_second;
+            profile.points_[i].plan = profile.points_[i - 1].plan;
+        }
+    }
+    return profile;
+}
+
+ThroughputProfile
+ThroughputProfile::build(const ModelConfig &model, int global_batch,
+                         const Explorer &explorer, ProfileMode mode,
+                         const std::vector<int> &gpu_counts)
+{
+    ThroughputProfile profile;
+    for (int g : gpu_counts) {
+        SweepSpec spec;
+        spec.global_batch_size = global_batch;
+        spec.exact_gpus = g;
+        spec.max_data = g;
+        if (mode == ProfileMode::ElasticFlowBaseline) {
+            const auto [t0, p0] =
+                baselineMinTp(model, explorer.cluster(), global_batch);
+            if (g % (t0 * p0) != 0)
+                continue;
+            const int d = g / (t0 * p0);
+            if (global_batch % d != 0)
+                continue;
+            // d-way data parallelism over the fixed (t0, p0) slab;
+            // only the micro-batch size is tuned.
+            spec.max_tensor = t0;
+            spec.max_pipeline = p0;
+            std::vector<ParallelConfig> plans;
+            for (int m : spec.micro_batch_sizes) {
+                ParallelConfig plan;
+                plan.tensor = t0;
+                plan.pipeline = p0;
+                plan.data = d;
+                plan.micro_batch_size = m;
+                plan.global_batch_size = global_batch;
+                if (!plan.valid(model, explorer.cluster()))
+                    continue;
+                if (!fitsInMemory(model, plan,
+                                  explorer.cluster().node.gpu))
+                    continue;
+                plans.push_back(plan);
+            }
+            const auto results = explorer.sweep(model, plans);
+            const int best = bestByIterationTime(results);
+            if (best < 0)
+                continue;
+            profile.points_.push_back(ProfilePoint{
+                g, 1.0 / results[best].sim.iteration_seconds,
+                results[best].plan});
+        } else {
+            const auto results = explorer.sweep(model, spec);
+            const int best = bestByIterationTime(results);
+            if (best < 0)
+                continue;
+            profile.points_.push_back(ProfilePoint{
+                g, 1.0 / results[best].sim.iteration_seconds,
+                results[best].plan});
+        }
+    }
+
+    std::sort(profile.points_.begin(), profile.points_.end(),
+              [](const ProfilePoint &a, const ProfilePoint &b) {
+                  return a.n_gpus < b.n_gpus;
+              });
+    // Throughput must be non-decreasing in the allocation: a scheduler
+    // would never use a larger-but-slower allocation, so clean the
+    // table by carrying the best smaller allocation forward.
+    for (size_t i = 1; i < profile.points_.size(); ++i) {
+        if (profile.points_[i].iterations_per_second <
+            profile.points_[i - 1].iterations_per_second) {
+            profile.points_[i].iterations_per_second =
+                profile.points_[i - 1].iterations_per_second;
+            profile.points_[i].plan = profile.points_[i - 1].plan;
+        }
+    }
+    return profile;
+}
+
+int
+ThroughputProfile::minGpus() const
+{
+    VTRAIN_CHECK(!points_.empty(), "empty profile");
+    return points_.front().n_gpus;
+}
+
+int
+ThroughputProfile::maxGpus() const
+{
+    VTRAIN_CHECK(!points_.empty(), "empty profile");
+    return points_.back().n_gpus;
+}
+
+double
+ThroughputProfile::throughputAt(int n_gpus) const
+{
+    const int idx = indexOf(n_gpus);
+    return idx < 0 ? 0.0 : points_[idx].iterations_per_second;
+}
+
+int
+ThroughputProfile::indexOf(int n_gpus) const
+{
+    for (size_t i = 0; i < points_.size(); ++i)
+        if (points_[i].n_gpus == n_gpus)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int
+ThroughputProfile::minSatisfactoryIndex(double iterations,
+                                        double seconds) const
+{
+    if (seconds <= 0.0)
+        return -1;
+    for (size_t i = 0; i < points_.size(); ++i) {
+        if (iterations / points_[i].iterations_per_second <= seconds)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace vtrain

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Per-job throughput profiles: iterations/second vs. GPU count.
+ *
+ * ElasticFlow profiles each job's training throughput offline as a
+ * function of its GPU allocation and schedules from that table
+ * (Sec. V-B).  The baseline profile restricts exploration to data
+ * parallelism on top of the minimum tensor/pipeline degrees the model
+ * needs to fit in memory (the paper's strengthened ElasticFlow
+ * baseline); the vTrain profile instead uses the optimal plan found
+ * by full design-space exploration at every GPU count, which is what
+ * Case Study #2 contributes.
+ */
+#ifndef VTRAIN_CLUSTER_THROUGHPUT_PROFILE_H
+#define VTRAIN_CLUSTER_THROUGHPUT_PROFILE_H
+
+#include <string>
+#include <vector>
+
+#include "explore/explorer.h"
+#include "model/model_config.h"
+#include "parallel/parallel_config.h"
+
+namespace vtrain {
+
+/** One profiled allocation size. */
+struct ProfilePoint {
+    int n_gpus = 0;
+    double iterations_per_second = 0.0;
+    ParallelConfig plan;
+};
+
+/** How the profile's parallelization plans are chosen. */
+enum class ProfileMode {
+    ElasticFlowBaseline, //!< fixed minimal (t, p), d-way scaling only
+    VTrainOptimal,       //!< best (t, d, p, m) per GPU count
+};
+
+/** @return "elasticflow" or "vtrain". */
+std::string toString(ProfileMode mode);
+
+/** Monotone-cleaned throughput-vs-GPUs table for one job type. */
+class ThroughputProfile
+{
+  public:
+    /**
+     * Builds a profile by simulating candidate plans at each GPU
+     * count in `gpu_counts` (counts with no feasible plan are
+     * dropped).
+     */
+    static ThroughputProfile build(const ModelConfig &model,
+                                   int global_batch,
+                                   const Explorer &explorer,
+                                   ProfileMode mode,
+                                   const std::vector<int> &gpu_counts);
+
+    /** Builds a profile from explicit points (tests, external data).
+     *  Points are sorted by GPU count; throughput is made
+     *  non-decreasing like build() does. */
+    static ThroughputProfile fromPoints(std::vector<ProfilePoint> points);
+
+    /** Profile points, ascending in GPU count. */
+    const std::vector<ProfilePoint> &points() const { return points_; }
+
+    bool empty() const { return points_.empty(); }
+    int minGpus() const;
+    int maxGpus() const;
+
+    /** Throughput at an exactly profiled count; 0 if not allowed. */
+    double throughputAt(int n_gpus) const;
+
+    /** Index of the point with the given GPU count; -1 if absent. */
+    int indexOf(int n_gpus) const;
+
+    /**
+     * Smallest profiled GPU count whose throughput completes
+     * `iterations` within `seconds`; -1 if even the largest cannot.
+     */
+    int minSatisfactoryIndex(double iterations, double seconds) const;
+
+    /**
+     * The minimum (t, p) degrees the baseline keeps for a model: 8-way
+     * tensor parallelism plus the smallest pipeline depth that fits
+     * GPU memory with d = 1 (e.g. (8, 2) for the 39.1B model).
+     */
+    static std::pair<int, int> baselineMinTp(const ModelConfig &model,
+                                             const ClusterSpec &cluster,
+                                             int global_batch);
+
+  private:
+    std::vector<ProfilePoint> points_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_CLUSTER_THROUGHPUT_PROFILE_H

@@ -1,0 +1,60 @@
+#include "cluster/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace vtrain {
+
+std::vector<JobSpec>
+generateTrace(
+    const TraceSpec &spec, const std::vector<ModelConfig> &models,
+    const std::function<int(const ModelConfig &)> &batch_of,
+    const std::function<double(const ModelConfig &)> &ref_seconds_per_iter)
+{
+    VTRAIN_REQUIRE(!models.empty(), "trace needs candidate models");
+    VTRAIN_REQUIRE(spec.n_jobs > 0, "trace needs at least one job");
+    Rng rng(spec.seed);
+
+    // Heavy-tailed inter-arrival gaps, normalized into the window.
+    std::vector<double> arrivals(spec.n_jobs, 0.0);
+    if (spec.arrival_window_seconds > 0.0) {
+        double cum = 0.0;
+        for (int i = 0; i < spec.n_jobs; ++i) {
+            cum += rng.lognormal(0.0, 1.2);
+            arrivals[i] = cum;
+        }
+        const double scale = spec.arrival_window_seconds / cum;
+        for (double &a : arrivals)
+            a *= scale;
+    }
+
+    std::vector<JobSpec> jobs;
+    jobs.reserve(spec.n_jobs);
+    for (int i = 0; i < spec.n_jobs; ++i) {
+        JobSpec job;
+        job.id = i;
+        job.model = models[static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(models.size()) - 1))];
+        job.global_batch_size = batch_of(job.model);
+        const double log_lo = std::log(spec.min_iterations);
+        const double log_hi = std::log(spec.max_iterations);
+        job.total_iterations =
+            std::floor(std::exp(rng.uniform(log_lo, log_hi)));
+        job.arrival_seconds = arrivals[i];
+        if (spec.with_deadlines) {
+            const double lambda = rng.uniform(spec.deadline_lambda_lo,
+                                              spec.deadline_lambda_hi);
+            const double duration =
+                job.total_iterations * ref_seconds_per_iter(job.model);
+            job.deadline_seconds =
+                job.arrival_seconds + lambda * duration;
+        }
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+} // namespace vtrain

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Synthetic workload-trace generation (paper Sec. V-B).
+ *
+ * The paper samples job inter-arrival times from Microsoft's internal
+ * ITP cluster traces and fits N arrivals into a fixed window, so a
+ * 128-job trace stresses the cluster more than a 64-job trace.  The
+ * ITP traces are not redistributable; TraceGenerator substitutes a
+ * seeded heavy-tailed (lognormal) arrival process with the same
+ * fixed-window property (see DESIGN.md, substitution table).
+ */
+#ifndef VTRAIN_CLUSTER_TRACE_H
+#define VTRAIN_CLUSTER_TRACE_H
+
+#include <functional>
+#include <vector>
+
+#include "cluster/job.h"
+
+namespace vtrain {
+
+/** Parameters of one synthetic workload trace. */
+struct TraceSpec {
+    int n_jobs = 64;
+    uint64_t seed = 1;
+
+    /** All arrivals land inside [0, window]; 0 = all at t=0
+     *  (the makespan study submits every job simultaneously). */
+    double arrival_window_seconds = 200.0 * 3600.0;
+
+    /** Attach deadlines (Fig. 12) or not (Fig. 13/14). */
+    bool with_deadlines = true;
+
+    /** Deadline = arrival + lambda * reference duration, with lambda
+     *  sampled uniformly from [lo, hi] (the paper's U[0.5, 1.5]). */
+    double deadline_lambda_lo = 0.5;
+    double deadline_lambda_hi = 1.5;
+
+    /** Iteration counts are log-uniform in [lo, hi]. */
+    double min_iterations = 1000.0;
+    double max_iterations = 10000.0;
+};
+
+/**
+ * Generates one trace.
+ *
+ * @param spec       trace parameters.
+ * @param models     candidate model configurations (Table III); each
+ *                   job picks one uniformly at random.
+ * @param batch_of   global batch size for a model (Table III).
+ * @param ref_seconds_per_iter reference iteration time used to derive
+ *                   deadlines (the paper's "duration"); takes the
+ *                   job's model and returns seconds per iteration.
+ */
+std::vector<JobSpec> generateTrace(
+    const TraceSpec &spec, const std::vector<ModelConfig> &models,
+    const std::function<int(const ModelConfig &)> &batch_of,
+    const std::function<double(const ModelConfig &)> &ref_seconds_per_iter);
+
+} // namespace vtrain
+
+#endif // VTRAIN_CLUSTER_TRACE_H

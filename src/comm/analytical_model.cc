@@ -1,0 +1,40 @@
+#include "comm/analytical_model.h"
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+AnalyticalCommModel::AnalyticalCommModel(const ClusterSpec &cluster)
+    : nic_bandwidth_(cluster.node.nic_bandwidth),
+      nic_latency_(cluster.node.nic_latency),
+      alpha_(cluster.bandwidth_effectiveness)
+{
+    VTRAIN_REQUIRE(alpha_ > 0.0 && alpha_ <= 1.0,
+                   "bandwidth effectiveness must be in (0, 1]");
+}
+
+double
+AnalyticalCommModel::effectiveBandwidth() const
+{
+    return alpha_ * nic_bandwidth_;
+}
+
+double
+AnalyticalCommModel::allReduceSeconds(int n_workers, double bytes) const
+{
+    if (n_workers < 2 || bytes <= 0.0)
+        return 0.0;
+    const double n = static_cast<double>(n_workers);
+    return bytes / effectiveBandwidth() * 2.0 * (n - 1.0) / n +
+           nic_latency_;
+}
+
+double
+AnalyticalCommModel::sendRecvSeconds(double bytes) const
+{
+    if (bytes <= 0.0)
+        return 0.0;
+    return nic_latency_ + bytes / effectiveBandwidth();
+}
+
+} // namespace vtrain

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Inter-node analytical communication model (paper Eq. 1).
+ *
+ * For collectives that span nodes, vTrain uses NVIDIA NCCL's
+ * latency-bandwidth formula
+ *
+ *     t = S / B * 2(n - 1) / n,        B = alpha * Bmax
+ *
+ * where S is the per-GPU data size, n the worker count, Bmax the
+ * node's aggregate NIC bandwidth (800 Gbps on the validation system)
+ * and alpha the bandwidth effectiveness factor the paper tunes
+ * (optimal at 1.0).
+ */
+#ifndef VTRAIN_COMM_ANALYTICAL_MODEL_H
+#define VTRAIN_COMM_ANALYTICAL_MODEL_H
+
+#include "hw/cluster_spec.h"
+
+namespace vtrain {
+
+/** Eq. 1 implementation plus a point-to-point model. */
+class AnalyticalCommModel
+{
+  public:
+    explicit AnalyticalCommModel(const ClusterSpec &cluster);
+
+    /** All-Reduce of `bytes` per GPU across n_workers GPUs (Eq. 1). */
+    double allReduceSeconds(int n_workers, double bytes) const;
+
+    /** One-hop pipeline Send-Receive of `bytes` across nodes. */
+    double sendRecvSeconds(double bytes) const;
+
+    /** Effective inter-node bandwidth B = alpha * Bmax, bytes/s. */
+    double effectiveBandwidth() const;
+
+  private:
+    double nic_bandwidth_;
+    double nic_latency_;
+    double alpha_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_COMM_ANALYTICAL_MODEL_H

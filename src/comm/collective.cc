@@ -1,0 +1,25 @@
+#include "comm/collective.h"
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+std::string
+toString(CommKind kind)
+{
+    switch (kind) {
+      case CommKind::TpAllReduce:
+        return "TP-AllReduce";
+      case CommKind::DpAllReduce:
+        return "DP-AllReduce";
+      case CommKind::PipeSendRecv:
+        return "Pipe-SendRecv";
+      case CommKind::DpReduceScatter:
+        return "DP-ReduceScatter";
+      case CommKind::DpAllGather:
+        return "DP-AllGather";
+    }
+    VTRAIN_PANIC("unknown comm kind");
+}
+
+} // namespace vtrain

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Communication-operator descriptors.
+ *
+ * 3D parallelism introduces three communication patterns (Sec. II-B,
+ * Fig. 3): tensor-parallel All-Reduce (intra-node), data-parallel
+ * All-Reduce (gradient reduction, possibly inter-node), and pipeline
+ * Send-Receive between adjacent stages.
+ */
+#ifndef VTRAIN_COMM_COLLECTIVE_H
+#define VTRAIN_COMM_COLLECTIVE_H
+
+#include <cstdint>
+#include <string>
+
+namespace vtrain {
+
+/** Kind of a communication operator. */
+enum class CommKind : uint8_t {
+    TpAllReduce,     //!< after each MHA/FFN block, fwd and bwd (Fig. 6)
+    DpAllReduce,     //!< weight-gradient reduction (Fig. 5)
+    PipeSendRecv,    //!< activation/gradient exchange across stages
+    DpReduceScatter, //!< ZeRO-1 gradient-shard reduction
+    DpAllGather,     //!< ZeRO-1 updated-parameter gather
+};
+
+/** @return a short name such as "TP-AllReduce". */
+std::string toString(CommKind kind);
+
+/** Placement of a communication group on the cluster. */
+enum class CommScope : uint8_t {
+    IntraNode, //!< all participants share one node (NVLink/NVSwitch)
+    InterNode, //!< participants span nodes (InfiniBand)
+};
+
+/** A fully resolved communication operation. */
+struct CommOpDesc {
+    CommKind kind = CommKind::TpAllReduce;
+    CommScope scope = CommScope::IntraNode;
+
+    /** Per-GPU payload size, bytes. */
+    double bytes = 0.0;
+
+    /** Number of GPUs participating in the collective. */
+    int n_workers = 2;
+
+    /**
+     * Number of identical communication groups that run this
+     * collective concurrently on each node and hence share its
+     * NIC/NVSwitch (used by the testbed's interference model; the
+     * vTrain predictor follows the paper and ignores it).
+     */
+    int concurrent_groups = 1;
+
+    /**
+     * How many of the group's members share each node (> 1 enables
+     * the hierarchical inter-node All-Reduce decomposition: intra-node
+     * reduce-scatter, inter-node All-Reduce of 1/k shards, intra-node
+     * all-gather).  The paper lists such a refinement as future work.
+     */
+    int members_per_node = 1;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_COMM_COLLECTIVE_H

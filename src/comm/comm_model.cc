@@ -1,0 +1,109 @@
+#include "comm/comm_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+CommModel::CommModel(const ClusterSpec &cluster)
+    : cluster_(cluster), intra_(cluster.node), inter_(cluster)
+{
+}
+
+double
+CommModel::latencySeconds(const CommOpDesc &desc) const
+{
+    if (desc.bytes <= 0.0)
+        return 0.0;
+
+    switch (desc.kind) {
+      case CommKind::TpAllReduce:
+      case CommKind::DpAllReduce:
+        if (desc.n_workers < 2)
+            return 0.0;
+        if (desc.scope == CommScope::IntraNode)
+            return intra_.allReduceSeconds(desc.n_workers, desc.bytes);
+        if (cluster_.hierarchical_allreduce &&
+            desc.members_per_node > 1) {
+            return hierarchicalAllReduceSeconds(desc);
+        }
+        return inter_.allReduceSeconds(desc.n_workers, desc.bytes);
+
+      case CommKind::DpReduceScatter:
+      case CommKind::DpAllGather:
+        // Reduce-Scatter and All-Gather each move half of the ring
+        // All-Reduce's traffic: S/B * (n-1)/n.
+        if (desc.n_workers < 2)
+            return 0.0;
+        if (desc.scope == CommScope::IntraNode) {
+            return 0.5 *
+                   intra_.allReduceSeconds(desc.n_workers, desc.bytes);
+        }
+        if (cluster_.hierarchical_allreduce &&
+            desc.members_per_node > 1) {
+            return 0.5 * hierarchicalAllReduceSeconds(desc);
+        }
+        return 0.5 *
+               inter_.allReduceSeconds(desc.n_workers, desc.bytes);
+
+      case CommKind::PipeSendRecv:
+        if (desc.scope == CommScope::IntraNode) {
+            return cluster_.node.nvlink_latency +
+                   desc.bytes / cluster_.node.nvlink_bandwidth;
+        }
+        return inter_.sendRecvSeconds(desc.bytes);
+    }
+    VTRAIN_PANIC("unknown comm kind");
+}
+
+double
+CommModel::hierarchicalAllReduceSeconds(const CommOpDesc &desc) const
+{
+    // Phase 1: intra-node reduce-scatter of S across k co-located
+    // members (half an intra-node All-Reduce); phase 2: inter-node
+    // All-Reduce of the S/k shard across the n/k node representatives
+    // (Eq. 1); phase 3: intra-node all-gather (half an All-Reduce).
+    const int k = desc.members_per_node;
+    const int nodes = std::max(2, desc.n_workers / k);
+    const double intra_phase =
+        intra_.allReduceSeconds(k, desc.bytes); // RS + AG combined
+    const double inter_phase = inter_.allReduceSeconds(
+        nodes, desc.bytes / static_cast<double>(k));
+    return intra_phase + inter_phase;
+}
+
+CommScope
+CommModel::tpScope(const ParallelConfig &parallel,
+                   const ClusterSpec &cluster)
+{
+    // Ranks are laid out tensor-fastest (Megatron order), so a tensor
+    // group is contiguous; it stays inside a node iff t <= node size.
+    return parallel.tensor <= cluster.node.gpus_per_node
+               ? CommScope::IntraNode
+               : CommScope::InterNode;
+}
+
+CommScope
+CommModel::dpScope(const ParallelConfig &parallel,
+                   const ClusterSpec &cluster)
+{
+    // A data-parallel group strides by t; it fits in one node iff the
+    // whole t*d slab does.
+    return parallel.tensor * parallel.data <= cluster.node.gpus_per_node
+               ? CommScope::IntraNode
+               : CommScope::InterNode;
+}
+
+CommScope
+CommModel::pipeScope(const ParallelConfig &parallel,
+                     const ClusterSpec &cluster)
+{
+    // Consecutive stages are t*d ranks apart; the boundary stays
+    // intra-node only when several stages fit in one node.
+    return parallel.tensor * parallel.data < cluster.node.gpus_per_node
+               ? CommScope::IntraNode
+               : CommScope::InterNode;
+}
+
+} // namespace vtrain

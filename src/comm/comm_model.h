@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Communication-latency facade.
+ *
+ * Routes each communication operator to the right backend, following
+ * Sec. III-D: intra-node collectives use the profiled NCCL latency
+ * table; inter-node collectives use the analytical latency-bandwidth
+ * model of Eq. 1; pipeline Send-Receive uses a simple
+ * latency-plus-bandwidth point-to-point model.
+ */
+#ifndef VTRAIN_COMM_COMM_MODEL_H
+#define VTRAIN_COMM_COMM_MODEL_H
+
+#include "comm/analytical_model.h"
+#include "comm/collective.h"
+#include "comm/nccl_table.h"
+#include "hw/cluster_spec.h"
+#include "parallel/parallel_config.h"
+
+namespace vtrain {
+
+/** Latency estimation for all 3D-parallel communication operators. */
+class CommModel
+{
+  public:
+    explicit CommModel(const ClusterSpec &cluster);
+
+    /** @return modelled latency of the communication op, seconds. */
+    double latencySeconds(const CommOpDesc &desc) const;
+
+    /** Scope of the t-GPU tensor-parallel group under this mapping. */
+    static CommScope tpScope(const ParallelConfig &parallel,
+                             const ClusterSpec &cluster);
+
+    /** Scope of the d-GPU data-parallel group. */
+    static CommScope dpScope(const ParallelConfig &parallel,
+                             const ClusterSpec &cluster);
+
+    /** Scope of adjacent-stage pipeline links. */
+    static CommScope pipeScope(const ParallelConfig &parallel,
+                               const ClusterSpec &cluster);
+
+    const NcclLatencyTable &intraNodeTable() const { return intra_; }
+    const AnalyticalCommModel &interNodeModel() const { return inter_; }
+
+  private:
+    /** Hierarchical node-spanning All-Reduce (future-work model). */
+    double hierarchicalAllReduceSeconds(const CommOpDesc &desc) const;
+
+    ClusterSpec cluster_;
+    NcclLatencyTable intra_;
+    AnalyticalCommModel inter_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_COMM_COMM_MODEL_H

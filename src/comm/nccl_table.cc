@@ -1,0 +1,80 @@
+#include "comm/nccl_table.h"
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace vtrain {
+
+namespace {
+
+/** Fraction of raw NVLink bandwidth a ring All-Reduce realizes. */
+constexpr double kNvlinkBusEfficiency = 0.77;
+
+/** Message size at which half the asymptotic bus bandwidth is hit. */
+constexpr double kHalfBandwidthBytes = 4.0 * kMB;
+
+} // namespace
+
+double
+NcclLatencyTable::ringModelSeconds(const NodeSpec &node, int n_gpus,
+                                   double bytes)
+{
+    VTRAIN_CHECK(n_gpus >= 2, "collectives need >= 2 GPUs");
+    const double n = static_cast<double>(n_gpus);
+    const double bus_max = kNvlinkBusEfficiency * node.nvlink_bandwidth;
+    // Protocol ramp: small messages cannot saturate the links.
+    const double busbw = bus_max * bytes / (bytes + kHalfBandwidthBytes);
+    const double base = node.nvlink_latency * 2.0 * n;
+    return base + (2.0 * (n - 1.0) / n) * bytes / busbw;
+}
+
+NcclLatencyTable::NcclLatencyTable(const NodeSpec &node)
+{
+    // The paper profiles 1 MB - 1024 MB; the synthetic profile extends
+    // one octave below/above so queries near the edges stay
+    // interpolated rather than extrapolated.
+    for (int n = 2; n <= node.gpus_per_node; ++n) {
+        for (double mb = 0.25; mb <= 2048.0; mb *= 2.0) {
+            const double bytes = mb * kMB;
+            insertSample(
+                NcclSample{n, bytes, ringModelSeconds(node, n, bytes)});
+        }
+    }
+}
+
+NcclLatencyTable::NcclLatencyTable(const std::vector<NcclSample> &samples)
+{
+    for (const auto &s : samples)
+        insertSample(s);
+}
+
+void
+NcclLatencyTable::insertSample(const NcclSample &sample)
+{
+    VTRAIN_CHECK(sample.bytes > 0.0 && sample.seconds > 0.0,
+                 "NCCL samples must be positive");
+    tables_[sample.n_gpus].addSample(sample.bytes, sample.seconds);
+}
+
+double
+NcclLatencyTable::allReduceSeconds(int n_gpus, double bytes) const
+{
+    if (n_gpus < 2 || bytes <= 0.0)
+        return 0.0;
+    auto it = tables_.find(n_gpus);
+    VTRAIN_REQUIRE(it != tables_.end(),
+                   "no NCCL profile for ", n_gpus, " GPUs");
+    return it->second.loglog(bytes);
+}
+
+std::vector<int>
+NcclLatencyTable::profiledGpuCounts() const
+{
+    std::vector<int> out;
+    out.reserve(tables_.size());
+    for (const auto &[n, table] : tables_)
+        out.push_back(n);
+    return out;
+}
+
+} // namespace vtrain

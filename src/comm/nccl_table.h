@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Profiled intra-node NCCL All-Reduce latency table.
+ *
+ * The paper profiles NCCL All-Reduce over real multi-GPU systems for
+ * data sizes from 1 MB to 1024 MB and several GPU counts, then
+ * interpolates (Sec. III-D, IV).  Here the table is populated by a
+ * synthetic NVLink/NVSwitch ring model (see DESIGN.md); the query and
+ * interpolation path is identical to a table filled from real
+ * measurements, and the samples can be replaced wholesale via the
+ * constructor taking explicit samples.
+ */
+#ifndef VTRAIN_COMM_NCCL_TABLE_H
+#define VTRAIN_COMM_NCCL_TABLE_H
+
+#include <map>
+#include <vector>
+
+#include "hw/node_spec.h"
+#include "util/interp.h"
+
+namespace vtrain {
+
+/** One profiled sample: All-Reduce of `bytes` across `n_gpus`. */
+struct NcclSample {
+    int n_gpus;
+    double bytes;
+    double seconds;
+};
+
+/** Size-interpolated intra-node All-Reduce latency table. */
+class NcclLatencyTable
+{
+  public:
+    /** Builds the table by "profiling" the given node model. */
+    explicit NcclLatencyTable(const NodeSpec &node);
+
+    /** Builds the table from explicit samples (e.g. real data). */
+    explicit NcclLatencyTable(const std::vector<NcclSample> &samples);
+
+    /**
+     * @return All-Reduce latency in seconds for `bytes` per GPU across
+     *         `n_gpus` GPUs of one node.  Sizes between samples are
+     *         log-log interpolated; GPU counts must match a profiled
+     *         count (2, 4, 8 for the synthetic profile).
+     */
+    double allReduceSeconds(int n_gpus, double bytes) const;
+
+    /** Profiled GPU counts, ascending. */
+    std::vector<int> profiledGpuCounts() const;
+
+    /**
+     * The ring-model bus time the synthetic profile is built from;
+     * exposed for tests.
+     */
+    static double ringModelSeconds(const NodeSpec &node, int n_gpus,
+                                   double bytes);
+
+  private:
+    void insertSample(const NcclSample &sample);
+
+    std::map<int, InterpTable> tables_; // n_gpus -> size table
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_COMM_NCCL_TABLE_H

@@ -1,0 +1,47 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace vtrain {
+
+CostModel::CostModel(Pricing pricing) : pricing_(pricing) {}
+
+PlanCost
+CostModel::evaluate(const ModelConfig &model, const ParallelConfig &parallel,
+                    const SimulationResult &sim, double total_tokens) const
+{
+    PlanCost cost;
+    cost.iteration_seconds = sim.iteration_seconds;
+    cost.num_iterations =
+        std::ceil(total_tokens / parallel.tokensPerIteration(model));
+    cost.total_days =
+        cost.iteration_seconds * cost.num_iterations / kSecPerDay;
+    cost.utilization = sim.utilization;
+    cost.n_gpus = parallel.totalGpus();
+    cost.dollars_per_hour = pricing_.dollarsPerHour(cost.n_gpus);
+    cost.total_dollars = pricing_.totalDollars(
+        cost.n_gpus, cost.iteration_seconds * cost.num_iterations);
+    return cost;
+}
+
+PlanCost
+CostModel::fromUtilization(const ModelConfig &model, int n_gpus,
+                           double peak_flops_per_gpu, double utilization,
+                           double total_tokens) const
+{
+    PlanCost cost;
+    const double flops = model.modelFlops(total_tokens);
+    const double seconds =
+        flops / (static_cast<double>(n_gpus) * peak_flops_per_gpu *
+                 utilization);
+    cost.total_days = seconds / kSecPerDay;
+    cost.utilization = utilization;
+    cost.n_gpus = n_gpus;
+    cost.dollars_per_hour = pricing_.dollarsPerHour(n_gpus);
+    cost.total_dollars = pricing_.totalDollars(n_gpus, seconds);
+    return cost;
+}
+
+} // namespace vtrain

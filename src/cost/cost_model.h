@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Training-cost model (paper Fig. 1, Table I).
+ *
+ * Converts a simulated iteration time into end-to-end training days
+ * and dollars using the GPU count and AWS P4d pricing, exactly the
+ * arithmetic behind Table I's "$ per hour" and "$ in total" columns.
+ */
+#ifndef VTRAIN_COST_COST_MODEL_H
+#define VTRAIN_COST_COST_MODEL_H
+
+#include "hw/pricing.h"
+#include "model/model_config.h"
+#include "parallel/parallel_config.h"
+#include "sim/result.h"
+
+namespace vtrain {
+
+/** Fully costed training plan. */
+struct PlanCost {
+    double iteration_seconds = 0.0;
+    double num_iterations = 0.0;
+    double total_days = 0.0;
+    double utilization = 0.0;
+    int n_gpus = 0;
+    double dollars_per_hour = 0.0;
+    double total_dollars = 0.0;
+};
+
+/** Cost evaluation on top of simulation results. */
+class CostModel
+{
+  public:
+    explicit CostModel(Pricing pricing = awsP4dPricing());
+
+    /**
+     * Costs a plan for training the model on `total_tokens` tokens.
+     */
+    PlanCost evaluate(const ModelConfig &model,
+                      const ParallelConfig &parallel,
+                      const SimulationResult &sim,
+                      double total_tokens) const;
+
+    /**
+     * Idealized cost as a function of assumed utilization (Fig. 1):
+     * training time = model FLOPs / (n_gpus * peak * utilization).
+     */
+    PlanCost fromUtilization(const ModelConfig &model, int n_gpus,
+                             double peak_flops_per_gpu,
+                             double utilization,
+                             double total_tokens) const;
+
+    const Pricing &pricing() const { return pricing_; }
+
+  private:
+    Pricing pricing_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_COST_COST_MODEL_H

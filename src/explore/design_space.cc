@@ -1,0 +1,61 @@
+#include "explore/design_space.h"
+
+#include "parallel/memory_model.h"
+#include "util/logging.h"
+
+namespace vtrain {
+
+std::vector<ParallelConfig>
+enumeratePlans(const ModelConfig &model, const ClusterSpec &cluster,
+               const SweepSpec &spec)
+{
+    VTRAIN_REQUIRE(spec.global_batch_size >= 1,
+                   "sweep needs a global batch size");
+    const int max_gpus =
+        spec.max_gpus > 0 ? spec.max_gpus : cluster.totalGpus();
+    const int max_pipeline = spec.max_pipeline > 0
+                                 ? spec.max_pipeline
+                                 : static_cast<int>(model.num_layers);
+
+    std::vector<ParallelConfig> plans;
+    for (int t = 1; t <= spec.max_tensor; t *= 2) {
+        for (int p = 1; p <= max_pipeline; ++p) {
+            if (model.num_layers % p != 0)
+                continue;
+            for (int d = 1; d <= spec.max_data; ++d) {
+                if (spec.global_batch_size % d != 0)
+                    continue;
+                const long long gpus =
+                    static_cast<long long>(t) * d * p;
+                if (gpus > max_gpus)
+                    continue;
+                if (spec.exact_gpus > 0 && gpus != spec.exact_gpus)
+                    continue;
+                if (spec.min_gpus > 0 && gpus < spec.min_gpus)
+                    continue;
+                for (int m : spec.micro_batch_sizes) {
+                    ParallelConfig plan;
+                    plan.tensor = t;
+                    plan.data = d;
+                    plan.pipeline = p;
+                    plan.micro_batch_size = m;
+                    plan.global_batch_size = spec.global_batch_size;
+                    plan.schedule = spec.schedule;
+                    plan.gradient_bucketing = spec.gradient_bucketing;
+                    plan.activation_recompute =
+                        spec.activation_recompute;
+                    plan.precision = spec.precision;
+                    if (!plan.valid(model, cluster))
+                        continue;
+                    if (spec.require_memory_fit &&
+                        !fitsInMemory(model, plan, cluster.node.gpu))
+                        continue;
+                    plans.push_back(plan);
+                }
+            }
+        }
+    }
+    return plans;
+}
+
+} // namespace vtrain

@@ -1,0 +1,59 @@
+#include "explore/explorer.h"
+
+#include "util/thread_pool.h"
+
+namespace vtrain {
+
+Explorer::Explorer(ClusterSpec cluster, SimOptions options,
+                   size_t n_threads)
+    : cluster_(std::move(cluster)), options_(options),
+      n_threads_(n_threads)
+{
+}
+
+std::vector<ExploreResult>
+Explorer::sweep(const ModelConfig &model,
+                const std::vector<ParallelConfig> &plans) const
+{
+    std::vector<ExploreResult> results(plans.size());
+    ThreadPool pool(n_threads_);
+    pool.parallelFor(plans.size(), [&](size_t i) {
+        // Each worker owns a Simulator; points are independent.
+        Simulator sim(cluster_, options_);
+        results[i].plan = plans[i];
+        results[i].sim = sim.simulateIteration(model, plans[i]);
+    });
+    return results;
+}
+
+std::vector<ExploreResult>
+Explorer::sweep(const ModelConfig &model, const SweepSpec &spec) const
+{
+    return sweep(model, enumeratePlans(model, cluster_, spec));
+}
+
+int
+bestByIterationTime(const std::vector<ExploreResult> &results)
+{
+    int best = -1;
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (best < 0 || results[i].sim.iteration_seconds <
+                            results[best].sim.iteration_seconds)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+int
+bestByUtilization(const std::vector<ExploreResult> &results)
+{
+    int best = -1;
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (best < 0 ||
+            results[i].sim.utilization > results[best].sim.utilization)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+} // namespace vtrain

@@ -1,0 +1,390 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+GraphBuilder::GraphBuilder(const ModelConfig &model,
+                           const ParallelConfig &parallel,
+                           const ClusterSpec &cluster,
+                           const CommModel &comm)
+    : model_(model), parallel_(parallel), cluster_(cluster), comm_(comm)
+{
+    parallel_.validate(model_, cluster_);
+}
+
+int
+GraphBuilder::layersPerStage() const
+{
+    return static_cast<int>(model_.num_layers) / parallel_.pipeline;
+}
+
+int
+GraphBuilder::stageFirstLayer(int stage) const
+{
+    return stage * layersPerStage();
+}
+
+double
+GraphBuilder::activationBytes() const
+{
+    // fp16 activations of one micro-batch: (m * s) x h.
+    return 2.0 * static_cast<double>(parallel_.micro_batch_size) *
+           static_cast<double>(model_.seq_length) *
+           static_cast<double>(model_.hidden_size);
+}
+
+double
+GraphBuilder::stageParamsPerGpu(int stage) const
+{
+    const double t = static_cast<double>(parallel_.tensor);
+    const double h = static_cast<double>(model_.hidden_size);
+    const double V = static_cast<double>(model_.vocab_size);
+    const double s = static_cast<double>(model_.seq_length);
+
+    double params = static_cast<double>(layersPerStage()) *
+                    model_.parametersPerLayer() / t;
+    if (stage == 0) {
+        // Vocab-parallel word embedding + replicated positional table.
+        params += V * h / t + s * h;
+    }
+    if (stage == parallel_.pipeline - 1) {
+        // Megatron replicates the word embedding on the last stage for
+        // the LM head; the final LayerNorm lives there too.
+        params += V * h / t + 2.0 * h;
+    }
+    return params;
+}
+
+void
+GraphBuilder::chain(OpGraph &g, Block &block, OpGraph::NodeId node)
+{
+    if (block.first < 0)
+        block.first = node;
+    if (block.last >= 0)
+        g.addEdge(block.last, node);
+    block.last = node;
+}
+
+void
+GraphBuilder::addTpAllReduce(OpGraph &g, Block &block, int stage,
+                             int mb) const
+{
+    if (parallel_.tensor < 2)
+        return;
+    CommOpDesc desc;
+    desc.kind = CommKind::TpAllReduce;
+    desc.scope = CommModel::tpScope(parallel_, cluster_);
+    desc.bytes = activationBytes();
+    desc.n_workers = parallel_.tensor;
+    desc.concurrent_groups = 1;
+    const double latency = comm_.latencySeconds(desc);
+    // Tensor-parallel All-Reduce has a strict sequential dependency on
+    // its producing compute op (Sec. II-B), so it lives on the compute
+    // stream: it cannot be hidden.
+    const auto node =
+        g.addComm(static_cast<int16_t>(stage), mb, desc.kind, latency,
+                  desc.n_workers, desc.scope, desc.concurrent_groups,
+                  StreamKind::Compute);
+    chain(g, block, node);
+}
+
+GraphBuilder::Block
+GraphBuilder::buildForwardBlock(OpGraph &g, int stage, int mb) const
+{
+    Block block;
+    const int m = parallel_.micro_batch_size;
+    const int t = parallel_.tensor;
+
+    if (stage == 0) {
+        chain(g, block,
+              g.addCompute(static_cast<int16_t>(stage), mb,
+                           OpDesc::forModel(OpKind::EmbeddingFwd, model_,
+                                            m, t)));
+    }
+    for (int l = 0; l < layersPerStage(); ++l) {
+        chain(g, block,
+              g.addCompute(static_cast<int16_t>(stage), mb,
+                           OpDesc::forModel(OpKind::MhaFwd, model_, m,
+                                            t)));
+        addTpAllReduce(g, block, stage, mb);
+        chain(g, block,
+              g.addCompute(static_cast<int16_t>(stage), mb,
+                           OpDesc::forModel(OpKind::FfnFwd, model_, m,
+                                            t)));
+        addTpAllReduce(g, block, stage, mb);
+    }
+    if (stage == parallel_.pipeline - 1) {
+        chain(g, block,
+              g.addCompute(static_cast<int16_t>(stage), mb,
+                           OpDesc::forModel(OpKind::LmHeadFwd, model_, m,
+                                            t)));
+    }
+    return block;
+}
+
+GraphBuilder::Block
+GraphBuilder::buildBackwardBlock(OpGraph &g, int stage, int mb) const
+{
+    Block block;
+    const int m = parallel_.micro_batch_size;
+    const int t = parallel_.tensor;
+    const bool recompute = parallel_.activation_recompute;
+    const int first_layer = stageFirstLayer(stage);
+
+    if (stage == parallel_.pipeline - 1) {
+        // The LM head is not checkpointed; its backward runs directly.
+        chain(g, block,
+              g.addCompute(static_cast<int16_t>(stage), mb,
+                           OpDesc::forModel(OpKind::LmHeadBwd, model_, m,
+                                            t, /*recompute=*/false)));
+    }
+    for (int l = layersPerStage() - 1; l >= 0; --l) {
+        if (recompute) {
+            // The recomputed forward pass re-executes its two
+            // tensor-parallel All-Reduces (the recomputed GEMMs are
+            // folded into the backward operators' kernel sequences).
+            addTpAllReduce(g, block, stage, mb);
+            addTpAllReduce(g, block, stage, mb);
+        }
+        chain(g, block,
+              g.addCompute(static_cast<int16_t>(stage), mb,
+                           OpDesc::forModel(OpKind::FfnBwd, model_, m, t,
+                                            recompute)));
+        addTpAllReduce(g, block, stage, mb);
+        const auto mha_bwd =
+            g.addCompute(static_cast<int16_t>(stage), mb,
+                         OpDesc::forModel(OpKind::MhaBwd, model_, m, t,
+                                          recompute));
+        chain(g, block, mha_bwd);
+        addTpAllReduce(g, block, stage, mb);
+        block.grad_ready.emplace_back(first_layer + l, mha_bwd);
+    }
+    if (stage == 0) {
+        const auto embed_bwd =
+            g.addCompute(static_cast<int16_t>(stage), mb,
+                         OpDesc::forModel(OpKind::EmbeddingBwd, model_, m,
+                                          t));
+        chain(g, block, embed_bwd);
+        block.grad_ready.emplace_back(-1, embed_bwd);
+    }
+    return block;
+}
+
+std::vector<std::pair<bool, int>>
+GraphBuilder::stageSchedule(int stage, int n_micro) const
+{
+    std::vector<std::pair<bool, int>> order;
+    order.reserve(2 * static_cast<size_t>(n_micro));
+
+    if (parallel_.schedule == PipelineSchedule::GPipe) {
+        // All forwards in order, then all backwards in reverse order
+        // (Fig. 7(a)).
+        for (int mb = 0; mb < n_micro; ++mb)
+            order.emplace_back(true, mb);
+        for (int mb = n_micro - 1; mb >= 0; --mb)
+            order.emplace_back(false, mb);
+        return order;
+    }
+
+    // 1F1B (Fig. 7(b)): stage i runs (p - 1 - i) warmup forwards, then
+    // alternates one-forward-one-backward, then drains backwards.
+    const int warmup =
+        std::min(parallel_.pipeline - 1 - stage, n_micro);
+    for (int mb = 0; mb < warmup; ++mb)
+        order.emplace_back(true, mb);
+    for (int mb = warmup; mb < n_micro; ++mb) {
+        order.emplace_back(true, mb);
+        order.emplace_back(false, mb - warmup);
+    }
+    for (int mb = n_micro - warmup; mb < n_micro; ++mb)
+        order.emplace_back(false, mb);
+    return order;
+}
+
+void
+GraphBuilder::addGradReduceAndUpdate(OpGraph &g, int stage,
+                                     const Block &final_bwd) const
+{
+    const int d = parallel_.data;
+    const int t = parallel_.tensor;
+    const double stage_params = stageParamsPerGpu(stage);
+
+    // ZeRO-1 shards the optimizer across the d replicas: each rank
+    // updates params/d and the fp16 weights are All-Gathered after.
+    const bool zero = parallel_.zero_stage >= 1 && d > 1;
+
+    OpDesc wu_desc = OpDesc::forModel(OpKind::WeightUpdate, model_, 1, t);
+    wu_desc.update_params =
+        zero ? stage_params / static_cast<double>(d) : stage_params;
+    const auto wu =
+        g.addCompute(static_cast<int16_t>(stage), -1, wu_desc);
+    g.addEdge(final_bwd.last, wu);
+
+    if (d < 2)
+        return;
+
+    CommOpDesc ar;
+    ar.kind = zero ? CommKind::DpReduceScatter : CommKind::DpAllReduce;
+    ar.scope = CommModel::dpScope(parallel_, cluster_);
+    ar.n_workers = d;
+    ar.concurrent_groups =
+        std::min(t, cluster_.node.gpus_per_node);
+    ar.members_per_node = std::min(
+        d, std::max(1, cluster_.node.gpus_per_node /
+                           std::min(t, cluster_.node.gpus_per_node)));
+
+    if (zero) {
+        // Updated-parameter All-Gather closes the iteration.
+        CommOpDesc ag = ar;
+        ag.kind = CommKind::DpAllGather;
+        ag.bytes = 2.0 * stage_params;
+        const auto ag_node = g.addComm(
+            static_cast<int16_t>(stage), -1, ag.kind,
+            comm_.latencySeconds(ag), ag.n_workers, ag.scope,
+            ag.concurrent_groups, StreamKind::DpCollective);
+        g.addEdge(wu, ag_node);
+    }
+
+    const double layer_grad_bytes =
+        2.0 * model_.parametersPerLayer() / static_cast<double>(t);
+    const double embed_grad_bytes =
+        2.0 * (static_cast<double>(model_.vocab_size) *
+                   static_cast<double>(model_.hidden_size) /
+                   static_cast<double>(t) +
+               static_cast<double>(model_.seq_length) *
+                   static_cast<double>(model_.hidden_size));
+    const double lm_head_grad_bytes =
+        2.0 * (static_cast<double>(model_.vocab_size) *
+                   static_cast<double>(model_.hidden_size) /
+                   static_cast<double>(t) +
+               2.0 * static_cast<double>(model_.hidden_size));
+
+    auto add_bucket = [&](double bytes, OpGraph::NodeId ready) {
+        CommOpDesc desc = ar;
+        desc.bytes = bytes;
+        // Gradient All-Reduce runs on DDP's dedicated communication
+        // stream, so it overlaps backward compute (Fig. 5) without
+        // blocking pipeline Send-Receive traffic.
+        const auto node = g.addComm(
+            static_cast<int16_t>(stage), -1, desc.kind,
+            comm_.latencySeconds(desc), desc.n_workers, desc.scope,
+            desc.concurrent_groups, StreamKind::DpCollective);
+        g.addEdge(ready, node);
+        g.addEdge(node, wu);
+    };
+
+    if (!parallel_.gradient_bucketing) {
+        // Fig. 5(b): a single All-Reduce over the stage's gradients
+        // once the whole backward pass has finished.
+        double total = static_cast<double>(layersPerStage()) *
+                       layer_grad_bytes;
+        if (stage == 0)
+            total += embed_grad_bytes;
+        if (stage == parallel_.pipeline - 1)
+            total += lm_head_grad_bytes;
+        add_bucket(total, final_bwd.last);
+        return;
+    }
+
+    // Fig. 5(a): group gradients into buckets in backward-completion
+    // order; each bucket's All-Reduce launches as soon as its last
+    // layer gradient is ready and overlaps with the remaining
+    // backward compute on the NCCL stream.
+    VTRAIN_CHECK(!final_bwd.grad_ready.empty(),
+                 "backward block produced no gradients");
+    double pending = 0.0;
+    OpGraph::NodeId pending_ready = -1;
+    bool first_entry = true;
+    for (const auto &[layer, ready] : final_bwd.grad_ready) {
+        double bytes = (layer < 0) ? embed_grad_bytes : layer_grad_bytes;
+        if (first_entry && stage == parallel_.pipeline - 1)
+            bytes += lm_head_grad_bytes;
+        first_entry = false;
+        pending += bytes;
+        pending_ready = ready;
+        if (pending >= parallel_.bucket_bytes) {
+            add_bucket(pending, pending_ready);
+            pending = 0.0;
+            pending_ready = -1;
+        }
+    }
+    if (pending > 0.0)
+        add_bucket(pending, pending_ready);
+}
+
+OpGraph
+GraphBuilder::build(const BuildOptions &options) const
+{
+    const int p = parallel_.pipeline;
+    const int n_micro = options.n_micro_override > 0
+                            ? options.n_micro_override
+                            : parallel_.numMicroBatches();
+    VTRAIN_REQUIRE(n_micro >= 1, "need at least one micro-batch");
+
+    OpGraph g;
+    g.setNumDevices(p);
+
+    // 1. Build every (stage, micro-batch) forward/backward block.
+    std::vector<std::vector<Block>> fwd(p), bwd(p);
+    for (int stage = 0; stage < p; ++stage) {
+        fwd[stage].reserve(n_micro);
+        bwd[stage].reserve(n_micro);
+        for (int mb = 0; mb < n_micro; ++mb) {
+            fwd[stage].push_back(buildForwardBlock(g, stage, mb));
+            bwd[stage].push_back(buildBackwardBlock(g, stage, mb));
+        }
+    }
+
+    // 2. Intra-GPU execution-order chains per the pipeline schedule.
+    std::vector<int> final_bwd_mb(p, n_micro - 1);
+    for (int stage = 0; stage < p; ++stage) {
+        const auto order = stageSchedule(stage, n_micro);
+        const Block *prev = nullptr;
+        for (const auto &[is_fwd, mb] : order) {
+            const Block &cur = is_fwd ? fwd[stage][mb] : bwd[stage][mb];
+            if (prev)
+                g.addEdge(prev->last, cur.first);
+            prev = &cur;
+            if (!is_fwd)
+                final_bwd_mb[stage] = mb;
+        }
+    }
+
+    // 3. Cross-stage micro-batch dependencies through P2P Send-Receive
+    //    operators at each stage boundary.
+    if (p > 1) {
+        CommOpDesc p2p;
+        p2p.kind = CommKind::PipeSendRecv;
+        p2p.scope = CommModel::pipeScope(parallel_, cluster_);
+        p2p.bytes = activationBytes();
+        p2p.n_workers = 2;
+        const double latency = comm_.latencySeconds(p2p);
+        for (int stage = 0; stage + 1 < p; ++stage) {
+            for (int mb = 0; mb < n_micro; ++mb) {
+                // Forward: activations flow stage -> stage+1.
+                const auto send_fwd = g.addComm(
+                    static_cast<int16_t>(stage), mb, p2p.kind, latency,
+                    2, p2p.scope, 1, StreamKind::Comm);
+                g.addEdge(fwd[stage][mb].last, send_fwd);
+                g.addEdge(send_fwd, fwd[stage + 1][mb].first);
+                // Backward: gradients flow stage+1 -> stage.
+                const auto send_bwd = g.addComm(
+                    static_cast<int16_t>(stage + 1), mb, p2p.kind,
+                    latency, 2, p2p.scope, 1, StreamKind::Comm);
+                g.addEdge(bwd[stage + 1][mb].last, send_bwd);
+                g.addEdge(send_bwd, bwd[stage][mb].first);
+            }
+        }
+    }
+
+    // 4. Data-parallel gradient reduction and weight update per stage.
+    for (int stage = 0; stage < p; ++stage)
+        addGradReduceAndUpdate(g, stage, bwd[stage][final_bwd_mb[stage]]);
+
+    return g;
+}
+
+} // namespace vtrain

@@ -1,0 +1,102 @@
+#include "graph/op_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+OpGraph::NodeId
+OpGraph::addCompute(int16_t device, int32_t micro_batch, const OpDesc &desc)
+{
+    const OperatorKey key = OperatorKey::of(desc);
+    int32_t desc_id = -1;
+    for (const auto &[existing, id] : desc_index_) {
+        if (existing == key) {
+            desc_id = id;
+            break;
+        }
+    }
+    if (desc_id < 0) {
+        desc_id = static_cast<int32_t>(descs_.size());
+        descs_.push_back(desc);
+        desc_index_.emplace_back(key, desc_id);
+    }
+
+    OpNode node;
+    node.type = OpNodeType::Compute;
+    node.stream = StreamKind::Compute;
+    node.device = device;
+    node.micro_batch = micro_batch;
+    node.desc_id = desc_id;
+    nodes_.push_back(node);
+    children_.emplace_back();
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+OpGraph::NodeId
+OpGraph::addComm(int16_t device, int32_t micro_batch, CommKind kind,
+                 double latency, int32_t workers, CommScope scope,
+                 int32_t concurrent_groups, StreamKind stream)
+{
+    OpNode node;
+    node.type = OpNodeType::Comm;
+    node.stream = stream;
+    node.device = device;
+    node.micro_batch = micro_batch;
+    node.comm_kind = kind;
+    node.comm_latency = latency;
+    node.comm_workers = workers;
+    node.comm_scope = scope;
+    node.comm_concurrent_groups = concurrent_groups;
+    nodes_.push_back(node);
+    children_.emplace_back();
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void
+OpGraph::addEdge(NodeId from, NodeId to)
+{
+    VTRAIN_CHECK(from >= 0 && to >= 0 &&
+                     from < static_cast<NodeId>(nodes_.size()) &&
+                     to < static_cast<NodeId>(nodes_.size()),
+                 "edge endpoints out of range");
+    VTRAIN_CHECK(from != to, "self edges are not allowed");
+    children_[from].push_back(to);
+    ++num_edges_;
+}
+
+const OpDesc &
+OpGraph::descOf(const OpNode &node) const
+{
+    VTRAIN_CHECK(node.type == OpNodeType::Compute && node.desc_id >= 0,
+                 "node has no operator descriptor");
+    return descs_[node.desc_id];
+}
+
+bool
+OpGraph::isAcyclic() const
+{
+    // Kahn's algorithm: the graph is acyclic iff every node is popped.
+    std::vector<int32_t> in_degree(nodes_.size(), 0);
+    for (const auto &childs : children_)
+        for (NodeId c : childs)
+            ++in_degree[c];
+
+    std::vector<NodeId> queue;
+    queue.reserve(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i)
+        if (in_degree[i] == 0)
+            queue.push_back(static_cast<NodeId>(i));
+
+    size_t popped = 0;
+    while (popped < queue.size()) {
+        const NodeId u = queue[popped++];
+        for (NodeId c : children_[u])
+            if (--in_degree[c] == 0)
+                queue.push_back(c);
+    }
+    return popped == nodes_.size();
+}
+
+} // namespace vtrain

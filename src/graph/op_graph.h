@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Operator-granularity execution graph (paper Sec. III-B).
+ *
+ * A layer-node represents one computation or communication operator;
+ * edges encode execution-order dependencies.  vTrain simulates one
+ * *representative GPU per pipeline stage*: all t tensor-parallel ranks
+ * of a stage execute identical kernel streams in lockstep, and all d
+ * data-parallel replicas are symmetric, so a p-device graph carries
+ * the full timing information of the t*d*p-GPU system while the
+ * communication operators' latencies are computed from the full
+ * (t, d, p) topology.
+ */
+#ifndef VTRAIN_GRAPH_OP_GRAPH_H
+#define VTRAIN_GRAPH_OP_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/collective.h"
+#include "kernels/kernel.h"
+#include "profiling/operator.h"
+
+namespace vtrain {
+
+/** Whether a node is a computation or a communication operator. */
+enum class OpNodeType : uint8_t {
+    Compute,
+    Comm,
+};
+
+/** One layer-node of the operator-granularity graph. */
+struct OpNode {
+    OpNodeType type = OpNodeType::Compute;
+    StreamKind stream = StreamKind::Compute;
+
+    /** Owning device (pipeline-stage id of the representative GPU). */
+    int16_t device = 0;
+
+    /** Micro-batch index, or -1 for per-iteration ops (AR, WU). */
+    int32_t micro_batch = -1;
+
+    /** For compute nodes: index into OpGraph::descs(). */
+    int32_t desc_id = -1;
+
+    /** For comm nodes: the resolved communication op. */
+    CommKind comm_kind = CommKind::TpAllReduce;
+
+    /** For comm nodes: latency filled in at build time, seconds. */
+    double comm_latency = 0.0;
+
+    /** For comm nodes: worker count / scope (kept for the testbed). */
+    int32_t comm_workers = 1;
+    CommScope comm_scope = CommScope::IntraNode;
+    int32_t comm_concurrent_groups = 1;
+};
+
+/** The DAG of operators for one training iteration. */
+class OpGraph
+{
+  public:
+    using NodeId = int32_t;
+
+    /** Adds a computation node; desc is deduplicated by key. */
+    NodeId addCompute(int16_t device, int32_t micro_batch,
+                      const OpDesc &desc);
+
+    /** Adds a communication node with a precomputed latency. */
+    NodeId addComm(int16_t device, int32_t micro_batch, CommKind kind,
+                   double latency, int32_t workers, CommScope scope,
+                   int32_t concurrent_groups, StreamKind stream);
+
+    /** Adds a dependency edge: `to` cannot start before `from` ends. */
+    void addEdge(NodeId from, NodeId to);
+
+    const std::vector<OpNode> &nodes() const { return nodes_; }
+    const std::vector<std::vector<NodeId>> &children() const
+    {
+        return children_;
+    }
+    const std::vector<OpDesc> &descs() const { return descs_; }
+    const OpDesc &descOf(const OpNode &node) const;
+
+    size_t numNodes() const { return nodes_.size(); }
+    size_t numEdges() const { return num_edges_; }
+
+    int numDevices() const { return num_devices_; }
+    void setNumDevices(int n) { num_devices_ = n; }
+
+    /** @return true iff the graph has no cycle (checked by tests). */
+    bool isAcyclic() const;
+
+  private:
+    std::vector<OpNode> nodes_;
+    std::vector<std::vector<NodeId>> children_;
+    std::vector<OpDesc> descs_;
+    std::vector<std::pair<OperatorKey, int32_t>> desc_index_;
+    size_t num_edges_ = 0;
+    int num_devices_ = 1;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_GRAPH_OP_GRAPH_H

@@ -1,0 +1,168 @@
+#include "graph/task_graph.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+namespace {
+
+TaskTag
+tagOf(const OpNode &node)
+{
+    if (node.type == OpNodeType::Compute)
+        return TaskTag::Compute;
+    switch (node.comm_kind) {
+      case CommKind::TpAllReduce:
+        return TaskTag::TpAllReduce;
+      case CommKind::DpAllReduce:
+      case CommKind::DpReduceScatter:
+      case CommKind::DpAllGather:
+        return TaskTag::DpAllReduce;
+      case CommKind::PipeSendRecv:
+        return TaskTag::PipeSendRecv;
+    }
+    VTRAIN_PANIC("unknown comm kind");
+}
+
+} // namespace
+
+int32_t
+TaskGraph::Builder::addTask(double duration, int32_t device,
+                            StreamKind stream, TaskTag tag)
+{
+    tasks_.push_back(Task{duration, device, stream, tag});
+    return static_cast<int32_t>(tasks_.size() - 1);
+}
+
+void
+TaskGraph::Builder::addEdge(int32_t u, int32_t v)
+{
+    VTRAIN_CHECK(u >= 0 && v >= 0 &&
+                     u < static_cast<int32_t>(tasks_.size()) &&
+                     v < static_cast<int32_t>(tasks_.size()),
+                 "edge endpoints out of range");
+    edges_.emplace_back(u, v);
+}
+
+TaskGraph
+TaskGraph::Builder::build(int num_devices) &&
+{
+    TaskGraph tg;
+    tg.num_devices_ = num_devices;
+    tg.tasks_ = std::move(tasks_);
+    const size_t n = tg.tasks_.size();
+    tg.in_degree_.assign(n, 0);
+    std::vector<int32_t> out_degree(n, 0);
+    for (const auto &[u, v] : edges_) {
+        ++out_degree[u];
+        ++tg.in_degree_[v];
+    }
+    tg.child_offsets_.assign(n + 1, 0);
+    for (size_t i = 0; i < n; ++i)
+        tg.child_offsets_[i + 1] = tg.child_offsets_[i] + out_degree[i];
+    tg.child_list_.resize(edges_.size());
+    std::vector<int32_t> cursor(tg.child_offsets_.begin(),
+                                tg.child_offsets_.end() - 1);
+    for (const auto &[u, v] : edges_)
+        tg.child_list_[cursor[u]++] = v;
+    return tg;
+}
+
+TaskGraph
+TaskGraph::expand(const OpGraph &ops, OperatorToTaskTable &table,
+                  const ExpandOptions &options)
+{
+    TaskGraph tg;
+    tg.num_devices_ = ops.numDevices();
+
+    const auto &nodes = ops.nodes();
+    const size_t n_ops = nodes.size();
+
+    // Pass 1: per-op task counts and total size.
+    std::vector<int32_t> first_task(n_ops + 1, 0);
+    for (size_t i = 0; i < n_ops; ++i) {
+        int32_t count = 1;
+        if (nodes[i].type == OpNodeType::Compute &&
+            !options.collapse_operators) {
+            count = static_cast<int32_t>(
+                table.lookup(ops.descOf(nodes[i])).kernels.size());
+        }
+        first_task[i + 1] = first_task[i] + count;
+    }
+    const size_t n_tasks = static_cast<size_t>(first_task[n_ops]);
+    tg.tasks_.resize(n_tasks);
+
+    // Pass 2: materialize tasks (perturbing per instance).
+    for (size_t i = 0; i < n_ops; ++i) {
+        const OpNode &node = nodes[i];
+        const TaskTag tag = tagOf(node);
+        const int32_t begin = first_task[i];
+        const int32_t end = first_task[i + 1];
+
+        if (node.type == OpNodeType::Comm) {
+            double latency = node.comm_latency;
+            if (options.perturber)
+                latency = options.perturber->perturbComm(latency, node);
+            tg.tasks_[begin] =
+                Task{latency, node.device, node.stream, tag};
+            continue;
+        }
+
+        const KernelSequence &seq = table.lookup(ops.descOf(node));
+        if (options.collapse_operators) {
+            double total = 0.0;
+            for (const auto &k : seq.kernels) {
+                double d = k.duration;
+                if (options.perturber)
+                    d = options.perturber->perturbCompute(d, node);
+                total += d;
+            }
+            tg.tasks_[begin] = Task{total, node.device, node.stream, tag};
+        } else {
+            for (int32_t k = begin; k < end; ++k) {
+                double d = seq.kernels[k - begin].duration;
+                if (options.perturber)
+                    d = options.perturber->perturbCompute(d, node);
+                tg.tasks_[k] = Task{d, node.device, node.stream, tag};
+            }
+        }
+    }
+
+    // Pass 3: edges.  Within an operator, kernels form a chain; an
+    // operator edge (a -> b) becomes last-task(a) -> first-task(b).
+    size_t n_edges = n_tasks - n_ops + ops.numEdges();
+    std::vector<int32_t> out_degree(n_tasks, 0);
+    tg.in_degree_.assign(n_tasks, 0);
+
+    auto each_edge = [&](auto &&visit) {
+        for (size_t i = 0; i < n_ops; ++i) {
+            for (int32_t k = first_task[i]; k + 1 < first_task[i + 1];
+                 ++k)
+                visit(k, k + 1);
+            for (OpGraph::NodeId child : ops.children()[i])
+                visit(first_task[i + 1] - 1, first_task[child]);
+        }
+    };
+
+    each_edge([&](int32_t from, int32_t to) {
+        ++out_degree[from];
+        ++tg.in_degree_[to];
+    });
+
+    tg.child_offsets_.assign(n_tasks + 1, 0);
+    for (size_t i = 0; i < n_tasks; ++i)
+        tg.child_offsets_[i + 1] = tg.child_offsets_[i] + out_degree[i];
+    tg.child_list_.resize(n_edges);
+
+    std::vector<int32_t> cursor(tg.child_offsets_.begin(),
+                                tg.child_offsets_.end() - 1);
+    each_edge([&](int32_t from, int32_t to) {
+        tg.child_list_[cursor[from]++] = to;
+    });
+
+    return tg;
+}
+
+} // namespace vtrain

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Task-granularity execution graph (paper Sec. III-D, Fig. 4 step 4).
+ *
+ * Expansion replaces every computation operator of the
+ * operator-granularity graph with its CUDA kernel sequence from the
+ * operator-to-task lookup table, while honouring all inter-operator
+ * dependencies; communication operators become single tasks carrying
+ * their modelled latency.
+ */
+#ifndef VTRAIN_GRAPH_TASK_GRAPH_H
+#define VTRAIN_GRAPH_TASK_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/op_graph.h"
+#include "profiling/op_task_table.h"
+
+namespace vtrain {
+
+/** Category of a task, for time accounting. */
+enum class TaskTag : uint8_t {
+    Compute = 0,
+    TpAllReduce = 1,
+    DpAllReduce = 2,
+    PipeSendRecv = 3,
+};
+
+constexpr int kNumTaskTags = 4;
+
+/** One schedulable unit: a CUDA kernel or a communication launch. */
+struct Task {
+    double duration = 0.0; //!< seconds
+    int32_t device = 0;
+    StreamKind stream = StreamKind::Compute;
+    TaskTag tag = TaskTag::Compute;
+};
+
+/**
+ * Duration-perturbation hook.
+ *
+ * The vTrain predictor uses the identity perturbation; the testbed
+ * surrogate (src/testbed/) injects the measurement effects the paper
+ * identifies as its error sources (Sec. IV).  Perturbation happens at
+ * expansion time so that every *instance* of a shared lookup-table
+ * entry can be perturbed independently.
+ */
+class Perturber
+{
+  public:
+    virtual ~Perturber() = default;
+
+    /** Perturbs one compute-kernel duration. */
+    virtual double perturbCompute(double duration,
+                                  const OpNode &node) const = 0;
+
+    /** Perturbs one communication-op latency. */
+    virtual double perturbComm(double latency,
+                               const OpNode &node) const = 0;
+};
+
+/** Options controlling task-graph expansion. */
+struct ExpandOptions {
+    /**
+     * Collapse each operator's kernel chain into a single task (an
+     * ablation; timing-equivalent because kernels within an operator
+     * are sequential on one stream).
+     */
+    bool collapse_operators = false;
+
+    /** Optional duration perturbation (testbed surrogate). */
+    const Perturber *perturber = nullptr;
+};
+
+/** Flat CSR task DAG consumed by the simulation engine. */
+class TaskGraph
+{
+  public:
+    /** Incremental construction of arbitrary task DAGs (tests and
+     *  custom frontends; the vTrain pipeline uses expand()). */
+    class Builder
+    {
+      public:
+        /** Adds a task and returns its id. */
+        int32_t addTask(double duration, int32_t device,
+                        StreamKind stream = StreamKind::Compute,
+                        TaskTag tag = TaskTag::Compute);
+
+        /** Adds a dependency edge u -> v. */
+        void addEdge(int32_t u, int32_t v);
+
+        /** Finalizes into a CSR TaskGraph. */
+        TaskGraph build(int num_devices) &&;
+
+      private:
+        std::vector<Task> tasks_;
+        std::vector<std::pair<int32_t, int32_t>> edges_;
+    };
+
+    /** Expands an operator graph via the lookup table. */
+    static TaskGraph expand(const OpGraph &ops, OperatorToTaskTable &table,
+                            const ExpandOptions &options = {});
+
+    const std::vector<Task> &tasks() const { return tasks_; }
+    size_t numTasks() const { return tasks_.size(); }
+    size_t numEdges() const { return child_list_.size(); }
+    int numDevices() const { return num_devices_; }
+
+    /** Children of task u, as a CSR slice. */
+    const int32_t *childBegin(int32_t u) const
+    {
+        return child_list_.data() + child_offsets_[u];
+    }
+    const int32_t *childEnd(int32_t u) const
+    {
+        return child_list_.data() + child_offsets_[u + 1];
+    }
+
+    /** Initial dependency (reference) count of each task. */
+    const std::vector<int32_t> &inDegree() const { return in_degree_; }
+
+  private:
+    std::vector<Task> tasks_;
+    std::vector<int32_t> child_offsets_;
+    std::vector<int32_t> child_list_;
+    std::vector<int32_t> in_degree_;
+    int num_devices_ = 1;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_GRAPH_TASK_GRAPH_H

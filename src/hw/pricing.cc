@@ -1,0 +1,19 @@
+#include "hw/pricing.h"
+
+#include "util/units.h"
+
+namespace vtrain {
+
+double
+Pricing::totalDollars(int n_gpus, double seconds) const
+{
+    return dollarsPerHour(n_gpus) * (seconds / kSecPerHour);
+}
+
+Pricing
+awsP4dPricing()
+{
+    return Pricing{};
+}
+
+} // namespace vtrain

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * GPU pricing constants.
+ *
+ * The paper converts training time into dollars using AWS EC2 P4d
+ * instance pricing (Table I: 2,240 GPUs -> $11,200/hr, i.e. exactly
+ * $5 per GPU-hour).
+ */
+#ifndef VTRAIN_HW_PRICING_H
+#define VTRAIN_HW_PRICING_H
+
+namespace vtrain {
+
+/** Hourly price model for GPU compute. */
+struct Pricing {
+    /** Dollars per GPU per hour (AWS P4d effective rate in Table I). */
+    double dollars_per_gpu_hour = 5.0;
+
+    /** @return cluster-hourly rate in dollars for n_gpus GPUs. */
+    double
+    dollarsPerHour(int n_gpus) const
+    {
+        return dollars_per_gpu_hour * static_cast<double>(n_gpus);
+    }
+
+    /** @return total cost in dollars for n_gpus over `seconds` s. */
+    double totalDollars(int n_gpus, double seconds) const;
+};
+
+/** The paper's AWS EC2 P4d pricing. */
+Pricing awsP4dPricing();
+
+} // namespace vtrain
+
+#endif // VTRAIN_HW_PRICING_H

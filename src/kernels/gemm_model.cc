@@ -1,0 +1,110 @@
+#include "kernels/gemm_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+namespace {
+
+constexpr double kBaseEfficiency = 0.82;
+constexpr int64_t kTileM = 128;
+constexpr int64_t kTileN = 128;
+constexpr int64_t kTileK = 32;
+constexpr int64_t kNumSms = 108; // A100 SM count
+
+int64_t
+roundUp(int64_t v, int64_t to)
+{
+    return (v + to - 1) / to * to;
+}
+
+} // namespace
+
+double
+GemmShape::flops() const
+{
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k) * static_cast<double>(batch);
+}
+
+double
+GemmShape::bytesFp16() const
+{
+    const double mk = static_cast<double>(m) * static_cast<double>(k);
+    const double kn = static_cast<double>(k) * static_cast<double>(n);
+    const double mn = static_cast<double>(m) * static_cast<double>(n);
+    return 2.0 * (mk + kn + mn) * static_cast<double>(batch);
+}
+
+double
+gemmEfficiency(const GpuSpec &gpu, const GemmShape &shape)
+{
+    (void)gpu;
+    VTRAIN_CHECK(shape.m > 0 && shape.n > 0 && shape.k > 0 &&
+                     shape.batch > 0,
+                 "GEMM dims must be positive");
+
+    const double useful = shape.flops();
+    const double padded =
+        2.0 * static_cast<double>(roundUp(shape.m, kTileM)) *
+        static_cast<double>(roundUp(shape.n, kTileN)) *
+        static_cast<double>(roundUp(shape.k, kTileK)) *
+        static_cast<double>(shape.batch);
+    const double tile_util = useful / padded;
+
+    const double tiles =
+        static_cast<double>(roundUp(shape.m, kTileM) / kTileM) *
+        static_cast<double>(roundUp(shape.n, kTileN) / kTileN) *
+        static_cast<double>(shape.batch);
+    const double waves = std::ceil(tiles / static_cast<double>(kNumSms));
+    const double wave_util = tiles / (waves * static_cast<double>(kNumSms));
+
+    const double k_depth = static_cast<double>(shape.k) /
+                           (static_cast<double>(shape.k) + 256.0);
+
+    return kBaseEfficiency * tile_util * wave_util * k_depth;
+}
+
+double
+gemmTime(const GpuSpec &gpu, Precision precision, const GemmShape &shape)
+{
+    const double eff = gemmEfficiency(gpu, shape);
+    const double compute_time =
+        shape.flops() / (gpu.peakFlops(precision) * eff);
+    // Memory-bound floor: all three operands traverse HBM once.
+    const double elem_bytes = (precision == Precision::FP32) ? 2.0 : 1.0;
+    const double mem_time =
+        elem_bytes * shape.bytesFp16() / (0.8 * gpu.hbm_bandwidth);
+    return std::max(compute_time, mem_time) + gpu.kernel_launch_overhead;
+}
+
+std::string
+gemmKernelName(Precision precision, const GemmShape &shape)
+{
+    const char *prec = precision == Precision::FP32 ? "sgemm" : "s16816gemm";
+    const char *arch = "ampere";
+    char buf[160];
+    if (shape.batch > 1) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s_%s_fp16_128x128_ldg8_stages_64x3_batched_"
+                      "b%lldm%lldn%lldk%lld_tn",
+                      arch, prec, static_cast<long long>(shape.batch),
+                      static_cast<long long>(shape.m),
+                      static_cast<long long>(shape.n),
+                      static_cast<long long>(shape.k));
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "%s_%s_fp16_128x128_ldg8_stages_64x3_"
+                      "m%lldn%lldk%lld_nn",
+                      arch, prec, static_cast<long long>(shape.m),
+                      static_cast<long long>(shape.n),
+                      static_cast<long long>(shape.k));
+    }
+    return buf;
+}
+
+} // namespace vtrain

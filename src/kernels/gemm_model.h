@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analytical latency model for (batched) GEMM kernels on a GPU.
+ *
+ * This is the synthetic substitute for CUPTI-measured GEMM latencies
+ * (see DESIGN.md, substitution table).  The model is a tensor-core
+ * roofline with three empirically motivated efficiency terms:
+ *
+ *   - tile quantization: M/N are padded to 128-element tiles and K to
+ *     32 (the A100 mma instruction shape),
+ *   - wave quantization: the tile grid is rounded up to a whole
+ *     number of 108-SM waves,
+ *   - K-depth: short accumulation depths cannot hide the epilogue,
+ *     modelled as K / (K + 256).
+ *
+ * A base efficiency of 0.82 calibrates large well-shaped GEMMs to the
+ * ~75-80% of peak that cuBLAS achieves on A100, which in turn lands
+ * the end-to-end MT-NLG iteration times in the ballpark of Table I
+ * and the Table II predictions within a few percent of the paper's
+ * measured values.
+ */
+#ifndef VTRAIN_KERNELS_GEMM_MODEL_H
+#define VTRAIN_KERNELS_GEMM_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+#include "hw/gpu_spec.h"
+
+namespace vtrain {
+
+/** Shape of a (batched) GEMM: C[b] = A[b](m x k) * B[b](k x n). */
+struct GemmShape {
+    int64_t m = 1;
+    int64_t n = 1;
+    int64_t k = 1;
+    int64_t batch = 1;
+
+    /** @return total multiply-add FLOPs (2*m*n*k*batch). */
+    double flops() const;
+
+    /** @return total bytes moved assuming 2-byte elements. */
+    double bytesFp16() const;
+};
+
+/** @return modelled compute efficiency in (0, 1]. */
+double gemmEfficiency(const GpuSpec &gpu, const GemmShape &shape);
+
+/** @return modelled kernel duration in seconds (includes launch). */
+double gemmTime(const GpuSpec &gpu, Precision precision,
+                const GemmShape &shape);
+
+/**
+ * @return a cuBLAS-flavoured kernel name for traces and lookup-table
+ *         dumps, e.g. "ampere_fp16_s16816gemm_fp16_128x128_ldg8_stages_
+ *         64x3_tn".
+ */
+std::string gemmKernelName(Precision precision, const GemmShape &shape);
+
+} // namespace vtrain
+
+#endif // VTRAIN_KERNELS_GEMM_MODEL_H

@@ -1,0 +1,14 @@
+#include "kernels/kernel.h"
+
+namespace vtrain {
+
+double
+KernelSequence::totalDuration() const
+{
+    double sum = 0.0;
+    for (const auto &k : kernels)
+        sum += k.duration;
+    return sum;
+}
+
+} // namespace vtrain

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Low-level task (CUDA kernel) descriptor.
+ *
+ * vTrain's task-granularity execution graph (Sec. III-D) replaces each
+ * operator with the sequence of CUDA kernels it launches.  A Kernel
+ * carries the profiled wall-clock duration of one such launch on the
+ * target GPU.
+ */
+#ifndef VTRAIN_KERNELS_KERNEL_H
+#define VTRAIN_KERNELS_KERNEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vtrain {
+
+/** Logical GPU stream a task executes on. */
+enum class StreamKind : uint8_t {
+    Compute = 0,      //!< default compute stream
+    Comm = 1,         //!< NCCL point-to-point stream (pipeline sends)
+    DpCollective = 2, //!< PyTorch-DDP gradient All-Reduce stream
+};
+
+constexpr int kNumStreams = 3;
+
+/** One profiled GPU kernel launch. */
+struct Kernel {
+    /** CUDA-style kernel name (e.g. "ampere_fp16_...gemm..._tn"). */
+    std::string name;
+
+    /** Wall-clock execution time, seconds. */
+    double duration = 0.0;
+};
+
+/** The profiled decomposition of one operator into kernels. */
+struct KernelSequence {
+    std::vector<Kernel> kernels;
+
+    /** @return the sum of all kernel durations, seconds. */
+    double totalDuration() const;
+
+    /** Appends one kernel. */
+    void
+    add(std::string name, double duration)
+    {
+        kernels.push_back(Kernel{std::move(name), duration});
+    }
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_KERNELS_KERNEL_H

@@ -1,0 +1,22 @@
+#include "kernels/memops_model.h"
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+double
+memKernelTime(const GpuSpec &gpu, double bytes)
+{
+    VTRAIN_CHECK(bytes >= 0.0, "byte count must be non-negative");
+    return bytes / (kMemKernelEfficiency * gpu.hbm_bandwidth) +
+           gpu.kernel_launch_overhead;
+}
+
+std::string
+memKernelName(const std::string &op)
+{
+    return "void at::native::vectorized_elementwise_kernel<4, " + op +
+           "_functor>";
+}
+
+} // namespace vtrain

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Latency model for memory-bound kernels (LayerNorm, softmax, GeLU,
+ * dropout, residual adds, embedding lookups, optimizer updates).
+ *
+ * These kernels move far more bytes than they compute FLOPs, so their
+ * duration is bytes-moved divided by an effective HBM bandwidth, plus
+ * the kernel-launch overhead.  vTrain profiles "even short-living
+ * element-wise operations" (Sec. VI), and so do we.
+ */
+#ifndef VTRAIN_KERNELS_MEMOPS_MODEL_H
+#define VTRAIN_KERNELS_MEMOPS_MODEL_H
+
+#include <string>
+
+#include "hw/gpu_spec.h"
+
+namespace vtrain {
+
+/** Fraction of peak HBM bandwidth element-wise kernels achieve. */
+constexpr double kMemKernelEfficiency = 0.75;
+
+/** @return duration in seconds of a kernel moving `bytes` bytes. */
+double memKernelTime(const GpuSpec &gpu, double bytes);
+
+/** @return a PyTorch/ATen-flavoured elementwise kernel name. */
+std::string memKernelName(const std::string &op);
+
+} // namespace vtrain
+
+#endif // VTRAIN_KERNELS_MEMOPS_MODEL_H

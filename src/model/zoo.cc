@@ -1,0 +1,91 @@
+#include "model/zoo.h"
+
+#include "util/logging.h"
+
+namespace vtrain {
+namespace zoo {
+
+namespace {
+
+ModelConfig
+named(const char *name, int64_t h, int64_t L, int64_t n)
+{
+    ModelConfig m = makeModel(h, L, n);
+    m.name = name;
+    return m;
+}
+
+} // namespace
+
+ModelConfig
+gpt3_175b()
+{
+    return named("GPT-3 175B", 12288, 96, 96);
+}
+
+ModelConfig
+mtNlg530b()
+{
+    return named("MT-NLG 530B", 20480, 105, 128);
+}
+
+ModelConfig
+scaled3_6b()
+{
+    return named("MT-NLG 3.6B", 3072, 30, 32);
+}
+
+ModelConfig
+scaled18_4b()
+{
+    return named("MT-NLG 18.4B", 6144, 40, 48);
+}
+
+ModelConfig
+scaled39_1b()
+{
+    return named("MT-NLG 39.1B", 8192, 48, 64);
+}
+
+ModelConfig
+scaled81_2b()
+{
+    return named("MT-NLG 81.2B", 10240, 64, 80);
+}
+
+std::vector<ModelConfig>
+tableIIIModels()
+{
+    return {scaled18_4b(), scaled39_1b(), scaled81_2b()};
+}
+
+int
+tableIIIBatchSize(const ModelConfig &model)
+{
+    // Table III: 18.4B -> 1024, 39.1B -> 1536, 81.2B -> 1792.
+    if (model.hidden_size == 6144)
+        return 1024;
+    if (model.hidden_size == 8192)
+        return 1536;
+    if (model.hidden_size == 10240)
+        return 1792;
+    VTRAIN_FATAL("model ", model.name, " is not a Table III model");
+}
+
+std::vector<ModelConfig>
+tableIVCandidates()
+{
+    // The (h, L) pairs enumerated in Table IV of the paper.
+    std::vector<ModelConfig> out;
+    out.push_back(named("chinchilla-145B", 12288, 80, 96));
+    out.push_back(named("chinchilla-127B", 12288, 70, 96));
+    out.push_back(named("chinchilla-109B", 12288, 60, 96));
+    out.push_back(named("chinchilla-88B", 10240, 70, 80));
+    out.push_back(named("chinchilla-76B", 10240, 60, 80));
+    out.push_back(named("chinchilla-82B", 9216, 80, 72));
+    out.push_back(named("chinchilla-71B", 9216, 70, 72));
+    return out;
+}
+
+} // namespace zoo
+} // namespace vtrain

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Named model configurations used throughout the paper's evaluation.
+ *
+ * Sizes follow Megatron-LM (Narayanan et al., SC'21) Table 1, which is
+ * also the source of the paper's Table II scaled models and Table III
+ * cluster-study models.
+ */
+#ifndef VTRAIN_MODEL_ZOO_H
+#define VTRAIN_MODEL_ZOO_H
+
+#include <vector>
+
+#include "model/model_config.h"
+
+namespace vtrain {
+namespace zoo {
+
+/** GPT-3: 175B parameters (h=12288, L=96, n=96). */
+ModelConfig gpt3_175b();
+
+/** Megatron-Turing NLG: 530B (h=20480, L=105, n=128), Sec. V-A. */
+ModelConfig mtNlg530b();
+
+/** 3.6B scaled model of Table II (h=3072, L=30, n=32). */
+ModelConfig scaled3_6b();
+
+/** 18.4B model of Tables II/III (h=6144, L=40, n=48). */
+ModelConfig scaled18_4b();
+
+/** 39.1B model of Tables II/III (h=8192, L=48, n=64). */
+ModelConfig scaled39_1b();
+
+/** 81.2B model of Table III (h=10240, L=64, n=80). */
+ModelConfig scaled81_2b();
+
+/** The three cluster-study models of Table III, in order. */
+std::vector<ModelConfig> tableIIIModels();
+
+/** Global batch size (sequences) for each Table III model. */
+int tableIIIBatchSize(const ModelConfig &model);
+
+/** Candidate (h, L) models swept in the Chinchilla study (Table IV). */
+std::vector<ModelConfig> tableIVCandidates();
+
+} // namespace zoo
+} // namespace vtrain
+
+#endif // VTRAIN_MODEL_ZOO_H

@@ -1,0 +1,82 @@
+#include "parallel/memory_model.h"
+
+#include <algorithm>
+
+namespace vtrain {
+
+MemoryFootprint
+estimateMemory(const ModelConfig &model, const ParallelConfig &parallel)
+{
+    MemoryFootprint fp;
+
+    const double h = static_cast<double>(model.hidden_size);
+    const double s = static_cast<double>(model.seq_length);
+    const double n = static_cast<double>(model.num_heads);
+    const double V = static_cast<double>(model.vocab_size);
+    const double m = static_cast<double>(parallel.micro_batch_size);
+    const double t = static_cast<double>(parallel.tensor);
+    const double layers_per_stage =
+        static_cast<double>(model.num_layers) /
+        static_cast<double>(parallel.pipeline);
+
+    // --- Model states -------------------------------------------------
+    // Stage 0 holds its decoder-layer shard plus the embedding shard
+    // (word embeddings are vocab-partitioned across the tensor group;
+    // positional embeddings are replicated).  Megatron also replicates
+    // the word embedding on the last stage for the LM head; stage 0 is
+    // still the worst case because of the positional table.
+    const double layer_params =
+        layers_per_stage * model.parametersPerLayer() / t;
+    const double embed_params = V * h / t + s * h;
+    const double params_per_gpu = layer_params + embed_params;
+
+    fp.weights = 2.0 * params_per_gpu;
+    fp.gradients = 2.0 * params_per_gpu;
+    // fp32 master copy (4 B) + Adam first/second moments (4 B + 4 B);
+    // ZeRO-1 shards these across the d data-parallel ranks.
+    fp.optimizer_states = 12.0 * params_per_gpu;
+    if (parallel.zero_stage >= 1)
+        fp.optimizer_states /= static_cast<double>(parallel.data);
+
+    // --- Activations ----------------------------------------------------
+    // In-flight micro-batches at stage 0: all of them under GPipe,
+    // min(p, num_micro_batches) under 1F1B (Sec. II-B).
+    const int nmb = parallel.numMicroBatches();
+    const int in_flight = parallel.schedule == PipelineSchedule::GPipe
+                              ? nmb
+                              : std::min(parallel.pipeline, nmb);
+
+    // Full activation memory of one decoder layer for one micro-batch,
+    // fp16, tensor-parallel sharded where applicable (Korthikanti et
+    // al.: s*b*h*(34 + 5*n*s/h) bytes, attention/FFN internals / t).
+    const double full_layer_act =
+        s * m * h * (10.0 + 24.0 / t) + 5.0 * m * n * s * s / t;
+    // Checkpointed footprint per layer per micro-batch: only the layer
+    // input survives.
+    const double ckpt_layer_act = 2.0 * s * m * h;
+
+    if (parallel.activation_recompute) {
+        fp.activations =
+            static_cast<double>(in_flight) * layers_per_stage *
+                ckpt_layer_act +
+            full_layer_act; // transient working set of the layer being
+                            // recomputed during backward
+    } else {
+        fp.activations = static_cast<double>(in_flight) *
+                         layers_per_stage * full_layer_act;
+    }
+
+    fp.total =
+        fp.weights + fp.gradients + fp.optimizer_states + fp.activations;
+    return fp;
+}
+
+bool
+fitsInMemory(const ModelConfig &model, const ParallelConfig &parallel,
+             const GpuSpec &gpu)
+{
+    const MemoryFootprint fp = estimateMemory(model, parallel);
+    return fp.total <= MemoryFootprint::kUsableFraction * gpu.memory_bytes;
+}
+
+} // namespace vtrain

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Per-GPU memory-footprint estimator.
+ *
+ * LLM parallelization plans are constrained by GPU memory capacity
+ * (Sec. II-B: "state-of-the-art LLMs suffer from a memory capacity
+ * bottleneck").  The design-space explorer uses this model to reject
+ * infeasible (t, d, p, m) plans, mirroring how a serverless platform
+ * must "make sure the overall memory usage fits within the GPU
+ * memory" (Sec. V-B).
+ *
+ * The accounting follows mixed-precision Adam training (ZeRO's "model
+ * states": 2 B fp16 parameter + 2 B fp16 gradient + 12 B fp32
+ * optimizer state = 16 B/parameter) and Megatron-style activation
+ * checkpointing.
+ */
+#ifndef VTRAIN_PARALLEL_MEMORY_MODEL_H
+#define VTRAIN_PARALLEL_MEMORY_MODEL_H
+
+#include "hw/cluster_spec.h"
+#include "model/model_config.h"
+#include "parallel/parallel_config.h"
+
+namespace vtrain {
+
+/** Breakdown of the worst-stage per-GPU memory footprint, bytes. */
+struct MemoryFootprint {
+    double weights = 0.0;         //!< fp16 parameters
+    double gradients = 0.0;       //!< fp16 gradients
+    double optimizer_states = 0.0; //!< fp32 master + Adam moments
+    double activations = 0.0;     //!< checkpointed + working set
+    double total = 0.0;
+
+    /** Fraction of GPU memory assumed usable by the framework. */
+    static constexpr double kUsableFraction = 0.92;
+};
+
+/**
+ * Estimates the footprint of the most memory-hungry pipeline stage
+ * (stage 0, which holds the embedding shard and, under 1F1B, the most
+ * in-flight micro-batches).
+ */
+MemoryFootprint estimateMemory(const ModelConfig &model,
+                               const ParallelConfig &parallel);
+
+/** @return true when the plan fits in the cluster's GPU memory. */
+bool fitsInMemory(const ModelConfig &model, const ParallelConfig &parallel,
+                  const GpuSpec &gpu);
+
+} // namespace vtrain
+
+#endif // VTRAIN_PARALLEL_MEMORY_MODEL_H

@@ -1,0 +1,26 @@
+#include "profiling/op_task_table.h"
+
+namespace vtrain {
+
+OperatorToTaskTable::OperatorToTaskTable(Profiler &profiler, bool memoize)
+    : profiler_(profiler), memoize_(memoize)
+{
+}
+
+const KernelSequence &
+OperatorToTaskTable::lookup(const OpDesc &desc)
+{
+    const OperatorKey key = OperatorKey::of(desc);
+    auto it = table_.find(key);
+    if (it != table_.end() && memoize_)
+        return *it->second;
+
+    ++profiler_calls_;
+    auto seq = std::make_unique<KernelSequence>(
+        profiler_.profileOperator(desc));
+    auto [pos, inserted] = table_.insert_or_assign(key, std::move(seq));
+    (void)inserted;
+    return *pos->second;
+}
+
+} // namespace vtrain

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The operator-to-task lookup table (Fig. 4, step 3).
+ *
+ * Maps each *distinct* operator (by OperatorKey) to its profiled CUDA
+ * kernel sequence.  Memoization implements the paper's "necessary
+ * operators" optimization (Sec. III-C): because an LLM stacks
+ * identically shaped decoder layers, the table ends up with O(1)
+ * entries regardless of L or the micro-batch count, and the profiler
+ * is invoked only on the first occurrence of each key.
+ */
+#ifndef VTRAIN_PROFILING_OP_TASK_TABLE_H
+#define VTRAIN_PROFILING_OP_TASK_TABLE_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "profiling/profiler.h"
+
+namespace vtrain {
+
+/** Memoizing operator -> kernel-sequence table. */
+class OperatorToTaskTable
+{
+  public:
+    /**
+     * @param profiler backend used to profile cache misses.
+     * @param memoize  disable only for the ablation study; a disabled
+     *                 table re-profiles every lookup.
+     */
+    explicit OperatorToTaskTable(Profiler &profiler, bool memoize = true);
+
+    /** @return the kernel sequence for the operator (cached). */
+    const KernelSequence &lookup(const OpDesc &desc);
+
+    /** @return number of distinct operators profiled so far. */
+    size_t numEntries() const { return table_.size(); }
+
+    /** @return total profiler invocations (cache misses + bypasses). */
+    size_t numProfilerCalls() const { return profiler_calls_; }
+
+  private:
+    Profiler &profiler_;
+    bool memoize_;
+    size_t profiler_calls_ = 0;
+    std::unordered_map<OperatorKey, std::unique_ptr<KernelSequence>,
+                       OperatorKeyHash>
+        table_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_PROFILING_OP_TASK_TABLE_H

@@ -1,0 +1,100 @@
+#include "profiling/operator.h"
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+std::string
+toString(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::EmbeddingFwd:
+        return "FwdEmbedding";
+      case OpKind::MhaFwd:
+        return "FwdMHA";
+      case OpKind::FfnFwd:
+        return "FwdFFN";
+      case OpKind::LmHeadFwd:
+        return "FwdLMHead";
+      case OpKind::LmHeadBwd:
+        return "BwdLMHead";
+      case OpKind::FfnBwd:
+        return "BwdFFN";
+      case OpKind::MhaBwd:
+        return "BwdMHA";
+      case OpKind::EmbeddingBwd:
+        return "BwdEmbedding";
+      case OpKind::WeightUpdate:
+        return "WeightUpdate";
+    }
+    VTRAIN_PANIC("unknown operator kind");
+}
+
+bool
+isBackward(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::LmHeadBwd:
+      case OpKind::FfnBwd:
+      case OpKind::MhaBwd:
+      case OpKind::EmbeddingBwd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+OpDesc
+OpDesc::forModel(OpKind kind, const ModelConfig &model, int micro_batch_size,
+                 int tensor_parallel, bool recompute)
+{
+    OpDesc desc;
+    desc.kind = kind;
+    desc.hidden_size = model.hidden_size;
+    desc.seq_length = model.seq_length;
+    desc.num_heads = model.num_heads;
+    desc.vocab_size = model.vocab_size;
+    desc.micro_batch_size = micro_batch_size;
+    desc.tensor_parallel = tensor_parallel;
+    desc.recompute = recompute && isBackward(kind);
+    return desc;
+}
+
+OperatorKey
+OperatorKey::of(const OpDesc &desc)
+{
+    return OperatorKey{
+        desc.kind,
+        desc.hidden_size,
+        desc.seq_length,
+        desc.num_heads,
+        desc.vocab_size,
+        desc.micro_batch_size,
+        desc.tensor_parallel,
+        desc.recompute,
+        static_cast<int64_t>(desc.update_params),
+    };
+}
+
+size_t
+OperatorKeyHash::operator()(const OperatorKey &key) const
+{
+    // FNV-1a over the key fields.
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(static_cast<uint64_t>(key.kind));
+    mix(static_cast<uint64_t>(key.hidden_size));
+    mix(static_cast<uint64_t>(key.seq_length));
+    mix(static_cast<uint64_t>(key.num_heads));
+    mix(static_cast<uint64_t>(key.vocab_size));
+    mix(static_cast<uint64_t>(key.micro_batch_size));
+    mix(static_cast<uint64_t>(key.tensor_parallel));
+    mix(static_cast<uint64_t>(key.recompute));
+    mix(static_cast<uint64_t>(key.update_params_rounded));
+    return static_cast<size_t>(h);
+}
+
+} // namespace vtrain

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * High-level computation-operator descriptors.
+ *
+ * A layer-node of the operator-granularity execution graph
+ * (Sec. III-B) executes one of these operators.  The OperatorKey
+ * identifies the *shape* of an operator — two layer-nodes with equal
+ * keys launch identical CUDA kernel sequences, which is exactly the
+ * "necessary operators" observation of Sec. III-C that lets vTrain
+ * profile O(1) operators instead of O(L x N_MB).
+ */
+#ifndef VTRAIN_PROFILING_OPERATOR_H
+#define VTRAIN_PROFILING_OPERATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "model/model_config.h"
+
+namespace vtrain {
+
+/** Kind of a computation operator. */
+enum class OpKind : uint8_t {
+    EmbeddingFwd,
+    MhaFwd,
+    FfnFwd,
+    LmHeadFwd,
+    LmHeadBwd,
+    FfnBwd,
+    MhaBwd,
+    EmbeddingBwd,
+    WeightUpdate,
+};
+
+/** @return a short name such as "FwdMHA". */
+std::string toString(OpKind kind);
+
+/** @return true for backward-pass operators. */
+bool isBackward(OpKind kind);
+
+/**
+ * Full description of a computation operator instance, sufficient for
+ * the profiler to enumerate its CUDA kernels.
+ */
+struct OpDesc {
+    OpKind kind = OpKind::MhaFwd;
+
+    int64_t hidden_size = 0;  //!< h
+    int64_t seq_length = 0;   //!< s
+    int64_t num_heads = 0;    //!< n
+    int64_t vocab_size = 0;   //!< V
+    int micro_batch_size = 1; //!< m (sequences)
+    int tensor_parallel = 1;  //!< t: degree this operator is sharded by
+
+    /**
+     * Whether the backward operator re-executes the forward first
+     * (full activation recomputation).  Only meaningful for MhaBwd /
+     * FfnBwd / LmHeadBwd.
+     */
+    bool recompute = false;
+
+    /**
+     * For WeightUpdate: the number of parameters this GPU updates.
+     * Zero otherwise.
+     */
+    double update_params = 0.0;
+
+    /** Builds the descriptor for a model-wide operator kind. */
+    static OpDesc forModel(OpKind kind, const ModelConfig &model,
+                           int micro_batch_size, int tensor_parallel,
+                           bool recompute = false);
+};
+
+/** Hashable/comparable identity of an operator's kernel sequence. */
+struct OperatorKey {
+    OpKind kind;
+    int64_t hidden_size;
+    int64_t seq_length;
+    int64_t num_heads;
+    int64_t vocab_size;
+    int micro_batch_size;
+    int tensor_parallel;
+    bool recompute;
+    int64_t update_params_rounded;
+
+    bool operator==(const OperatorKey &other) const = default;
+
+    /** Builds the key for a descriptor. */
+    static OperatorKey of(const OpDesc &desc);
+};
+
+/** std::hash support for OperatorKey. */
+struct OperatorKeyHash {
+    size_t operator()(const OperatorKey &key) const;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_PROFILING_OPERATOR_H

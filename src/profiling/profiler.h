@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Profiler interface: operator -> CUDA kernel sequence.
+ *
+ * In the paper, this module executes each operator on a real GPU and
+ * collects kernel traces with CUPTI, using Daydream's task-to-layer
+ * mapping to attribute kernels to operators (Sec. III-C).  In this
+ * repository the concrete implementation is SyntheticProfiler (an
+ * analytical A100 model); a CUPTI-backed profiler would implement the
+ * same interface.
+ */
+#ifndef VTRAIN_PROFILING_PROFILER_H
+#define VTRAIN_PROFILING_PROFILER_H
+
+#include "kernels/kernel.h"
+#include "profiling/operator.h"
+
+namespace vtrain {
+
+/** Abstract operator profiler. */
+class Profiler
+{
+  public:
+    virtual ~Profiler() = default;
+
+    /**
+     * Profiles one operator: the list of CUDA kernels it launches and
+     * each kernel's wall-clock duration on the target GPU.
+     */
+    virtual KernelSequence profileOperator(const OpDesc &desc) = 0;
+
+    /** Human-readable description of the profiling backend. */
+    virtual std::string backendName() const = 0;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_PROFILING_PROFILER_H

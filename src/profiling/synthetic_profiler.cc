@@ -1,0 +1,354 @@
+#include "profiling/synthetic_profiler.h"
+
+#include <algorithm>
+
+#include "kernels/gemm_model.h"
+#include "kernels/memops_model.h"
+#include "util/logging.h"
+
+namespace vtrain {
+
+namespace {
+
+/** Bytes of one fp16 activation tensor of `elems` elements. */
+double
+fp16Bytes(double elems)
+{
+    return 2.0 * elems;
+}
+
+} // namespace
+
+std::string
+toString(AttentionImpl impl)
+{
+    switch (impl) {
+      case AttentionImpl::Megatron:
+        return "megatron";
+      case AttentionImpl::FlashAttention:
+        return "flash-attention";
+      case AttentionImpl::FlashAttention2:
+        return "flash-attention-2";
+    }
+    VTRAIN_PANIC("unknown attention implementation");
+}
+
+SyntheticProfiler::SyntheticProfiler(GpuSpec gpu, Precision precision,
+                                     AttentionImpl attention)
+    : gpu_(std::move(gpu)), precision_(precision), attention_(attention)
+{
+}
+
+std::string
+SyntheticProfiler::backendName() const
+{
+    return "synthetic-" + gpu_.name + "-" + toString(precision_) + "-" +
+           toString(attention_);
+}
+
+void
+SyntheticProfiler::emitFlashAttention(KernelSequence &seq,
+                                      const OpDesc &d, bool backward) const
+{
+    const int64_t t = d.tensor_parallel;
+    const int64_t s = d.seq_length;
+    const int64_t m = d.micro_batch_size;
+    const int64_t heads = d.num_heads / t;
+    const int64_t head_dim = d.hidden_size / d.num_heads;
+
+    // Attention FLOPs: Q*K^T plus scores*V (x ~2.5 for the backward's
+    // dQ/dK/dV plus recomputed scores, per the FlashAttention paper).
+    const double fwd_flops = 4.0 * static_cast<double>(m * heads) *
+                             static_cast<double>(s) *
+                             static_cast<double>(s) *
+                             static_cast<double>(head_dim);
+    const double flops = backward ? 2.5 * fwd_flops : fwd_flops;
+
+    // Fused-kernel efficiency relative to peak tensor-core FLOP/s;
+    // FlashAttention-2's better work partitioning roughly doubles it
+    // (Dao 2023 reports ~2x over FlashAttention on A100).
+    double eff = attention_ == AttentionImpl::FlashAttention2 ? 0.60
+                                                              : 0.32;
+    if (backward)
+        eff *= 0.85; // the backward kernel is harder to saturate
+
+    // IO-aware: only the (m*s) x h tensors traverse HBM.
+    const double bytes =
+        2.0 * 4.0 * static_cast<double>(m * s) *
+        static_cast<double>(heads * head_dim) * (backward ? 2.0 : 1.0);
+
+    const double duration =
+        std::max(flops / (gpu_.peakFlops(precision_) * eff),
+                 bytes / (0.8 * gpu_.hbm_bandwidth)) +
+        gpu_.kernel_launch_overhead;
+    const char *name =
+        attention_ == AttentionImpl::FlashAttention2
+            ? (backward ? "flash_bwd_kernel<cutlass::half_t, 128, 128>"
+                        : "flash_fwd_kernel<cutlass::half_t, 128, 128>")
+            : (backward
+                   ? "fmha_bgrad_fp16_512_64_sm80_kernel"
+                   : "fmha_fprop_fp16_512_64_sm80_kernel");
+    seq.add(name, duration);
+}
+
+void
+SyntheticProfiler::emitGemm(KernelSequence &seq, int64_t m, int64_t n,
+                            int64_t k, int64_t batch) const
+{
+    GemmShape shape{m, n, k, batch};
+    seq.add(gemmKernelName(precision_, shape),
+            gemmTime(gpu_, precision_, shape));
+}
+
+void
+SyntheticProfiler::emitMem(KernelSequence &seq, const std::string &op,
+                           double bytes) const
+{
+    seq.add(memKernelName(op), memKernelTime(gpu_, bytes));
+}
+
+KernelSequence
+SyntheticProfiler::profileOperator(const OpDesc &d)
+{
+    KernelSequence seq;
+    switch (d.kind) {
+      case OpKind::EmbeddingFwd:
+        emitEmbeddingFwd(seq, d);
+        break;
+      case OpKind::MhaFwd:
+        emitMhaFwd(seq, d);
+        break;
+      case OpKind::FfnFwd:
+        emitFfnFwd(seq, d);
+        break;
+      case OpKind::LmHeadFwd:
+        emitLmHeadFwd(seq, d);
+        break;
+      case OpKind::LmHeadBwd:
+        if (d.recompute)
+            emitLmHeadFwd(seq, d);
+        emitLmHeadBwd(seq, d);
+        break;
+      case OpKind::FfnBwd:
+        if (d.recompute)
+            emitFfnFwd(seq, d);
+        emitFfnBwd(seq, d);
+        break;
+      case OpKind::MhaBwd:
+        if (d.recompute)
+            emitMhaFwd(seq, d);
+        emitMhaBwd(seq, d);
+        break;
+      case OpKind::EmbeddingBwd:
+        emitEmbeddingBwd(seq, d);
+        break;
+      case OpKind::WeightUpdate:
+        emitWeightUpdate(seq, d);
+        break;
+    }
+    VTRAIN_CHECK(!seq.kernels.empty(), "operator produced no kernels");
+    return seq;
+}
+
+void
+SyntheticProfiler::emitEmbeddingFwd(KernelSequence &seq,
+                                    const OpDesc &d) const
+{
+    const double tokens = static_cast<double>(d.micro_batch_size) *
+                          static_cast<double>(d.seq_length);
+    const double h = static_cast<double>(d.hidden_size);
+    // Vocab-parallel word-embedding gather: writes the (tokens x h)
+    // embedding matrix, reads the rows it hits.
+    emitMem(seq, "embedding_dense_gather", fp16Bytes(2.0 * tokens * h));
+    // Add positional embeddings + dropout.
+    emitMem(seq, "add_position_embedding", fp16Bytes(3.0 * tokens * h));
+    emitMem(seq, "fused_dropout", fp16Bytes(2.5 * tokens * h));
+}
+
+void
+SyntheticProfiler::emitEmbeddingBwd(KernelSequence &seq,
+                                    const OpDesc &d) const
+{
+    const double tokens = static_cast<double>(d.micro_batch_size) *
+                          static_cast<double>(d.seq_length);
+    const double h = static_cast<double>(d.hidden_size);
+    emitMem(seq, "dropout_backward", fp16Bytes(2.5 * tokens * h));
+    // Scatter-add of token gradients into the embedding table shard.
+    emitMem(seq, "embedding_backward_scatter_add",
+            fp16Bytes(3.0 * tokens * h));
+}
+
+void
+SyntheticProfiler::emitMhaFwd(KernelSequence &seq, const OpDesc &d) const
+{
+    const int64_t t = d.tensor_parallel;
+    const int64_t h = d.hidden_size;
+    const int64_t s = d.seq_length;
+    const int64_t m = d.micro_batch_size;
+    const int64_t heads = d.num_heads / t;
+    const int64_t head_dim = h / d.num_heads;
+    const double tokens = static_cast<double>(m * s);
+
+    // Input LayerNorm (replicated across the tensor group).
+    emitMem(seq, "layer_norm", fp16Bytes(3.0 * tokens * h));
+    // Fused QKV projection, column-parallel: [m*s, h] x [h, 3h/t].
+    emitGemm(seq, m * s, 3 * h / t, h);
+    if (attention_ == AttentionImpl::Megatron) {
+        // Q*K^T per attention head.
+        emitGemm(seq, s, s, head_dim, m * heads);
+        // Scaled masked softmax over attention scores.
+        emitMem(seq, "scaled_masked_softmax",
+                fp16Bytes(3.0 * static_cast<double>(m * heads) *
+                          static_cast<double>(s) *
+                          static_cast<double>(s)));
+        // Attention dropout.
+        emitMem(seq, "fused_dropout",
+                fp16Bytes(2.5 * static_cast<double>(m * heads) *
+                          static_cast<double>(s) *
+                          static_cast<double>(s)));
+        // Scores * V.
+        emitGemm(seq, s, head_dim, s, m * heads);
+    } else {
+        // One fused IO-aware kernel replaces the four ops above.
+        emitFlashAttention(seq, d, /*backward=*/false);
+    }
+    // Output projection, row-parallel: [m*s, h/t] x [h/t, h].
+    emitGemm(seq, m * s, h, h / t);
+    // Residual add + dropout (after the tensor-parallel All-Reduce).
+    emitMem(seq, "dropout_add_residual", fp16Bytes(3.5 * tokens * h));
+}
+
+void
+SyntheticProfiler::emitMhaBwd(KernelSequence &seq, const OpDesc &d) const
+{
+    const int64_t t = d.tensor_parallel;
+    const int64_t h = d.hidden_size;
+    const int64_t s = d.seq_length;
+    const int64_t m = d.micro_batch_size;
+    const int64_t heads = d.num_heads / t;
+    const int64_t head_dim = h / d.num_heads;
+    const double tokens = static_cast<double>(m * s);
+    const double score_elems = static_cast<double>(m * heads) *
+                               static_cast<double>(s) *
+                               static_cast<double>(s);
+
+    emitMem(seq, "dropout_add_backward", fp16Bytes(3.0 * tokens * h));
+    // Output projection: dgrad [m*s, h] x [h, h/t], wgrad
+    // [h/t, m*s] x [m*s, h].
+    emitGemm(seq, m * s, h / t, h);
+    emitGemm(seq, h / t, h, m * s);
+    if (attention_ == AttentionImpl::Megatron) {
+        // Scores*V backward: dScores and dV.
+        emitGemm(seq, s, s, head_dim, m * heads);
+        emitGemm(seq, s, head_dim, s, m * heads);
+        emitMem(seq, "fused_dropout_backward",
+                fp16Bytes(2.0 * score_elems));
+        emitMem(seq, "scaled_masked_softmax_backward",
+                fp16Bytes(3.0 * score_elems));
+        // Q*K^T backward: dQ and dK.
+        emitGemm(seq, s, head_dim, s, m * heads);
+        emitGemm(seq, s, head_dim, s, m * heads);
+    } else {
+        emitFlashAttention(seq, d, /*backward=*/true);
+    }
+    // QKV projection: dgrad + wgrad.
+    emitGemm(seq, m * s, h, 3 * h / t);
+    emitGemm(seq, 3 * h / t, h, m * s);
+    emitMem(seq, "layer_norm_backward", fp16Bytes(5.0 * tokens * h));
+}
+
+void
+SyntheticProfiler::emitFfnFwd(KernelSequence &seq, const OpDesc &d) const
+{
+    const int64_t t = d.tensor_parallel;
+    const int64_t h = d.hidden_size;
+    const int64_t m = d.micro_batch_size;
+    const int64_t s = d.seq_length;
+    const double tokens = static_cast<double>(m * s);
+    const double inter = 4.0 * static_cast<double>(h) /
+                         static_cast<double>(t);
+
+    emitMem(seq, "layer_norm", fp16Bytes(3.0 * tokens * h));
+    // FC1, column-parallel: [m*s, h] x [h, 4h/t].
+    emitGemm(seq, m * s, 4 * h / t, h);
+    emitMem(seq, "gelu", fp16Bytes(2.0 * tokens * inter));
+    // FC2, row-parallel: [m*s, 4h/t] x [4h/t, h].
+    emitGemm(seq, m * s, h, 4 * h / t);
+    emitMem(seq, "dropout_add_residual", fp16Bytes(3.5 * tokens * h));
+}
+
+void
+SyntheticProfiler::emitFfnBwd(KernelSequence &seq, const OpDesc &d) const
+{
+    const int64_t t = d.tensor_parallel;
+    const int64_t h = d.hidden_size;
+    const int64_t m = d.micro_batch_size;
+    const int64_t s = d.seq_length;
+    const double tokens = static_cast<double>(m * s);
+    const double inter = 4.0 * static_cast<double>(h) /
+                         static_cast<double>(t);
+
+    emitMem(seq, "dropout_add_backward", fp16Bytes(3.0 * tokens * h));
+    // FC2 dgrad + wgrad.
+    emitGemm(seq, m * s, 4 * h / t, h);
+    emitGemm(seq, 4 * h / t, h, m * s);
+    emitMem(seq, "gelu_backward", fp16Bytes(3.0 * tokens * inter));
+    // FC1 dgrad + wgrad.
+    emitGemm(seq, m * s, h, 4 * h / t);
+    emitGemm(seq, h, 4 * h / t, m * s);
+    emitMem(seq, "layer_norm_backward", fp16Bytes(5.0 * tokens * h));
+}
+
+void
+SyntheticProfiler::emitLmHeadFwd(KernelSequence &seq, const OpDesc &d) const
+{
+    const int64_t t = d.tensor_parallel;
+    const int64_t h = d.hidden_size;
+    const int64_t m = d.micro_batch_size;
+    const int64_t s = d.seq_length;
+    const double tokens = static_cast<double>(m * s);
+    const double vocab_shard = static_cast<double>(d.vocab_size) /
+                               static_cast<double>(t);
+
+    emitMem(seq, "layer_norm", fp16Bytes(3.0 * tokens * h));
+    // Logits: [m*s, h] x [h, V/t] against the transposed embedding.
+    emitGemm(seq, m * s, d.vocab_size / t, h);
+    // Vocab-parallel cross-entropy (max, sum-exp, gather, loss).
+    emitMem(seq, "vocab_parallel_cross_entropy",
+            fp16Bytes(2.0 * tokens * vocab_shard));
+}
+
+void
+SyntheticProfiler::emitLmHeadBwd(KernelSequence &seq, const OpDesc &d) const
+{
+    const int64_t t = d.tensor_parallel;
+    const int64_t h = d.hidden_size;
+    const int64_t m = d.micro_batch_size;
+    const int64_t s = d.seq_length;
+    const double tokens = static_cast<double>(m * s);
+    const double vocab_shard = static_cast<double>(d.vocab_size) /
+                               static_cast<double>(t);
+
+    emitMem(seq, "cross_entropy_backward",
+            fp16Bytes(2.0 * tokens * vocab_shard));
+    // Logit dgrad + embedding wgrad.
+    emitGemm(seq, m * s, h, d.vocab_size / t);
+    emitGemm(seq, d.vocab_size / t, h, m * s);
+    emitMem(seq, "layer_norm_backward", fp16Bytes(5.0 * tokens * h));
+}
+
+void
+SyntheticProfiler::emitWeightUpdate(KernelSequence &seq,
+                                    const OpDesc &d) const
+{
+    VTRAIN_CHECK(d.update_params > 0.0,
+                 "weight update needs a parameter count");
+    // Fused Adam: reads fp16 grad (2 B), reads+writes fp32 master
+    // weight and both moments (3 x 8 B), writes fp16 weight (2 B).
+    const double bytes_per_param = 2.0 + 24.0 + 2.0;
+    emitMem(seq, "multi_tensor_adam", d.update_params * bytes_per_param);
+    // Gradient-scale/zero pass of the mixed-precision optimizer.
+    emitMem(seq, "multi_tensor_scale", d.update_params * 4.0);
+}
+
+} // namespace vtrain

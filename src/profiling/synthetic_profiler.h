@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Synthetic A100 profiler: the CUPTI substitute.
+ *
+ * Decomposes every vTrain operator into the CUDA kernel sequence that
+ * Megatron-LM (the modelled framework) launches for it, and assigns
+ * each kernel a latency from the analytical GEMM / memory-bound kernel
+ * models in src/kernels/.  See DESIGN.md for the substitution
+ * rationale.
+ *
+ * The decomposition follows Megatron tensor parallelism: the QKV and
+ * FC1 weights are column-partitioned and the attention-projection and
+ * FC2 weights row-partitioned across the t GPUs of a tensor group, so
+ * every GEMM's N or K dimension is divided by t while LayerNorms and
+ * residual additions remain replicated (full h).
+ */
+#ifndef VTRAIN_PROFILING_SYNTHETIC_PROFILER_H
+#define VTRAIN_PROFILING_SYNTHETIC_PROFILER_H
+
+#include "hw/gpu_spec.h"
+#include "profiling/profiler.h"
+
+namespace vtrain {
+
+/**
+ * Attention-kernel implementation the modelled framework uses.
+ *
+ * Sec. VI argues that profiling-based estimation "naturally captures"
+ * framework-level kernel upgrades such as FlashAttention ->
+ * FlashAttention-2; switching this enum is exactly that upgrade: the
+ * MHA operators decompose into different kernel sequences with
+ * different profiled latencies, and everything downstream follows.
+ */
+enum class AttentionImpl : uint8_t {
+    Megatron,        //!< unfused batched GEMMs + softmax kernels
+    FlashAttention,  //!< fused, IO-aware kernel (Dao et al. 2022)
+    FlashAttention2, //!< improved parallelism/partitioning (2023)
+};
+
+/** @return "megatron", "flash-attention" or "flash-attention-2". */
+std::string toString(AttentionImpl impl);
+
+/** Analytical-model profiler for a target GPU. */
+class SyntheticProfiler : public Profiler
+{
+  public:
+    explicit SyntheticProfiler(
+        GpuSpec gpu, Precision precision = Precision::FP16,
+        AttentionImpl attention = AttentionImpl::Megatron);
+
+    KernelSequence profileOperator(const OpDesc &desc) override;
+
+    std::string backendName() const override;
+
+    const GpuSpec &gpu() const { return gpu_; }
+
+  private:
+    /** Emits one (batched) GEMM kernel into seq. */
+    void emitGemm(KernelSequence &seq, int64_t m, int64_t n, int64_t k,
+                  int64_t batch = 1) const;
+
+    /** Emits one memory-bound kernel moving `bytes` bytes. */
+    void emitMem(KernelSequence &seq, const std::string &op,
+                 double bytes) const;
+
+    /** Emits the fused flash-attention kernel (fwd or bwd). */
+    void emitFlashAttention(KernelSequence &seq, const OpDesc &d,
+                            bool backward) const;
+
+    void emitEmbeddingFwd(KernelSequence &seq, const OpDesc &d) const;
+    void emitEmbeddingBwd(KernelSequence &seq, const OpDesc &d) const;
+    void emitMhaFwd(KernelSequence &seq, const OpDesc &d) const;
+    void emitMhaBwd(KernelSequence &seq, const OpDesc &d) const;
+    void emitFfnFwd(KernelSequence &seq, const OpDesc &d) const;
+    void emitFfnBwd(KernelSequence &seq, const OpDesc &d) const;
+    void emitLmHeadFwd(KernelSequence &seq, const OpDesc &d) const;
+    void emitLmHeadBwd(KernelSequence &seq, const OpDesc &d) const;
+    void emitWeightUpdate(KernelSequence &seq, const OpDesc &d) const;
+
+    GpuSpec gpu_;
+    Precision precision_;
+    AttentionImpl attention_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_PROFILING_SYNTHETIC_PROFILER_H

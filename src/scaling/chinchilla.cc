@@ -1,0 +1,92 @@
+#include "scaling/chinchilla.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace vtrain {
+
+double
+ChinchillaLaw::optimalParams(double budget_flops) const
+{
+    return alpha * std::sqrt(budget_flops);
+}
+
+double
+ChinchillaLaw::optimalTokens(double budget_flops) const
+{
+    return beta * std::sqrt(budget_flops);
+}
+
+double
+ChinchillaLaw::budgetFlops(int n_gpus, double days,
+                           double peak_flops_per_gpu, double utilization)
+{
+    return static_cast<double>(n_gpus) * peak_flops_per_gpu *
+           utilization * days * kSecPerDay;
+}
+
+ChinchillaPlanner::ChinchillaPlanner(const Explorer &explorer, int n_gpus,
+                                     int batch_size)
+    : explorer_(explorer), n_gpus_(n_gpus), batch_size_(batch_size)
+{
+    VTRAIN_REQUIRE(n_gpus_ > 0, "planner needs a GPU budget");
+}
+
+ChinchillaCandidate
+ChinchillaPlanner::evaluate(const ModelConfig &model) const
+{
+    ChinchillaCandidate cand;
+    cand.model = model;
+    cand.params = model.numParameters();
+    cand.tokens = law_.tokensForParams(cand.params);
+
+    SweepSpec spec;
+    spec.global_batch_size = batch_size_;
+    spec.exact_gpus = n_gpus_;
+    spec.max_data = n_gpus_;
+    spec.max_tensor = 8;
+    const auto results = explorer_.sweep(model, spec);
+    const int best = bestByIterationTime(results);
+    if (best < 0)
+        return cand; // no feasible plan with this exact GPU count
+
+    cand.has_plan = true;
+    cand.best_plan = results[best].plan;
+    cand.iteration_seconds = results[best].sim.iteration_seconds;
+    cand.utilization = results[best].sim.utilization;
+    const double iterations = std::ceil(
+        cand.tokens / cand.best_plan.tokensPerIteration(model));
+    cand.estimated_days =
+        cand.iteration_seconds * iterations / kSecPerDay;
+    return cand;
+}
+
+std::vector<ChinchillaCandidate>
+ChinchillaPlanner::evaluateAll(
+    const std::vector<ModelConfig> &candidates) const
+{
+    std::vector<ChinchillaCandidate> out;
+    out.reserve(candidates.size());
+    for (const auto &model : candidates)
+        out.push_back(evaluate(model));
+    return out;
+}
+
+int
+ChinchillaPlanner::pickOptimal(
+    const std::vector<ChinchillaCandidate> &candidates, double budget_days)
+{
+    int best = -1;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        const auto &c = candidates[i];
+        if (!c.has_plan || c.estimated_days > budget_days)
+            continue;
+        if (best < 0 || c.params > candidates[best].params)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+} // namespace vtrain

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Chinchilla scaling law and compute-optimal model search (Sec. V-C).
+ *
+ * The paper's Case Study #3: given M GPUs for N days, the naive
+ * Chinchilla point assumes 100% GPU utility,
+ *
+ *     N = alpha * C^0.5,  T = beta * C^0.5
+ *     (alpha = 0.089, beta = 1.875, i.e. C = 6*N*T and T ~= 20*N),
+ *
+ * while the realistic point feeds vTrain's *effective* utilization
+ * back into the budget, shrinking the largest trainable model (Table
+ * IV: 145.61B naive vs. 76.04B realistic for 3,360 A100s / 30 days).
+ */
+#ifndef VTRAIN_SCALING_CHINCHILLA_H
+#define VTRAIN_SCALING_CHINCHILLA_H
+
+#include <vector>
+
+#include "explore/explorer.h"
+#include "model/model_config.h"
+
+namespace vtrain {
+
+/** Coefficients of the Chinchilla power law. */
+struct ChinchillaLaw {
+    double alpha = 0.089;
+    double beta = 1.875;
+
+    /** Compute-optimal parameter count for budget C (FLOPs). */
+    double optimalParams(double budget_flops) const;
+
+    /** Compute-optimal token count for budget C (FLOPs). */
+    double optimalTokens(double budget_flops) const;
+
+    /** Tokens needed to compute-optimally train an N-parameter model
+     *  (the paper's Table IV uses tokens = 20 * params). */
+    double tokensForParams(double params) const { return 20.0 * params; }
+
+    /** FLOP budget of a GPU fleet at the given utilization. */
+    static double budgetFlops(int n_gpus, double days,
+                              double peak_flops_per_gpu,
+                              double utilization);
+};
+
+/** One Table IV row: a candidate model with its best plan. */
+struct ChinchillaCandidate {
+    ModelConfig model;
+    double params = 0.0;
+    double tokens = 0.0;
+    ParallelConfig best_plan;
+    double iteration_seconds = 0.0;
+    double utilization = 0.0;
+    double estimated_days = 0.0;
+    bool has_plan = false;
+};
+
+/** Compute-optimal model search driven by vTrain. */
+class ChinchillaPlanner
+{
+  public:
+    /**
+     * @param explorer   design-space explorer over the target cluster.
+     * @param n_gpus     GPUs available (plans must use exactly this).
+     * @param batch_size global batch in sequences for all candidates.
+     */
+    ChinchillaPlanner(const Explorer &explorer, int n_gpus,
+                      int batch_size);
+
+    /**
+     * Evaluates one candidate: finds the fastest exact-GPU-count plan
+     * and the end-to-end days to consume its Chinchilla token budget.
+     */
+    ChinchillaCandidate evaluate(const ModelConfig &model) const;
+
+    /**
+     * Evaluates all candidates and returns them in input order; the
+     * compute-optimal choice is the largest model whose estimated
+     * days fit `budget_days`.
+     */
+    std::vector<ChinchillaCandidate> evaluateAll(
+        const std::vector<ModelConfig> &candidates) const;
+
+    /** @return index of the compute-optimal candidate, or -1. */
+    static int pickOptimal(
+        const std::vector<ChinchillaCandidate> &candidates,
+        double budget_days);
+
+    const ChinchillaLaw &law() const { return law_; }
+
+  private:
+    const Explorer &explorer_;
+    int n_gpus_;
+    int batch_size_;
+    ChinchillaLaw law_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_SCALING_CHINCHILLA_H

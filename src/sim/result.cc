@@ -1,0 +1,20 @@
+#include "sim/result.h"
+
+#include <cstdio>
+
+namespace vtrain {
+
+std::string
+SimulationResult::brief() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "iter=%.3fs util=%.2f%% bubbles=%.1f%% (%zu ops, %zu "
+                  "tasks%s)",
+                  iteration_seconds, 100.0 * utilization,
+                  100.0 * bubble_fraction, num_operators, num_tasks,
+                  extrapolated ? ", extrapolated" : "");
+    return buf;
+}
+
+} // namespace vtrain

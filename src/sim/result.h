@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simulation outputs at the reporting granularity the paper uses:
+ * iteration time, GPU compute utilization, cost-ready projections.
+ */
+#ifndef VTRAIN_SIM_RESULT_H
+#define VTRAIN_SIM_RESULT_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "graph/task_graph.h"
+
+namespace vtrain {
+
+/** Outcome of simulating one training iteration. */
+struct SimulationResult {
+    /** Predicted single-iteration training time, seconds. */
+    double iteration_seconds = 0.0;
+
+    /**
+     * GPU compute utilization: achieved model FLOP/s relative to the
+     * aggregate peak FLOP/s of all t*d*p GPUs (the metric of Fig. 1,
+     * Fig. 10(b) and Table I).
+     */
+    double utilization = 0.0;
+
+    /** Model FLOPs of one iteration (the useful work). */
+    double model_flops = 0.0;
+
+    /** Pipeline-bubble fraction on the bottleneck stage (approx.;
+     *  computed on the simulated prefix when extrapolating). */
+    double bubble_fraction = 0.0;
+
+    /** Total scheduled time by task tag, seconds (simulated prefix). */
+    std::array<double, kNumTaskTags> time_by_tag{};
+
+    /** Graph sizes of the simulated (possibly capped) iteration. */
+    size_t num_operators = 0;
+    size_t num_tasks = 0;
+
+    /** Lookup-table statistics (the O(1) profiling claim). */
+    size_t distinct_operators_profiled = 0;
+    size_t profiler_calls = 0;
+
+    /** Fast-mode bookkeeping. */
+    bool extrapolated = false;
+    int simulated_micro_batches = 0;
+    int total_micro_batches = 0;
+
+    /** Wall-clock cost of the simulation itself, seconds. */
+    double sim_wall_seconds = 0.0;
+
+    /** One-line human-readable summary. */
+    std::string brief() const;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_SIM_RESULT_H

@@ -1,0 +1,131 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "profiling/synthetic_profiler.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace vtrain {
+
+Simulator::Simulator(ClusterSpec cluster, SimOptions options)
+    : cluster_(std::move(cluster)), options_(options), comm_(cluster_)
+{
+}
+
+Simulator::RunOutcome
+Simulator::runOnce(const ModelConfig &model, const ParallelConfig &parallel,
+                   int n_micro) const
+{
+    SyntheticProfiler profiler(cluster_.node.gpu, parallel.precision,
+                               options_.attention);
+    OperatorToTaskTable table(profiler, options_.memoize_profiles);
+
+    GraphBuilder builder(model, parallel, cluster_, comm_);
+    BuildOptions build_options;
+    build_options.n_micro_override = n_micro;
+    const OpGraph ops = builder.build(build_options);
+
+    ExpandOptions expand_options;
+    expand_options.collapse_operators = options_.collapse_operators;
+    expand_options.perturber = options_.perturber;
+    const TaskGraph tasks = TaskGraph::expand(ops, table, expand_options);
+
+    RunOutcome outcome;
+    outcome.engine = runSimulation(tasks);
+    outcome.num_operators = ops.numNodes();
+    outcome.num_tasks = tasks.numTasks();
+    outcome.distinct_profiled = table.numEntries();
+    outcome.profiler_calls = table.numProfilerCalls();
+    return outcome;
+}
+
+SimulationResult
+Simulator::simulateIteration(const ModelConfig &model,
+                             const ParallelConfig &parallel)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+    model.validate();
+    parallel.validate(model, cluster_);
+
+    const int n_micro = parallel.numMicroBatches();
+    // Simulating 2p+2 micro-batches covers warmup, at least one full
+    // steady-state period per stage, and drain for both schedules.
+    const int cap = std::max(2 * parallel.pipeline + 2, 4);
+
+    SimulationResult result;
+    result.total_micro_batches = n_micro;
+
+    if (options_.fast_mode && n_micro > cap + 1) {
+        const RunOutcome base = runOnce(model, parallel, cap);
+        const RunOutcome next = runOnce(model, parallel, cap + 1);
+        const double slope =
+            next.engine.makespan - base.engine.makespan;
+        VTRAIN_CHECK(slope >= 0.0,
+                     "iteration time must grow with micro-batches");
+        result.iteration_seconds =
+            base.engine.makespan +
+            slope * static_cast<double>(n_micro - cap);
+        result.extrapolated = true;
+        result.simulated_micro_batches = cap;
+        result.num_operators = base.num_operators;
+        result.num_tasks = base.num_tasks;
+        result.distinct_operators_profiled = base.distinct_profiled;
+        result.profiler_calls = base.profiler_calls;
+        result.time_by_tag = base.engine.time_by_tag;
+        const double busiest =
+            *std::max_element(base.engine.busy_compute.begin(),
+                              base.engine.busy_compute.end());
+        result.bubble_fraction =
+            1.0 - busiest / base.engine.makespan;
+    } else {
+        const RunOutcome run = runOnce(model, parallel, n_micro);
+        result.iteration_seconds = run.engine.makespan;
+        result.extrapolated = false;
+        result.simulated_micro_batches = n_micro;
+        result.num_operators = run.num_operators;
+        result.num_tasks = run.num_tasks;
+        result.distinct_operators_profiled = run.distinct_profiled;
+        result.profiler_calls = run.profiler_calls;
+        result.time_by_tag = run.engine.time_by_tag;
+        const double busiest =
+            *std::max_element(run.engine.busy_compute.begin(),
+                              run.engine.busy_compute.end());
+        result.bubble_fraction =
+            1.0 - busiest / run.engine.makespan;
+    }
+
+    result.model_flops =
+        model.modelFlops(parallel.tokensPerIteration(model));
+    const double peak =
+        static_cast<double>(parallel.totalGpus()) *
+        cluster_.node.gpu.peakFlops(parallel.precision);
+    result.utilization =
+        result.model_flops / (result.iteration_seconds * peak);
+
+    result.sim_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    return result;
+}
+
+TrainingProjection
+Simulator::projectTraining(const ModelConfig &model,
+                           const ParallelConfig &parallel,
+                           double total_tokens)
+{
+    const SimulationResult iter = simulateIteration(model, parallel);
+    TrainingProjection proj;
+    proj.iteration_seconds = iter.iteration_seconds;
+    proj.num_iterations =
+        std::ceil(total_tokens / parallel.tokensPerIteration(model));
+    proj.total_seconds = proj.iteration_seconds * proj.num_iterations;
+    proj.total_days = proj.total_seconds / kSecPerDay;
+    proj.utilization = iter.utilization;
+    return proj;
+}
+
+} // namespace vtrain

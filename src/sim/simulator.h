@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The vTrain simulator facade (paper Fig. 4, steps 1-5).
+ *
+ * Ties the pipeline together: input description -> operator graph ->
+ * operator-to-task lookup table -> task graph -> Algorithm 1 -> the
+ * predicted single-iteration training time, plus end-to-end training
+ * time and utilization projections.
+ *
+ * Fast mode: the paper's key structural observation is that training
+ * iterations are statically determined and repetitive.  Beyond the
+ * pipeline warmup/drain, every additional micro-batch adds a constant
+ * steady-state period, so the iteration time is affine in the
+ * micro-batch count.  Fast mode simulates two capped micro-batch
+ * counts (2p+2 and 2p+3) exactly and extrapolates the affine tail;
+ * exact and fast mode agree to floating-point tolerance (covered by
+ * tests), while design-space sweeps run orders of magnitude faster.
+ */
+#ifndef VTRAIN_SIM_SIMULATOR_H
+#define VTRAIN_SIM_SIMULATOR_H
+
+#include "comm/comm_model.h"
+#include "graph/builder.h"
+#include "hw/cluster_spec.h"
+#include "model/model_config.h"
+#include "parallel/parallel_config.h"
+#include "profiling/synthetic_profiler.h"
+#include "sim/engine.h"
+#include "sim/result.h"
+
+namespace vtrain {
+
+/** Simulator-level options. */
+struct SimOptions {
+    /** Enable affine micro-batch extrapolation (see file comment). */
+    bool fast_mode = true;
+
+    /** Disable the necessary-operator memoization (ablation only). */
+    bool memoize_profiles = true;
+
+    /** Collapse operator kernel chains to single tasks (ablation). */
+    bool collapse_operators = false;
+
+    /** Attention-kernel implementation of the modelled framework. */
+    AttentionImpl attention = AttentionImpl::Megatron;
+
+    /** Optional duration perturbation (the testbed surrogate). */
+    const Perturber *perturber = nullptr;
+};
+
+/** End-to-end training projection for a fixed token budget. */
+struct TrainingProjection {
+    double iteration_seconds = 0.0;
+    double num_iterations = 0.0;
+    double total_seconds = 0.0;
+    double total_days = 0.0;
+    double utilization = 0.0;
+};
+
+/** The profiling-driven LLM training-time simulator. */
+class Simulator
+{
+  public:
+    explicit Simulator(ClusterSpec cluster, SimOptions options = {});
+
+    /** Predicts the single-iteration training time of a plan. */
+    SimulationResult simulateIteration(const ModelConfig &model,
+                                       const ParallelConfig &parallel);
+
+    /**
+     * Projects end-to-end wall-clock training time: iteration time
+     * times the iteration count needed to consume `total_tokens`
+     * (Sec. III-E).
+     */
+    TrainingProjection projectTraining(const ModelConfig &model,
+                                       const ParallelConfig &parallel,
+                                       double total_tokens);
+
+    const ClusterSpec &cluster() const { return cluster_; }
+    const CommModel &commModel() const { return comm_; }
+    const SimOptions &options() const { return options_; }
+
+  private:
+    struct RunOutcome {
+        EngineResult engine;
+        size_t num_operators = 0;
+        size_t num_tasks = 0;
+        size_t distinct_profiled = 0;
+        size_t profiler_calls = 0;
+    };
+
+    /** Builds and simulates one iteration with n_micro micro-batches. */
+    RunOutcome runOnce(const ModelConfig &model,
+                       const ParallelConfig &parallel, int n_micro) const;
+
+    ClusterSpec cluster_;
+    SimOptions options_;
+    CommModel comm_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_SIM_SIMULATOR_H

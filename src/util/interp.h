@@ -1,0 +1,60 @@
+/**
+ * @file
+ * 1-D interpolation over sorted sample tables.
+ *
+ * The NCCL latency table (Sec. III-D of the paper) stores profiled
+ * All-Reduce latencies at discrete data sizes and interpolates between
+ * them; log-log interpolation matches the near-power-law behaviour of
+ * collective latency vs. message size.
+ */
+#ifndef VTRAIN_UTIL_INTERP_H
+#define VTRAIN_UTIL_INTERP_H
+
+#include <cstddef>
+#include <vector>
+
+namespace vtrain {
+
+/** A monotone (x, y) sample table supporting interpolation. */
+class InterpTable
+{
+  public:
+    InterpTable() = default;
+
+    /**
+     * Builds the table.
+     *
+     * @param xs strictly increasing sample abscissae.
+     * @param ys sample values (same length as xs).
+     */
+    InterpTable(std::vector<double> xs, std::vector<double> ys);
+
+    /** Adds one sample; x must exceed the last x already present. */
+    void addSample(double x, double y);
+
+    /**
+     * Piecewise-linear interpolation; clamps slope beyond the table
+     * ends (linear extrapolation from the boundary segment).
+     */
+    double linear(double x) const;
+
+    /**
+     * Log-log interpolation: linear in (log x, log y).  Requires all
+     * xs and ys to be positive.  Extrapolates the boundary power law.
+     */
+    double loglog(double x) const;
+
+    bool empty() const { return xs_.empty(); }
+    size_t size() const { return xs_.size(); }
+
+  private:
+    /** Index of the segment [i, i+1] containing (or nearest to) x. */
+    size_t segmentFor(double x) const;
+
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_UTIL_INTERP_H

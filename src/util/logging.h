@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Error-reporting and logging helpers used across vTrain.
+ *
+ * Follows the gem5 fatal()/panic() convention:
+ *   - fatal():  the simulation cannot continue because of a user error
+ *               (bad configuration, invalid arguments).
+ *   - panic():  an internal invariant was violated (a vTrain bug).
+ *   - warn()/inform(): status messages that never stop the simulation.
+ */
+#ifndef VTRAIN_UTIL_LOGGING_H
+#define VTRAIN_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace vtrain {
+
+/** Abort with an internal-error message; use for violated invariants. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit with a user-error message; use for invalid configurations. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr; never stops execution. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Enable or disable inform() output globally (benches silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is currently enabled. */
+bool verbose();
+
+namespace detail {
+
+/** Builds a message string from stream-style arguments. */
+template <typename... Args>
+std::string
+formatMsg(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+} // namespace vtrain
+
+#define VTRAIN_PANIC(...) \
+    ::vtrain::panicImpl(__FILE__, __LINE__, \
+                        ::vtrain::detail::formatMsg(__VA_ARGS__))
+
+#define VTRAIN_FATAL(...) \
+    ::vtrain::fatalImpl(__FILE__, __LINE__, \
+                        ::vtrain::detail::formatMsg(__VA_ARGS__))
+
+#define VTRAIN_WARN(...) \
+    ::vtrain::warnImpl(__FILE__, __LINE__, \
+                       ::vtrain::detail::formatMsg(__VA_ARGS__))
+
+#define VTRAIN_INFORM(...) \
+    ::vtrain::informImpl(::vtrain::detail::formatMsg(__VA_ARGS__))
+
+/** Internal-consistency check; aborts with a panic on failure. */
+#define VTRAIN_CHECK(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            VTRAIN_PANIC("check failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+/** User-input validation; exits with a fatal error on failure. */
+#define VTRAIN_REQUIRE(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            VTRAIN_FATAL("requirement failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // VTRAIN_UTIL_LOGGING_H

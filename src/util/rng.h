@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic random-number helpers.
+ *
+ * Every stochastic component of vTrain (the testbed surrogate's
+ * jitter, the cluster-trace generator) draws from a seeded Rng so that
+ * all benches and tests are reproducible run-to-run.
+ */
+#ifndef VTRAIN_UTIL_RNG_H
+#define VTRAIN_UTIL_RNG_H
+
+#include <cstdint>
+#include <random>
+
+namespace vtrain {
+
+/** Seeded pseudo-random generator with distribution helpers. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : engine_(seed) {}
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        std::uniform_real_distribution<double> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        std::uniform_int_distribution<int64_t> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Normal sample with the given mean and standard deviation. */
+    double
+    normal(double mu, double sigma)
+    {
+        std::normal_distribution<double> dist(mu, sigma);
+        return dist(engine_);
+    }
+
+    /** Lognormal sample; mu/sigma are the parameters of log(X). */
+    double
+    lognormal(double mu, double sigma)
+    {
+        std::lognormal_distribution<double> dist(mu, sigma);
+        return dist(engine_);
+    }
+
+    /** Exponential sample with the given rate. */
+    double
+    exponential(double rate)
+    {
+        std::exponential_distribution<double> dist(rate);
+        return dist(engine_);
+    }
+
+    /** Access the raw engine (e.g. for std::shuffle). */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_UTIL_RNG_H

@@ -1,0 +1,128 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mu = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mu) * (x - mu);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    double m = std::numeric_limits<double>::infinity();
+    for (double x : xs)
+        m = std::min(m, x);
+    return m;
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    double m = -std::numeric_limits<double>::infinity();
+    for (double x : xs)
+        m = std::max(m, x);
+    return m;
+}
+
+double
+percentile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        return 0.0;
+    VTRAIN_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<size_t>(std::floor(pos));
+    const auto hi = static_cast<size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+mape(const std::vector<double> &predicted, const std::vector<double> &measured)
+{
+    VTRAIN_CHECK(predicted.size() == measured.size(),
+                 "prediction/measurement size mismatch");
+    if (predicted.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < predicted.size(); ++i) {
+        VTRAIN_CHECK(measured[i] != 0.0, "measured value must be nonzero");
+        sum += std::abs((predicted[i] - measured[i]) / measured[i]);
+    }
+    return 100.0 * sum / static_cast<double>(predicted.size());
+}
+
+double
+rSquared(const std::vector<double> &predicted,
+         const std::vector<double> &measured)
+{
+    VTRAIN_CHECK(predicted.size() == measured.size(),
+                 "prediction/measurement size mismatch");
+    if (predicted.size() < 2)
+        return 0.0;
+    const double mu = mean(measured);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (size_t i = 0; i < predicted.size(); ++i) {
+        ss_res += (measured[i] - predicted[i]) * (measured[i] - predicted[i]);
+        ss_tot += (measured[i] - mu) * (measured[i] - mu);
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+LinearFit
+linearFit(const std::vector<double> &x, const std::vector<double> &y)
+{
+    VTRAIN_CHECK(x.size() == y.size(), "fit input size mismatch");
+    LinearFit fit;
+    const auto n = static_cast<double>(x.size());
+    if (x.size() < 2)
+        return fit;
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxx = 0.0;
+    double sxy = 0.0;
+    double syy = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        sxx += (x[i] - mx) * (x[i] - mx);
+        sxy += (x[i] - mx) * (y[i] - my);
+        syy += (y[i] - my) * (y[i] - my);
+    }
+    (void)n;
+    if (sxx == 0.0)
+        return fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+} // namespace vtrain

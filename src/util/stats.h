@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Descriptive statistics and regression metrics.
+ *
+ * Used by the validation benches (Fig. 9, Table II) to compute the
+ * mean absolute percentage error (MAPE) and coefficient of
+ * determination (R^2) between vTrain predictions and testbed
+ * measurements, and by the cluster study for aggregate metrics.
+ */
+#ifndef VTRAIN_UTIL_STATS_H
+#define VTRAIN_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace vtrain {
+
+/** @return arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** @return sample standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &xs);
+
+/** @return minimum element; +inf for an empty input. */
+double minOf(const std::vector<double> &xs);
+
+/** @return maximum element; -inf for an empty input. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * @return the q-quantile (q in [0,1]) using linear interpolation
+ *         between closest ranks; 0 for an empty input.
+ */
+double percentile(std::vector<double> xs, double q);
+
+/**
+ * Mean absolute percentage error of predictions vs. references.
+ *
+ * @param predicted predicted values.
+ * @param measured  reference ("measured") values; entries must be
+ *                  nonzero.
+ * @return MAPE in percent (e.g. 8.37 means 8.37%).
+ */
+double mape(const std::vector<double> &predicted,
+            const std::vector<double> &measured);
+
+/**
+ * Coefficient of determination (R^2) of predictions against
+ * measurements, computed as 1 - SS_res / SS_tot about the measured
+ * mean, i.e. how well the y=x predictor explains the measurements.
+ */
+double rSquared(const std::vector<double> &predicted,
+                const std::vector<double> &measured);
+
+/** Result of an ordinary least-squares fit y = slope * x + intercept. */
+struct LinearFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Pearson correlation squared of the fit. */
+    double r2 = 0.0;
+};
+
+/** Ordinary least-squares fit of y against x (sizes must match). */
+LinearFit linearFit(const std::vector<double> &x,
+                    const std::vector<double> &y);
+
+} // namespace vtrain
+
+#endif // VTRAIN_UTIL_STATS_H

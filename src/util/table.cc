@@ -1,0 +1,113 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace vtrain {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    VTRAIN_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    VTRAIN_CHECK(row.size() == header_.size(),
+                 "row width ", row.size(), " != header width ",
+                 header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    print_row(header_);
+    os << "|";
+    for (size_t c = 0; c < header_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            const bool quote =
+                row[c].find(',') != std::string::npos ||
+                row[c].find('"') != std::string::npos;
+            if (quote) {
+                os << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << row[c];
+            }
+        }
+        os << "\n";
+    };
+    print_row(header_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtInt(long long v)
+{
+    char raw[32];
+    std::snprintf(raw, sizeof(raw), "%lld", v < 0 ? -v : v);
+    std::string digits(raw);
+    std::string out;
+    const size_t n = digits.size();
+    for (size_t i = 0; i < n; ++i) {
+        out += digits[i];
+        const size_t remaining = n - i - 1;
+        if (remaining > 0 && remaining % 3 == 0)
+            out += ',';
+    }
+    return (v < 0 ? "-" : "") + out;
+}
+
+std::string
+fmtPercent(double ratio, int decimals)
+{
+    return fmtDouble(100.0 * ratio, decimals) + "%";
+}
+
+} // namespace vtrain

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII table and CSV writers used by the benches to print the paper's
+ * tables and figure series in a readable, diff-friendly form.
+ */
+#ifndef VTRAIN_UTIL_TABLE_H
+#define VTRAIN_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vtrain {
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Sets the header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Appends a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: formats each cell with %g / strings mixed. */
+    void
+    addRow(std::initializer_list<std::string> row)
+    {
+        addRow(std::vector<std::string>(row));
+    }
+
+    /** Renders the table with column alignment and a separator rule. */
+    void print(std::ostream &os) const;
+
+    /** Renders the table as CSV (comma-separated, quoted as needed). */
+    void printCsv(std::ostream &os) const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with the given number of decimals. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Formats an integer with thousands separators ("11,200"). */
+std::string fmtInt(long long v);
+
+/** Formats a ratio as a percentage string ("42.67%"). */
+std::string fmtPercent(double ratio, int decimals = 2);
+
+} // namespace vtrain
+
+#endif // VTRAIN_UTIL_TABLE_H

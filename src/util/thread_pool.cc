@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace vtrain {
+
+ThreadPool::ThreadPool(size_t n_threads)
+{
+    if (n_threads == 0) {
+        n_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(n_threads);
+    for (size_t i = 0; i < n_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+        ++in_flight_;
+    }
+    cv_task_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    for (size_t i = 0; i < n; ++i)
+        submit([i, &fn] { fn(i); });
+    wait();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                cv_done_.notify_all();
+        }
+    }
+}
+
+} // namespace vtrain

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A fixed-size worker pool used by the design-space explorer.
+ *
+ * Section III-F of the paper notes that design-space exploration is
+ * embarrassingly parallel across CPU cores; ThreadPool provides that
+ * parallelism for Explorer::sweep().
+ */
+#ifndef VTRAIN_UTIL_THREAD_POOL_H
+#define VTRAIN_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vtrain {
+
+/** A minimal task-queue thread pool. */
+class ThreadPool
+{
+  public:
+    /** @param n_threads worker count; 0 selects hardware concurrency. */
+    explicit ThreadPool(size_t n_threads = 0);
+
+    /** Drains the queue and joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueues a task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /** Blocks until every submitted task has finished. */
+    void wait();
+
+    size_t numThreads() const { return workers_.size(); }
+
+    /**
+     * Runs fn(i) for i in [0, n) across the pool and waits for
+     * completion.  fn must be safe to call concurrently.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_task_;
+    std::condition_variable cv_done_;
+    size_t in_flight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_UTIL_THREAD_POOL_H

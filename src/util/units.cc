@@ -1,0 +1,74 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vtrain {
+
+namespace {
+
+std::string
+formatScaled(double value, const char *const *suffixes, int n_suffixes,
+             double base)
+{
+    int idx = 0;
+    double v = value;
+    while (std::abs(v) >= base && idx < n_suffixes - 1) {
+        v /= base;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[idx]);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *suffixes[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+    return formatScaled(bytes, suffixes, 6, 1e3);
+}
+
+std::string
+formatSeconds(double sec)
+{
+    char buf[64];
+    if (sec >= kSecPerDay) {
+        std::snprintf(buf, sizeof(buf), "%.2f days", sec / kSecPerDay);
+    } else if (sec >= kSecPerHour) {
+        std::snprintf(buf, sizeof(buf), "%.2f h", sec / kSecPerHour);
+    } else if (sec >= 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.3f s", sec);
+    } else if (sec >= 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.3f ms", sec * 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f us", sec * 1e6);
+    }
+    return buf;
+}
+
+std::string
+formatFlops(double flops)
+{
+    static const char *suffixes[] = {"FLOPS", "KFLOPS", "MFLOPS", "GFLOPS",
+                                     "TFLOPS", "PFLOPS", "EFLOPS"};
+    return formatScaled(flops, suffixes, 7, 1e3);
+}
+
+std::string
+formatDollars(double dollars)
+{
+    char buf[64];
+    if (std::abs(dollars) >= 1e6) {
+        std::snprintf(buf, sizeof(buf), "$%.2fM", dollars / 1e6);
+    } else if (std::abs(dollars) >= 1e3) {
+        std::snprintf(buf, sizeof(buf), "$%.1fK", dollars / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "$%.2f", dollars);
+    }
+    return buf;
+}
+
+} // namespace vtrain

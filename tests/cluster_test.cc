@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Tests of the multi-tenant cluster subsystem: throughput profiles,
+ * the ElasticFlow allocator, the event-driven cluster simulator, the
+ * trace generator and the scheduling metrics.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/cluster_sim.h"
+#include "cluster/metrics.h"
+#include "cluster/scheduler.h"
+#include "cluster/throughput_profile.h"
+#include "cluster/trace.h"
+#include "model/zoo.h"
+
+namespace vtrain {
+namespace {
+
+/** Linear-ish profile: throughput = g/8 iterations/s at g GPUs. */
+ThroughputProfile
+linearProfile(std::vector<int> gpus, double thr_per_gpu = 1.0 / 8.0)
+{
+    std::vector<ProfilePoint> points;
+    for (int g : gpus)
+        points.push_back(
+            ProfilePoint{g, thr_per_gpu * g, ParallelConfig{}});
+    return ThroughputProfile::fromPoints(std::move(points));
+}
+
+/** Sub-linear profile with diminishing returns. */
+ThroughputProfile
+sublinearProfile(std::vector<int> gpus)
+{
+    std::vector<ProfilePoint> points;
+    for (int g : gpus)
+        points.push_back(ProfilePoint{
+            g, std::sqrt(static_cast<double>(g)), ParallelConfig{}});
+    return ThroughputProfile::fromPoints(std::move(points));
+}
+
+// ---------------------------------------------------------------------
+// ThroughputProfile
+// ---------------------------------------------------------------------
+
+TEST(Profile, FromPointsSortsAndCleans)
+{
+    std::vector<ProfilePoint> points{
+        {32, 1.0, {}}, {8, 2.0, {}}, {16, 1.5, {}}};
+    const auto profile =
+        ThroughputProfile::fromPoints(std::move(points));
+    EXPECT_EQ(profile.minGpus(), 8);
+    EXPECT_EQ(profile.maxGpus(), 32);
+    // 16 and 32 GPUs were slower than 8; cleaned to carry 2.0 forward.
+    EXPECT_DOUBLE_EQ(profile.throughputAt(16), 2.0);
+    EXPECT_DOUBLE_EQ(profile.throughputAt(32), 2.0);
+}
+
+TEST(Profile, ThroughputAtUnknownCountZero)
+{
+    const auto profile = linearProfile({8, 16});
+    EXPECT_DOUBLE_EQ(profile.throughputAt(24), 0.0);
+    EXPECT_EQ(profile.indexOf(24), -1);
+}
+
+TEST(Profile, MinSatisfactoryIndex)
+{
+    const auto profile = linearProfile({8, 16, 32}); // 1, 2, 4 it/s
+    // 100 iterations in 60 s needs >= 100/60 it/s -> 16 GPUs (idx 1).
+    EXPECT_EQ(profile.minSatisfactoryIndex(100.0, 60.0), 1);
+    // In 10 s even 4 it/s is not enough.
+    EXPECT_EQ(profile.minSatisfactoryIndex(100.0, 10.0), -1);
+    // Plenty of time: the smallest allocation works.
+    EXPECT_EQ(profile.minSatisfactoryIndex(100.0, 1000.0), 0);
+}
+
+TEST(Profile, BaselineMinTpMatchesPaper)
+{
+    // Sec. V-B: the baseline parallelizes the 39.1B model with 8-way
+    // tensor and 2-way pipeline parallelism; the 18.4B model fits at
+    // (8, 1); the 81.2B model needs (8, 4).
+    const ClusterSpec cluster = makeCluster(1024);
+    EXPECT_EQ(ThroughputProfile::baselineMinTp(zoo::scaled18_4b(),
+                                               cluster, 1024),
+              (std::pair<int, int>{8, 1}));
+    EXPECT_EQ(ThroughputProfile::baselineMinTp(zoo::scaled39_1b(),
+                                               cluster, 1536),
+              (std::pair<int, int>{8, 2}));
+    EXPECT_EQ(ThroughputProfile::baselineMinTp(zoo::scaled81_2b(),
+                                               cluster, 1792),
+              (std::pair<int, int>{8, 4}));
+}
+
+// ---------------------------------------------------------------------
+// ElasticFlow allocator
+// ---------------------------------------------------------------------
+
+AllocationRequest
+request(const ThroughputProfile &profile, double iterations,
+        double deadline = 0.0, double arrival = 0.0)
+{
+    AllocationRequest req;
+    req.profile = &profile;
+    req.remaining_iterations = iterations;
+    req.deadline_seconds = deadline;
+    req.arrival_seconds = arrival;
+    return req;
+}
+
+TEST(Scheduler, SingleBestEffortJobGetsMaxUseful)
+{
+    const auto profile = linearProfile({8, 16, 32});
+    const auto d = elasticFlowAllocate({request(profile, 100.0)}, 0.0,
+                                       64);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].n_gpus, 32); // linear gains: climb to the top
+    EXPECT_FALSE(d[0].terminate);
+}
+
+TEST(Scheduler, CapacityNeverExceeded)
+{
+    const auto profile = linearProfile({8, 16, 32});
+    std::vector<AllocationRequest> reqs;
+    for (int i = 0; i < 7; ++i)
+        reqs.push_back(request(profile, 100.0, 0.0, i));
+    const auto d = elasticFlowAllocate(reqs, 0.0, 48);
+    int total = 0;
+    for (const auto &dec : d)
+        total += dec.n_gpus;
+    EXPECT_LE(total, 48);
+    EXPECT_GT(total, 0);
+}
+
+TEST(Scheduler, DeadlineJobGetsMinimumShare)
+{
+    const auto profile = linearProfile({8, 16, 32}); // 1, 2, 4 it/s
+    // 100 iterations, 55 s to deadline -> needs 2 it/s -> 16 GPUs.
+    const auto d = elasticFlowAllocate(
+        {request(profile, 100.0, 55.0)}, 0.0, 16);
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].n_gpus, 16);
+}
+
+TEST(Scheduler, UnsatisfiableDeadlineTerminated)
+{
+    const auto profile = linearProfile({8, 16, 32});
+    const auto d = elasticFlowAllocate(
+        {request(profile, 1000.0, 10.0)}, 0.0, 64);
+    EXPECT_TRUE(d[0].terminate);
+    EXPECT_EQ(d[0].n_gpus, 0);
+}
+
+TEST(Scheduler, EarlierDeadlineAdmittedFirst)
+{
+    const auto profile = linearProfile({8, 16, 32});
+    // Two jobs each needing their full 32 GPUs; only 32 available.
+    // The earlier deadline is admitted, the later one terminated.
+    const auto d = elasticFlowAllocate(
+        {request(profile, 100.0, 26.0, 0.0),
+         request(profile, 100.0, 25.0, 1.0)},
+        0.0, 32);
+    EXPECT_TRUE(d[0].terminate);
+    EXPECT_FALSE(d[1].terminate);
+    EXPECT_EQ(d[1].n_gpus, 32);
+}
+
+TEST(Scheduler, LeftoverDistributedByMarginalGain)
+{
+    // Job A gains 0.125 it/s per GPU at every step; job B only
+    // 0.0625 it/s per GPU.  With 24 GPUs, A climbs to 16 first and B
+    // gets the remaining 8.
+    const auto efficient = linearProfile({8, 16}, 1.0 / 8.0);
+    const auto inefficient = linearProfile({8, 16}, 1.0 / 16.0);
+    const auto d = elasticFlowAllocate(
+        {request(efficient, 1e6), request(inefficient, 1e6)}, 0.0, 24);
+    EXPECT_EQ(d[0].n_gpus, 16);
+    EXPECT_EQ(d[1].n_gpus, 8);
+}
+
+TEST(Scheduler, DeadlineTimeAccountsForNow)
+{
+    const auto profile = linearProfile({8, 16, 32});
+    // At now = 50, a deadline of 105 leaves 55 s -> 16 GPUs minimum.
+    const auto d = elasticFlowAllocate(
+        {request(profile, 100.0, 105.0)}, 50.0, 16);
+    EXPECT_EQ(d[0].n_gpus, 16);
+}
+
+// ---------------------------------------------------------------------
+// Cluster simulator
+// ---------------------------------------------------------------------
+
+JobSpec
+job(int id, const ModelConfig &model, double iterations, double arrival,
+    double deadline = 0.0)
+{
+    JobSpec spec;
+    spec.id = id;
+    spec.model = model;
+    spec.total_iterations = iterations;
+    spec.arrival_seconds = arrival;
+    spec.deadline_seconds = deadline;
+    return spec;
+}
+
+TEST(ClusterSim, SingleJobRunsAtFullProfile)
+{
+    ModelConfig model = zoo::scaled18_4b();
+    const auto profile = linearProfile({8, 16, 32}); // up to 4 it/s
+    ClusterSimulator sim(ClusterSimConfig{32},
+                         {{model.name, &profile}});
+    const auto outcomes = sim.run({job(0, model, 400.0, 10.0)});
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].completed);
+    // 400 iterations at 4 it/s = 100 s after the t=10 arrival.
+    EXPECT_NEAR(outcomes[0].completion_seconds, 110.0, 1e-6);
+    EXPECT_NEAR(outcomes[0].jctSeconds(), 100.0, 1e-6);
+}
+
+TEST(ClusterSim, TwoJobsShareThenExpand)
+{
+    ModelConfig model = zoo::scaled18_4b();
+    const auto profile = linearProfile({8, 16}); // 1 or 2 it/s
+    ClusterSimulator sim(ClusterSimConfig{32},
+                         {{model.name, &profile}});
+    const auto outcomes = sim.run(
+        {job(0, model, 200.0, 0.0), job(1, model, 200.0, 0.0)});
+    // Both fit at 16 GPUs simultaneously: each takes 100 s.
+    EXPECT_NEAR(outcomes[0].completion_seconds, 100.0, 1e-6);
+    EXPECT_NEAR(outcomes[1].completion_seconds, 100.0, 1e-6);
+}
+
+TEST(ClusterSim, QueuedJobWaitsForCapacity)
+{
+    ModelConfig model = zoo::scaled18_4b();
+    const auto profile = linearProfile({16}); // only one size
+    ClusterSimulator sim(ClusterSimConfig{16},
+                         {{model.name, &profile}});
+    const auto outcomes = sim.run(
+        {job(0, model, 200.0, 0.0), job(1, model, 200.0, 0.0)});
+    // One runs 0..100, the other 100..200.
+    std::vector<double> ends{outcomes[0].completion_seconds,
+                             outcomes[1].completion_seconds};
+    std::sort(ends.begin(), ends.end());
+    EXPECT_NEAR(ends[0], 100.0, 1e-6);
+    EXPECT_NEAR(ends[1], 200.0, 1e-6);
+}
+
+TEST(ClusterSim, DeadlineViolationTerminates)
+{
+    ModelConfig model = zoo::scaled18_4b();
+    const auto profile = linearProfile({16}); // 2 it/s
+    ClusterSimulator sim(ClusterSimConfig{16},
+                         {{model.name, &profile}});
+    // 1000 iterations need 500 s; the deadline allows 100 s.
+    const auto outcomes =
+        sim.run({job(0, model, 1000.0, 0.0, 100.0)});
+    EXPECT_TRUE(outcomes[0].terminated);
+    EXPECT_FALSE(outcomes[0].completed);
+    EXPECT_FALSE(outcomes[0].metDeadline());
+}
+
+TEST(ClusterSim, DeadlineMetWhenFeasible)
+{
+    ModelConfig model = zoo::scaled18_4b();
+    const auto profile = linearProfile({16});
+    ClusterSimulator sim(ClusterSimConfig{16},
+                         {{model.name, &profile}});
+    const auto outcomes =
+        sim.run({job(0, model, 100.0, 0.0, 100.0)});
+    EXPECT_TRUE(outcomes[0].metDeadline());
+}
+
+TEST(ClusterSim, MissingProfileFatal)
+{
+    ModelConfig model = zoo::scaled18_4b();
+    ClusterSimulator sim(ClusterSimConfig{16}, {});
+    EXPECT_THROW(sim.run({job(0, model, 10.0, 0.0)}),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Trace generation
+// ---------------------------------------------------------------------
+
+TEST(Trace, Deterministic)
+{
+    TraceSpec spec;
+    spec.n_jobs = 16;
+    spec.seed = 3;
+    const auto models = zoo::tableIIIModels();
+    auto batch_of = [](const ModelConfig &m) {
+        return zoo::tableIIIBatchSize(m);
+    };
+    auto ref = [](const ModelConfig &) { return 10.0; };
+    const auto a = generateTrace(spec, models, batch_of, ref);
+    const auto b = generateTrace(spec, models, batch_of, ref);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+        EXPECT_DOUBLE_EQ(a[i].total_iterations, b[i].total_iterations);
+        EXPECT_EQ(a[i].model.name, b[i].model.name);
+    }
+}
+
+TEST(Trace, ArrivalsInsideWindowAndSorted)
+{
+    TraceSpec spec;
+    spec.n_jobs = 64;
+    spec.seed = 9;
+    spec.arrival_window_seconds = 1000.0;
+    const auto jobs =
+        generateTrace(spec, {zoo::scaled18_4b()},
+                      [](const ModelConfig &) { return 1024; },
+                      [](const ModelConfig &) { return 10.0; });
+    double prev = 0.0;
+    for (const auto &j : jobs) {
+        EXPECT_GE(j.arrival_seconds, prev);
+        EXPECT_LE(j.arrival_seconds, 1000.0 + 1e-9);
+        prev = j.arrival_seconds;
+    }
+}
+
+TEST(Trace, SimultaneousArrivalsForMakespanStudy)
+{
+    TraceSpec spec;
+    spec.n_jobs = 8;
+    spec.arrival_window_seconds = 0.0; // all at t = 0 (Fig. 14)
+    spec.with_deadlines = false;
+    const auto jobs =
+        generateTrace(spec, {zoo::scaled18_4b()},
+                      [](const ModelConfig &) { return 1024; },
+                      [](const ModelConfig &) { return 10.0; });
+    for (const auto &j : jobs) {
+        EXPECT_DOUBLE_EQ(j.arrival_seconds, 0.0);
+        EXPECT_FALSE(j.hasDeadline());
+    }
+}
+
+TEST(Trace, DeadlineLambdaWithinRange)
+{
+    TraceSpec spec;
+    spec.n_jobs = 64;
+    spec.seed = 5;
+    const double ref_iter = 7.0;
+    const auto jobs =
+        generateTrace(spec, {zoo::scaled18_4b()},
+                      [](const ModelConfig &) { return 1024; },
+                      [&](const ModelConfig &) { return ref_iter; });
+    for (const auto &j : jobs) {
+        const double duration = j.total_iterations * ref_iter;
+        const double lambda =
+            (j.deadline_seconds - j.arrival_seconds) / duration;
+        EXPECT_GE(lambda, 0.5 - 1e-9);
+        EXPECT_LE(lambda, 1.5 + 1e-9);
+    }
+}
+
+TEST(Trace, IterationBounds)
+{
+    TraceSpec spec;
+    spec.n_jobs = 128;
+    spec.seed = 13;
+    spec.min_iterations = 500.0;
+    spec.max_iterations = 2000.0;
+    const auto jobs =
+        generateTrace(spec, {zoo::scaled18_4b()},
+                      [](const ModelConfig &) { return 1024; },
+                      [](const ModelConfig &) { return 10.0; });
+    for (const auto &j : jobs) {
+        EXPECT_GE(j.total_iterations, 499.0);
+        EXPECT_LE(j.total_iterations, 2000.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+TEST(Metrics, DeadlineRatio)
+{
+    std::vector<JobOutcome> outcomes(4);
+    for (int i = 0; i < 4; ++i) {
+        outcomes[i].spec = job(i, zoo::scaled18_4b(), 10.0, 0.0, 100.0);
+        outcomes[i].completed = i < 3;
+        outcomes[i].completion_seconds = (i == 2) ? 150.0 : 50.0;
+    }
+    // Jobs 0 and 1 met the deadline; job 2 finished late; job 3 never
+    // finished.
+    EXPECT_DOUBLE_EQ(deadlineSatisfactoryRatio(outcomes), 0.5);
+}
+
+TEST(Metrics, AverageJctSkipsIncomplete)
+{
+    std::vector<JobOutcome> outcomes(2);
+    outcomes[0].spec = job(0, zoo::scaled18_4b(), 10.0, 10.0);
+    outcomes[0].completed = true;
+    outcomes[0].completion_seconds = 110.0;
+    outcomes[1].spec = job(1, zoo::scaled18_4b(), 10.0, 0.0);
+    outcomes[1].completed = false;
+    EXPECT_DOUBLE_EQ(averageJctSeconds(outcomes), 100.0);
+}
+
+TEST(Metrics, Makespan)
+{
+    std::vector<JobOutcome> outcomes(2);
+    outcomes[0].completed = true;
+    outcomes[0].completion_seconds = 120.0;
+    outcomes[1].completed = true;
+    outcomes[1].completion_seconds = 80.0;
+    EXPECT_DOUBLE_EQ(makespanSeconds(outcomes), 120.0);
+}
+
+TEST(Metrics, EmptyInputs)
+{
+    EXPECT_DOUBLE_EQ(deadlineSatisfactoryRatio({}), 0.0);
+    EXPECT_DOUBLE_EQ(averageJctSeconds({}), 0.0);
+    EXPECT_DOUBLE_EQ(makespanSeconds({}), 0.0);
+}
+
+} // namespace
+} // namespace vtrain

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for src/comm/: the NCCL latency table, the Eq. 1
+ * analytical model and scope resolution.
+ */
+#include <gtest/gtest.h>
+
+#include "comm/analytical_model.h"
+#include "comm/comm_model.h"
+#include "comm/nccl_table.h"
+#include "util/units.h"
+
+namespace vtrain {
+namespace {
+
+ParallelConfig
+plan(int t, int d, int p)
+{
+    ParallelConfig out;
+    out.tensor = t;
+    out.data = d;
+    out.pipeline = p;
+    out.global_batch_size = 1024;
+    return out;
+}
+
+TEST(NcclTable, RingModelMatchesFormula)
+{
+    const NodeSpec node = dgxA100Node();
+    const double bytes = 64.0 * kMB;
+    const double t = NcclLatencyTable::ringModelSeconds(node, 8, bytes);
+    const double busbw = 0.77 * node.nvlink_bandwidth * bytes /
+                         (bytes + 4.0 * kMB);
+    const double expected =
+        node.nvlink_latency * 16.0 + (2.0 * 7.0 / 8.0) * bytes / busbw;
+    EXPECT_NEAR(t, expected, 1e-12);
+}
+
+TEST(NcclTable, InterpolatesExactlyAtSamples)
+{
+    const NodeSpec node = dgxA100Node();
+    NcclLatencyTable table(node);
+    for (double mb : {1.0, 16.0, 256.0, 1024.0}) {
+        EXPECT_NEAR(
+            table.allReduceSeconds(8, mb * kMB),
+            NcclLatencyTable::ringModelSeconds(node, 8, mb * kMB),
+            1e-9);
+    }
+}
+
+TEST(NcclTable, InterpolatesBetweenSamples)
+{
+    const NodeSpec node = dgxA100Node();
+    NcclLatencyTable table(node);
+    // 96 MB sits between the 64 MB and 128 MB samples; the log-log
+    // interpolant must land between them.
+    const double t64 = table.allReduceSeconds(8, 64.0 * kMB);
+    const double t96 = table.allReduceSeconds(8, 96.0 * kMB);
+    const double t128 = table.allReduceSeconds(8, 128.0 * kMB);
+    EXPECT_GT(t96, t64);
+    EXPECT_LT(t96, t128);
+}
+
+TEST(NcclTable, MonotoneInSize)
+{
+    NcclLatencyTable table(dgxA100Node());
+    double prev = 0.0;
+    for (double mb = 1.0; mb <= 1024.0; mb *= 2.0) {
+        const double t = table.allReduceSeconds(8, mb * kMB);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(NcclTable, MoreGpusMoreTime)
+{
+    NcclLatencyTable table(dgxA100Node());
+    const double bytes = 128.0 * kMB;
+    EXPECT_LT(table.allReduceSeconds(2, bytes),
+              table.allReduceSeconds(4, bytes));
+    EXPECT_LT(table.allReduceSeconds(4, bytes),
+              table.allReduceSeconds(8, bytes));
+}
+
+TEST(NcclTable, ProfiledCounts)
+{
+    NcclLatencyTable table(dgxA100Node());
+    const auto counts = table.profiledGpuCounts();
+    EXPECT_EQ(counts.front(), 2);
+    EXPECT_EQ(counts.back(), 8);
+}
+
+TEST(NcclTable, TrivialQueries)
+{
+    NcclLatencyTable table(dgxA100Node());
+    EXPECT_DOUBLE_EQ(table.allReduceSeconds(1, 1e6), 0.0);
+    EXPECT_DOUBLE_EQ(table.allReduceSeconds(8, 0.0), 0.0);
+}
+
+TEST(NcclTable, UnprofiledCountFatal)
+{
+    NcclLatencyTable table(dgxA100Node());
+    EXPECT_THROW(table.allReduceSeconds(16, 1e6), std::runtime_error);
+}
+
+TEST(NcclTable, ExplicitSamplesUsable)
+{
+    NcclLatencyTable table(std::vector<NcclSample>{
+        {4, 1e6, 1e-4}, {4, 2e6, 2e-4}});
+    EXPECT_NEAR(table.allReduceSeconds(4, 1e6), 1e-4, 1e-12);
+}
+
+TEST(AnalyticalModel, Eq1Exact)
+{
+    const ClusterSpec cluster = makeCluster(512);
+    AnalyticalCommModel model(cluster);
+    // t = S/B * 2(n-1)/n with B = 100 GB/s, plus the NIC latency.
+    const double t = model.allReduceSeconds(64, 1e9);
+    EXPECT_NEAR(t,
+                1e9 / 100e9 * 2.0 * 63.0 / 64.0 +
+                    cluster.node.nic_latency,
+                1e-12);
+}
+
+TEST(AnalyticalModel, AlphaScalesBandwidth)
+{
+    ClusterSpec cluster = makeCluster(512);
+    cluster.bandwidth_effectiveness = 0.5;
+    AnalyticalCommModel model(cluster);
+    EXPECT_DOUBLE_EQ(model.effectiveBandwidth(), 50e9);
+}
+
+TEST(AnalyticalModel, AlphaValidated)
+{
+    ClusterSpec cluster = makeCluster(512);
+    cluster.bandwidth_effectiveness = 1.5;
+    EXPECT_THROW(AnalyticalCommModel model(cluster),
+                 std::runtime_error);
+}
+
+TEST(AnalyticalModel, WorkerScalingApproachesTwo)
+{
+    const ClusterSpec cluster = makeCluster(4096);
+    AnalyticalCommModel model(cluster);
+    // 2(n-1)/n is increasing in n and approaches 2.
+    const double small = model.allReduceSeconds(2, 1e9);
+    const double large = model.allReduceSeconds(512, 1e9);
+    EXPECT_LT(small, large);
+    EXPECT_LT(large, 2.0 * 1e9 / 100e9 + 1e-3);
+}
+
+TEST(AnalyticalModel, SendRecv)
+{
+    const ClusterSpec cluster = makeCluster(512);
+    AnalyticalCommModel model(cluster);
+    EXPECT_NEAR(model.sendRecvSeconds(1e8),
+                cluster.node.nic_latency + 1e8 / 100e9, 1e-12);
+    EXPECT_DOUBLE_EQ(model.sendRecvSeconds(0.0), 0.0);
+}
+
+TEST(CommModel, ScopeResolution)
+{
+    const ClusterSpec cluster = makeCluster(512);
+    // t = 8 on an 8-GPU node: intra-node.
+    EXPECT_EQ(CommModel::tpScope(plan(8, 8, 8), cluster),
+              CommScope::IntraNode);
+    // t = 16 spans two nodes.
+    EXPECT_EQ(CommModel::tpScope(plan(16, 4, 8), cluster),
+              CommScope::InterNode);
+    // t*d = 8 keeps the DP group inside a node.
+    EXPECT_EQ(CommModel::dpScope(plan(2, 4, 8), cluster),
+              CommScope::IntraNode);
+    EXPECT_EQ(CommModel::dpScope(plan(8, 8, 8), cluster),
+              CommScope::InterNode);
+    // t*d >= node size pushes pipeline boundaries across nodes.
+    EXPECT_EQ(CommModel::pipeScope(plan(8, 8, 8), cluster),
+              CommScope::InterNode);
+    EXPECT_EQ(CommModel::pipeScope(plan(2, 2, 8), cluster),
+              CommScope::IntraNode);
+}
+
+TEST(CommModel, RoutesIntraToTable)
+{
+    const ClusterSpec cluster = makeCluster(512);
+    CommModel model(cluster);
+    CommOpDesc desc;
+    desc.kind = CommKind::TpAllReduce;
+    desc.scope = CommScope::IntraNode;
+    desc.bytes = 64.0 * kMB;
+    desc.n_workers = 8;
+    EXPECT_NEAR(model.latencySeconds(desc),
+                model.intraNodeTable().allReduceSeconds(8, desc.bytes),
+                1e-15);
+}
+
+TEST(CommModel, RoutesInterToAnalytical)
+{
+    const ClusterSpec cluster = makeCluster(512);
+    CommModel model(cluster);
+    CommOpDesc desc;
+    desc.kind = CommKind::DpAllReduce;
+    desc.scope = CommScope::InterNode;
+    desc.bytes = 1e9;
+    desc.n_workers = 32;
+    EXPECT_NEAR(
+        model.latencySeconds(desc),
+        model.interNodeModel().allReduceSeconds(32, desc.bytes),
+        1e-15);
+}
+
+TEST(CommModel, IntraNodeP2PUsesNvlink)
+{
+    const ClusterSpec cluster = makeCluster(512);
+    CommModel model(cluster);
+    CommOpDesc desc;
+    desc.kind = CommKind::PipeSendRecv;
+    desc.scope = CommScope::IntraNode;
+    desc.bytes = 1e8;
+    const double expected = cluster.node.nvlink_latency +
+                            1e8 / cluster.node.nvlink_bandwidth;
+    EXPECT_NEAR(model.latencySeconds(desc), expected, 1e-15);
+}
+
+TEST(CommModel, ZeroBytesFree)
+{
+    CommModel model(makeCluster(512));
+    CommOpDesc desc;
+    desc.bytes = 0.0;
+    EXPECT_DOUBLE_EQ(model.latencySeconds(desc), 0.0);
+}
+
+TEST(CommModel, SingleWorkerCollectiveFree)
+{
+    CommModel model(makeCluster(512));
+    CommOpDesc desc;
+    desc.kind = CommKind::DpAllReduce;
+    desc.bytes = 1e9;
+    desc.n_workers = 1;
+    EXPECT_DOUBLE_EQ(model.latencySeconds(desc), 0.0);
+}
+
+TEST(CommKindNames, AllNamed)
+{
+    EXPECT_EQ(toString(CommKind::TpAllReduce), "TP-AllReduce");
+    EXPECT_EQ(toString(CommKind::DpAllReduce), "DP-AllReduce");
+    EXPECT_EQ(toString(CommKind::PipeSendRecv), "Pipe-SendRecv");
+}
+
+} // namespace
+} // namespace vtrain

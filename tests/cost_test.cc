@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests of the cost model against the paper's published arithmetic
+ * (Fig. 1, Table I).
+ */
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "model/zoo.h"
+#include "util/units.h"
+
+namespace vtrain {
+namespace {
+
+TEST(CostModel, TableIRowArithmetic)
+{
+    // Reproduce Table I row 1 from its own published inputs: iteration
+    // time 42.59 s, (8,8,35) = 2,240 GPUs, 270B tokens in batches of
+    // 1,920 x 2,048 tokens -> 33.52 days, $11,200/hr, $9.01M.
+    CostModel cost;
+    const ModelConfig model = zoo::mtNlg530b();
+    ParallelConfig plan;
+    plan.tensor = 8;
+    plan.data = 8;
+    plan.pipeline = 35;
+    plan.global_batch_size = 1920;
+    SimulationResult sim;
+    sim.iteration_seconds = 42.59;
+    sim.utilization = 0.4267;
+    const PlanCost c = cost.evaluate(model, plan, sim, 270e9);
+    EXPECT_NEAR(c.num_iterations, 68665.0, 1.0); // ~68k iterations
+    EXPECT_NEAR(c.total_days, 33.52, 0.5);
+    EXPECT_EQ(c.n_gpus, 2240);
+    EXPECT_DOUBLE_EQ(c.dollars_per_hour, 11200.0);
+    EXPECT_NEAR(c.total_dollars, 9.01e6, 0.15e6);
+}
+
+TEST(CostModel, VTrainPlanRowArithmetic)
+{
+    // Table I "our findings" row 1: (8,12,21) = 2,016 GPUs at 45.29 s
+    // -> 35.64 days, $10,080/hr, $8.62M.
+    CostModel cost;
+    const ModelConfig model = zoo::mtNlg530b();
+    ParallelConfig plan;
+    plan.tensor = 8;
+    plan.data = 12;
+    plan.pipeline = 21;
+    plan.global_batch_size = 1920;
+    SimulationResult sim;
+    sim.iteration_seconds = 45.29;
+    const PlanCost c = cost.evaluate(model, plan, sim, 270e9);
+    EXPECT_NEAR(c.total_days, 35.64, 0.5);
+    EXPECT_DOUBLE_EQ(c.dollars_per_hour, 10080.0);
+    EXPECT_NEAR(c.total_dollars, 8.62e6, 0.15e6);
+}
+
+TEST(CostModel, Fig1UtilizationAnchor)
+{
+    // Fig. 1: GPT-3 175B on 1,024 A100s; at ~50% utilization training
+    // takes roughly three weeks.
+    CostModel cost;
+    const PlanCost c = cost.fromUtilization(zoo::gpt3_175b(), 1024,
+                                            312e12, 0.5, 300e9);
+    EXPECT_NEAR(c.total_days, 23.0, 2.0);
+}
+
+TEST(CostModel, Fig1TenPointUtilizationDropCostsDays)
+{
+    // Fig. 1's headline: dropping from 50% to 40% utilization adds
+    // about 6 training days (the paper quotes 8 with its exact FLOP
+    // accounting).
+    CostModel cost;
+    const ModelConfig model = zoo::gpt3_175b();
+    const double d50 =
+        cost.fromUtilization(model, 1024, 312e12, 0.5, 300e9)
+            .total_days;
+    const double d40 =
+        cost.fromUtilization(model, 1024, 312e12, 0.4, 300e9)
+            .total_days;
+    EXPECT_GT(d40 - d50, 4.0);
+    EXPECT_LT(d40 - d50, 9.0);
+}
+
+TEST(CostModel, CostInverselyProportionalToUtilization)
+{
+    CostModel cost;
+    const ModelConfig model = zoo::gpt3_175b();
+    const double c25 =
+        cost.fromUtilization(model, 1024, 312e12, 0.25, 300e9)
+            .total_dollars;
+    const double c50 =
+        cost.fromUtilization(model, 1024, 312e12, 0.5, 300e9)
+            .total_dollars;
+    EXPECT_NEAR(c25, 2.0 * c50, 1e-6 * c25);
+}
+
+TEST(CostModel, GpuCountCancelsInTotalCostAtFixedUtilization)
+{
+    // At fixed utilization, more GPUs finish faster but cost the same
+    // in total: $ = FLOPs / (peak * util) * $/GPU-s.
+    CostModel cost;
+    const ModelConfig model = zoo::gpt3_175b();
+    const double a =
+        cost.fromUtilization(model, 1024, 312e12, 0.5, 300e9)
+            .total_dollars;
+    const double b =
+        cost.fromUtilization(model, 2048, 312e12, 0.5, 300e9)
+            .total_dollars;
+    EXPECT_NEAR(a, b, 1e-6 * a);
+}
+
+} // namespace
+} // namespace vtrain

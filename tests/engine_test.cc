@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the Algorithm 1 engine on hand-built task graphs:
+ * serialization on a stream, cross-device parallelism,
+ * compute/communication overlap, dependency handling and deadlock
+ * detection.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/task_graph.h"
+#include "sim/engine.h"
+
+namespace vtrain {
+namespace {
+
+TEST(Engine, SingleTask)
+{
+    TaskGraph::Builder b;
+    b.addTask(5.0, 0);
+    const auto r = runSimulation(std::move(b).build(1));
+    EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+    EXPECT_EQ(r.executed, 1u);
+    EXPECT_DOUBLE_EQ(r.busy_compute[0], 5.0);
+}
+
+TEST(Engine, ChainSums)
+{
+    TaskGraph::Builder b;
+    const auto t0 = b.addTask(1.0, 0);
+    const auto t1 = b.addTask(2.0, 0);
+    const auto t2 = b.addTask(3.0, 0);
+    b.addEdge(t0, t1);
+    b.addEdge(t1, t2);
+    EXPECT_DOUBLE_EQ(runSimulation(std::move(b).build(1)).makespan, 6.0);
+}
+
+TEST(Engine, SameStreamSerializesWithoutEdges)
+{
+    // Two independent tasks on the same device/stream cannot overlap:
+    // the timeline (Algorithm 1 line 12) serializes them.
+    TaskGraph::Builder b;
+    b.addTask(4.0, 0);
+    b.addTask(6.0, 0);
+    EXPECT_DOUBLE_EQ(runSimulation(std::move(b).build(1)).makespan,
+                     10.0);
+}
+
+TEST(Engine, DifferentDevicesOverlap)
+{
+    TaskGraph::Builder b;
+    b.addTask(4.0, 0);
+    b.addTask(6.0, 1);
+    const auto r = runSimulation(std::move(b).build(2));
+    EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+    EXPECT_DOUBLE_EQ(r.busy_compute[0], 4.0);
+    EXPECT_DOUBLE_EQ(r.busy_compute[1], 6.0);
+}
+
+TEST(Engine, StreamsOverlapWithinDevice)
+{
+    // Compute and communication streams of one GPU proceed
+    // concurrently (the Fig. 5 bucketing overlap).
+    TaskGraph::Builder b;
+    b.addTask(4.0, 0, StreamKind::Compute);
+    b.addTask(6.0, 0, StreamKind::Comm, TaskTag::DpAllReduce);
+    const auto r = runSimulation(std::move(b).build(1));
+    EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+    EXPECT_DOUBLE_EQ(r.busy_compute[0], 4.0);
+    EXPECT_DOUBLE_EQ(r.busy_comm[0], 6.0);
+}
+
+TEST(Engine, DiamondDependency)
+{
+    // A -> {B, C} -> D with B, C on different devices: D starts after
+    // the slower branch.
+    TaskGraph::Builder b;
+    const auto a = b.addTask(1.0, 0);
+    const auto b1 = b.addTask(5.0, 0);
+    const auto c = b.addTask(2.0, 1);
+    const auto d = b.addTask(1.0, 0);
+    b.addEdge(a, b1);
+    b.addEdge(a, c);
+    b.addEdge(b1, d);
+    b.addEdge(c, d);
+    EXPECT_DOUBLE_EQ(runSimulation(std::move(b).build(2)).makespan,
+                     7.0);
+}
+
+TEST(Engine, GradientBucketingOverlapPattern)
+{
+    // Backward ops Bwd2 -> Bwd1 on the compute stream; bucket 2's
+    // All-Reduce (dep: Bwd2) overlaps Bwd1 on the comm stream; WU
+    // waits for everything (Fig. 5(a)).
+    TaskGraph::Builder b;
+    const auto bwd2 = b.addTask(10.0, 0, StreamKind::Compute);
+    const auto bwd1 = b.addTask(10.0, 0, StreamKind::Compute);
+    const auto ar2 =
+        b.addTask(8.0, 0, StreamKind::Comm, TaskTag::DpAllReduce);
+    const auto ar1 =
+        b.addTask(8.0, 0, StreamKind::Comm, TaskTag::DpAllReduce);
+    const auto wu = b.addTask(2.0, 0, StreamKind::Compute);
+    b.addEdge(bwd2, bwd1);
+    b.addEdge(bwd2, ar2);
+    b.addEdge(bwd1, ar1);
+    b.addEdge(ar1, wu);
+    b.addEdge(ar2, wu);
+    b.addEdge(bwd1, wu);
+    const auto r = runSimulation(std::move(b).build(1));
+    // ar2 runs 10..18 (hidden under bwd1 10..20); ar1 runs 20..28;
+    // wu 28..30.
+    EXPECT_DOUBLE_EQ(r.makespan, 30.0);
+}
+
+TEST(Engine, WithoutOverlapIsSlower)
+{
+    // Same work with the All-Reduces on the compute stream (no
+    // overlap) must take longer: 10+10+8+8+2 = 38.
+    TaskGraph::Builder b;
+    const auto bwd2 = b.addTask(10.0, 0);
+    const auto bwd1 = b.addTask(10.0, 0);
+    const auto ar2 = b.addTask(8.0, 0);
+    const auto ar1 = b.addTask(8.0, 0);
+    const auto wu = b.addTask(2.0, 0);
+    b.addEdge(bwd2, bwd1);
+    b.addEdge(bwd2, ar2);
+    b.addEdge(bwd1, ar1);
+    b.addEdge(ar1, wu);
+    b.addEdge(ar2, wu);
+    b.addEdge(bwd1, wu);
+    EXPECT_DOUBLE_EQ(runSimulation(std::move(b).build(1)).makespan,
+                     38.0);
+}
+
+TEST(Engine, CrossDeviceEdgeConveysCompletionTime)
+{
+    // P2P pattern: sender compute -> comm task on sender -> receiver
+    // compute.
+    TaskGraph::Builder b;
+    const auto send_compute = b.addTask(3.0, 0);
+    const auto p2p =
+        b.addTask(1.5, 0, StreamKind::Comm, TaskTag::PipeSendRecv);
+    const auto recv_compute = b.addTask(2.0, 1);
+    b.addEdge(send_compute, p2p);
+    b.addEdge(p2p, recv_compute);
+    EXPECT_DOUBLE_EQ(runSimulation(std::move(b).build(2)).makespan,
+                     6.5);
+}
+
+TEST(Engine, TagAccounting)
+{
+    TaskGraph::Builder b;
+    b.addTask(1.0, 0, StreamKind::Compute, TaskTag::Compute);
+    b.addTask(2.0, 0, StreamKind::Compute, TaskTag::TpAllReduce);
+    b.addTask(3.0, 0, StreamKind::Comm, TaskTag::DpAllReduce);
+    b.addTask(4.0, 0, StreamKind::Comm, TaskTag::PipeSendRecv);
+    const auto r = runSimulation(std::move(b).build(1));
+    EXPECT_DOUBLE_EQ(
+        r.time_by_tag[static_cast<size_t>(TaskTag::Compute)], 1.0);
+    EXPECT_DOUBLE_EQ(
+        r.time_by_tag[static_cast<size_t>(TaskTag::TpAllReduce)], 2.0);
+    EXPECT_DOUBLE_EQ(
+        r.time_by_tag[static_cast<size_t>(TaskTag::DpAllReduce)], 3.0);
+    EXPECT_DOUBLE_EQ(
+        r.time_by_tag[static_cast<size_t>(TaskTag::PipeSendRecv)], 4.0);
+}
+
+TEST(Engine, CycleDetected)
+{
+    TaskGraph::Builder b;
+    const auto t0 = b.addTask(1.0, 0);
+    const auto t1 = b.addTask(1.0, 0);
+    b.addEdge(t0, t1);
+    b.addEdge(t1, t0);
+    EXPECT_THROW(runSimulation(std::move(b).build(1)),
+                 std::logic_error);
+}
+
+TEST(Engine, EmptyGraph)
+{
+    TaskGraph::Builder b;
+    const auto r = runSimulation(std::move(b).build(1));
+    EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+    EXPECT_EQ(r.executed, 0u);
+}
+
+TEST(Engine, ZeroDurationTasksLegal)
+{
+    TaskGraph::Builder b;
+    const auto t0 = b.addTask(0.0, 0);
+    const auto t1 = b.addTask(1.0, 0);
+    b.addEdge(t0, t1);
+    EXPECT_DOUBLE_EQ(runSimulation(std::move(b).build(1)).makespan,
+                     1.0);
+}
+
+TEST(Engine, FifoQueueOrderRespectsPushOrder)
+{
+    // Three ready tasks on one stream execute in insertion order;
+    // with durations 1, 2, 3 the completion of the last is 6
+    // regardless, but busy accounting must cover all of them.
+    TaskGraph::Builder b;
+    b.addTask(1.0, 0);
+    b.addTask(2.0, 0);
+    b.addTask(3.0, 0);
+    const auto r = runSimulation(std::move(b).build(1));
+    EXPECT_DOUBLE_EQ(r.busy_compute[0], 6.0);
+    EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+}
+
+TEST(Engine, WideFanOutFanIn)
+{
+    TaskGraph::Builder b;
+    const auto src = b.addTask(1.0, 0);
+    const auto sink = b.addTask(1.0, 0);
+    for (int i = 0; i < 16; ++i) {
+        const auto mid = b.addTask(1.0, i % 4 + 1);
+        b.addEdge(src, mid);
+        b.addEdge(mid, sink);
+    }
+    const auto r = runSimulation(std::move(b).build(5));
+    // 4 middle tasks per device serialize: 1 + 4 + 1.
+    EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+}
+
+} // namespace
+} // namespace vtrain

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests of design-space enumeration and the parallel explorer.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "explore/design_space.h"
+#include "explore/explorer.h"
+#include "model/zoo.h"
+#include "parallel/memory_model.h"
+
+namespace vtrain {
+namespace {
+
+ModelConfig
+tinyModel()
+{
+    return makeModel(1024, 8, 16, 512, 8192);
+}
+
+TEST(DesignSpace, AllEnumeratedPlansValid)
+{
+    const ClusterSpec cluster = makeCluster(64);
+    SweepSpec spec;
+    spec.global_batch_size = 64;
+    const auto plans = enumeratePlans(tinyModel(), cluster, spec);
+    ASSERT_FALSE(plans.empty());
+    for (const auto &plan : plans) {
+        EXPECT_TRUE(plan.valid(tinyModel(), cluster));
+        EXPECT_TRUE(
+            fitsInMemory(tinyModel(), plan, cluster.node.gpu));
+    }
+}
+
+TEST(DesignSpace, NoDuplicates)
+{
+    const ClusterSpec cluster = makeCluster(64);
+    SweepSpec spec;
+    spec.global_batch_size = 64;
+    const auto plans = enumeratePlans(tinyModel(), cluster, spec);
+    std::set<std::tuple<int, int, int, int>> seen;
+    for (const auto &p : plans) {
+        EXPECT_TRUE(seen.insert({p.tensor, p.data, p.pipeline,
+                                 p.micro_batch_size})
+                        .second)
+            << p.brief();
+    }
+}
+
+TEST(DesignSpace, ExactGpusFilter)
+{
+    const ClusterSpec cluster = makeCluster(64);
+    SweepSpec spec;
+    spec.global_batch_size = 64;
+    spec.exact_gpus = 16;
+    const auto plans = enumeratePlans(tinyModel(), cluster, spec);
+    ASSERT_FALSE(plans.empty());
+    for (const auto &p : plans)
+        EXPECT_EQ(p.totalGpus(), 16);
+}
+
+TEST(DesignSpace, GpuRangeFilters)
+{
+    const ClusterSpec cluster = makeCluster(64);
+    SweepSpec spec;
+    spec.global_batch_size = 64;
+    spec.min_gpus = 8;
+    spec.max_gpus = 32;
+    for (const auto &p : enumeratePlans(tinyModel(), cluster, spec)) {
+        EXPECT_GE(p.totalGpus(), 8);
+        EXPECT_LE(p.totalGpus(), 32);
+    }
+}
+
+TEST(DesignSpace, PipelineDividesLayers)
+{
+    const ClusterSpec cluster = makeCluster(64);
+    SweepSpec spec;
+    spec.global_batch_size = 64;
+    for (const auto &p : enumeratePlans(tinyModel(), cluster, spec))
+        EXPECT_EQ(tinyModel().num_layers % p.pipeline, 0);
+}
+
+TEST(DesignSpace, ContainsCanonicalPlan)
+{
+    const ClusterSpec cluster = makeCluster(64);
+    SweepSpec spec;
+    spec.global_batch_size = 64;
+    bool found = false;
+    for (const auto &p : enumeratePlans(tinyModel(), cluster, spec)) {
+        if (p.tensor == 2 && p.data == 4 && p.pipeline == 2 &&
+            p.micro_batch_size == 1)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(DesignSpace, KnobsPropagate)
+{
+    const ClusterSpec cluster = makeCluster(64);
+    SweepSpec spec;
+    spec.global_batch_size = 64;
+    spec.schedule = PipelineSchedule::GPipe;
+    spec.gradient_bucketing = false;
+    spec.activation_recompute = false;
+    for (const auto &p : enumeratePlans(tinyModel(), cluster, spec)) {
+        EXPECT_EQ(p.schedule, PipelineSchedule::GPipe);
+        EXPECT_FALSE(p.gradient_bucketing);
+        EXPECT_FALSE(p.activation_recompute);
+    }
+}
+
+TEST(Explorer, SweepPreservesOrderAndEvaluatesAll)
+{
+    const ClusterSpec cluster = makeCluster(32);
+    Explorer explorer(cluster, SimOptions{}, 2);
+    SweepSpec spec;
+    spec.global_batch_size = 32;
+    spec.max_data = 4;
+    const auto plans = enumeratePlans(tinyModel(), cluster, spec);
+    const auto results = explorer.sweep(tinyModel(), plans);
+    ASSERT_EQ(results.size(), plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+        EXPECT_EQ(results[i].plan.brief(), plans[i].brief());
+        EXPECT_GT(results[i].sim.iteration_seconds, 0.0);
+    }
+}
+
+TEST(Explorer, SweepDeterministicAcrossThreadCounts)
+{
+    const ClusterSpec cluster = makeCluster(32);
+    SweepSpec spec;
+    spec.global_batch_size = 32;
+    spec.max_data = 4;
+    const auto plans = enumeratePlans(tinyModel(), cluster, spec);
+    const auto serial =
+        Explorer(cluster, SimOptions{}, 1).sweep(tinyModel(), plans);
+    const auto parallel =
+        Explorer(cluster, SimOptions{}, 4).sweep(tinyModel(), plans);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_DOUBLE_EQ(serial[i].sim.iteration_seconds,
+                         parallel[i].sim.iteration_seconds);
+}
+
+TEST(Explorer, BestSelectors)
+{
+    const ClusterSpec cluster = makeCluster(32);
+    Explorer explorer(cluster, SimOptions{}, 2);
+    SweepSpec spec;
+    spec.global_batch_size = 32;
+    const auto results = explorer.sweep(tinyModel(), spec);
+    ASSERT_FALSE(results.empty());
+    const int fastest = bestByIterationTime(results);
+    const int highest_util = bestByUtilization(results);
+    ASSERT_GE(fastest, 0);
+    ASSERT_GE(highest_util, 0);
+    for (const auto &r : results) {
+        EXPECT_GE(r.sim.iteration_seconds,
+                  results[fastest].sim.iteration_seconds);
+        EXPECT_LE(r.sim.utilization,
+                  results[highest_util].sim.utilization);
+    }
+}
+
+TEST(Explorer, BestSelectorsEmptyInput)
+{
+    EXPECT_EQ(bestByIterationTime({}), -1);
+    EXPECT_EQ(bestByUtilization({}), -1);
+}
+
+} // namespace
+} // namespace vtrain

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests of the extension features: FlashAttention kernel
+ * decompositions (Sec. VI's framework-upgrade argument), ZeRO-1
+ * optimizer-state sharding (Megatron-DeepSpeed), and the hierarchical
+ * inter-node All-Reduce the paper leaves as future work.
+ */
+#include <gtest/gtest.h>
+
+#include "comm/comm_model.h"
+#include "model/zoo.h"
+#include "parallel/memory_model.h"
+#include "profiling/synthetic_profiler.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace vtrain {
+namespace {
+
+ModelConfig
+tinyModel(int64_t seq = 2048)
+{
+    return makeModel(1024, 8, 16, seq, 8192);
+}
+
+ParallelConfig
+plan(int t, int d, int p, int m, int batch)
+{
+    ParallelConfig out;
+    out.tensor = t;
+    out.data = d;
+    out.pipeline = p;
+    out.micro_batch_size = m;
+    out.global_batch_size = batch;
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// FlashAttention
+// ---------------------------------------------------------------------
+
+TEST(FlashAttention, FewerKernelsThanUnfused)
+{
+    SyntheticProfiler unfused(a100Sxm80GB(), Precision::FP16,
+                              AttentionImpl::Megatron);
+    SyntheticProfiler flash(a100Sxm80GB(), Precision::FP16,
+                            AttentionImpl::FlashAttention);
+    const OpDesc d =
+        OpDesc::forModel(OpKind::MhaFwd, tinyModel(), 1, 1);
+    EXPECT_LT(flash.profileOperator(d).kernels.size(),
+              unfused.profileOperator(d).kernels.size());
+}
+
+TEST(FlashAttention, KernelNamesAreFlash)
+{
+    SyntheticProfiler flash(a100Sxm80GB(), Precision::FP16,
+                            AttentionImpl::FlashAttention2);
+    const OpDesc d =
+        OpDesc::forModel(OpKind::MhaFwd, tinyModel(), 1, 1);
+    bool found = false;
+    for (const auto &k : flash.profileOperator(d).kernels)
+        found |= k.name.find("flash") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(FlashAttention, FasterAtLongSequenceLength)
+{
+    // Unfused attention materializes s^2 score tensors; the fused
+    // kernel wins increasingly at long s.
+    const ModelConfig long_seq = tinyModel(8192);
+    SyntheticProfiler unfused(a100Sxm80GB(), Precision::FP16,
+                              AttentionImpl::Megatron);
+    SyntheticProfiler flash2(a100Sxm80GB(), Precision::FP16,
+                             AttentionImpl::FlashAttention2);
+    const OpDesc d = OpDesc::forModel(OpKind::MhaFwd, long_seq, 1, 1);
+    EXPECT_LT(flash2.profileOperator(d).totalDuration(),
+              unfused.profileOperator(d).totalDuration());
+}
+
+TEST(FlashAttention, Flash2BeatsFlash1)
+{
+    SyntheticProfiler v1(a100Sxm80GB(), Precision::FP16,
+                         AttentionImpl::FlashAttention);
+    SyntheticProfiler v2(a100Sxm80GB(), Precision::FP16,
+                         AttentionImpl::FlashAttention2);
+    const OpDesc d =
+        OpDesc::forModel(OpKind::MhaFwd, tinyModel(4096), 2, 1);
+    EXPECT_LT(v2.profileOperator(d).totalDuration(),
+              v1.profileOperator(d).totalDuration());
+}
+
+TEST(FlashAttention, NonAttentionOperatorsUnchanged)
+{
+    SyntheticProfiler unfused(a100Sxm80GB(), Precision::FP16,
+                              AttentionImpl::Megatron);
+    SyntheticProfiler flash(a100Sxm80GB(), Precision::FP16,
+                            AttentionImpl::FlashAttention2);
+    const OpDesc d =
+        OpDesc::forModel(OpKind::FfnFwd, tinyModel(), 1, 1);
+    EXPECT_DOUBLE_EQ(unfused.profileOperator(d).totalDuration(),
+                     flash.profileOperator(d).totalDuration());
+}
+
+TEST(FlashAttention, EndToEndIterationFaster)
+{
+    // The Sec. VI claim in action: switching the framework's
+    // attention kernels changes the predicted iteration time with no
+    // other modelling changes.
+    const ClusterSpec cluster = makeCluster(8);
+    const ModelConfig model = tinyModel(4096);
+    const ParallelConfig p = plan(2, 2, 2, 1, 16);
+    SimOptions unfused_options;
+    SimOptions flash_options;
+    flash_options.attention = AttentionImpl::FlashAttention2;
+    const double unfused = Simulator(cluster, unfused_options)
+                               .simulateIteration(model, p)
+                               .iteration_seconds;
+    const double flash = Simulator(cluster, flash_options)
+                             .simulateIteration(model, p)
+                             .iteration_seconds;
+    EXPECT_LT(flash, unfused);
+}
+
+TEST(FlashAttention, BackendNames)
+{
+    EXPECT_EQ(toString(AttentionImpl::Megatron), "megatron");
+    EXPECT_EQ(toString(AttentionImpl::FlashAttention2),
+              "flash-attention-2");
+}
+
+// ---------------------------------------------------------------------
+// ZeRO-1
+// ---------------------------------------------------------------------
+
+TEST(Zero1, ShardsOptimizerStates)
+{
+    const ModelConfig model = zoo::scaled18_4b();
+    ParallelConfig p = plan(8, 16, 1, 1, 1024);
+    p.zero_stage = 0;
+    const double dense = estimateMemory(model, p).optimizer_states;
+    p.zero_stage = 1;
+    const double sharded = estimateMemory(model, p).optimizer_states;
+    EXPECT_NEAR(sharded, dense / 16.0, 1e-6 * dense);
+}
+
+TEST(Zero1, EnablesOtherwiseInfeasiblePlans)
+{
+    // 39.1B at (8, d, 1): dense optimizer states do not fit one GPU,
+    // ZeRO-1 sharding makes the plan feasible.
+    const ModelConfig model = zoo::scaled39_1b();
+    ParallelConfig p = plan(8, 32, 1, 1, 1536);
+    p.zero_stage = 0;
+    EXPECT_FALSE(fitsInMemory(model, p, a100Sxm80GB()));
+    p.zero_stage = 1;
+    EXPECT_TRUE(fitsInMemory(model, p, a100Sxm80GB()));
+}
+
+TEST(Zero1, ReplacesAllReduceWithRsAg)
+{
+    const ClusterSpec cluster = makeCluster(32);
+    const ModelConfig model = tinyModel();
+    ParallelConfig p = plan(2, 8, 2, 1, 32);
+    p.zero_stage = 1;
+    CommModel comm(cluster);
+    GraphBuilder builder(model, p, cluster, comm);
+    const OpGraph g = builder.build();
+    int rs = 0, ag = 0, ar = 0;
+    for (const auto &node : g.nodes()) {
+        if (node.type != OpNodeType::Comm)
+            continue;
+        rs += node.comm_kind == CommKind::DpReduceScatter;
+        ag += node.comm_kind == CommKind::DpAllGather;
+        ar += node.comm_kind == CommKind::DpAllReduce;
+    }
+    EXPECT_GT(rs, 0);
+    EXPECT_EQ(ag, 2); // one parameter All-Gather per pipeline stage
+    EXPECT_EQ(ar, 0);
+    EXPECT_TRUE(g.isAcyclic());
+}
+
+TEST(Zero1, IterationTimeWithinNoiseOfDense)
+{
+    // RS + AG move the same bytes as AR; ZeRO-1 trades a little comm
+    // for a d-times-smaller optimizer step, so iteration time stays
+    // within a few percent.
+    Simulator sim(makeCluster(32));
+    const ModelConfig model = tinyModel();
+    ParallelConfig p = plan(2, 8, 2, 1, 64);
+    p.zero_stage = 0;
+    const double dense =
+        sim.simulateIteration(model, p).iteration_seconds;
+    p.zero_stage = 1;
+    const double zero =
+        sim.simulateIteration(model, p).iteration_seconds;
+    EXPECT_NEAR(zero, dense, 0.1 * dense);
+}
+
+TEST(Zero1, InvalidStageRejected)
+{
+    ParallelConfig p = plan(2, 2, 2, 1, 16);
+    p.zero_stage = 3;
+    EXPECT_FALSE(p.valid(tinyModel(), makeCluster(16)));
+}
+
+// ---------------------------------------------------------------------
+// Hierarchical inter-node All-Reduce
+// ---------------------------------------------------------------------
+
+TEST(HierarchicalAllReduce, FasterThanFlatWhenCoLocated)
+{
+    // 32 workers, 8 per node: the hierarchical decomposition sends
+    // 1/8th of the bytes through the NIC bottleneck.
+    ClusterSpec flat = makeCluster(512);
+    ClusterSpec hier = flat;
+    hier.hierarchical_allreduce = true;
+    CommOpDesc desc;
+    desc.kind = CommKind::DpAllReduce;
+    desc.scope = CommScope::InterNode;
+    desc.bytes = 512.0 * kMB;
+    desc.n_workers = 32;
+    desc.members_per_node = 8;
+    EXPECT_LT(CommModel(hier).latencySeconds(desc),
+              CommModel(flat).latencySeconds(desc));
+}
+
+TEST(HierarchicalAllReduce, NoEffectWithOneMemberPerNode)
+{
+    ClusterSpec flat = makeCluster(512);
+    ClusterSpec hier = flat;
+    hier.hierarchical_allreduce = true;
+    CommOpDesc desc;
+    desc.kind = CommKind::DpAllReduce;
+    desc.scope = CommScope::InterNode;
+    desc.bytes = 512.0 * kMB;
+    desc.n_workers = 32;
+    desc.members_per_node = 1;
+    EXPECT_DOUBLE_EQ(CommModel(hier).latencySeconds(desc),
+                     CommModel(flat).latencySeconds(desc));
+}
+
+TEST(HierarchicalAllReduce, EndToEndNeverSlower)
+{
+    // With t=1, DP groups have 8 members per node; the hierarchical
+    // model must not slow any simulated plan down.
+    const ModelConfig model = tinyModel();
+    ClusterSpec flat = makeCluster(32);
+    ClusterSpec hier = flat;
+    hier.hierarchical_allreduce = true;
+    const ParallelConfig p = plan(1, 16, 2, 1, 64);
+    const double t_flat = Simulator(flat)
+                              .simulateIteration(model, p)
+                              .iteration_seconds;
+    const double t_hier = Simulator(hier)
+                              .simulateIteration(model, p)
+                              .iteration_seconds;
+    EXPECT_LE(t_hier, t_flat * (1.0 + 1e-9));
+}
+
+TEST(HierarchicalAllReduce, RsAgKindsNamed)
+{
+    EXPECT_EQ(toString(CommKind::DpReduceScatter), "DP-ReduceScatter");
+    EXPECT_EQ(toString(CommKind::DpAllGather), "DP-AllGather");
+}
+
+} // namespace
+} // namespace vtrain

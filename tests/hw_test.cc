@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for src/hw/: GPU/node/cluster specs and pricing.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/cluster_spec.h"
+#include "hw/gpu_spec.h"
+#include "hw/node_spec.h"
+#include "hw/pricing.h"
+#include "util/units.h"
+
+namespace vtrain {
+namespace {
+
+TEST(GpuSpec, A100PeakFlops)
+{
+    const GpuSpec gpu = a100Sxm80GB();
+    EXPECT_DOUBLE_EQ(gpu.peakFlops(Precision::FP16), 312e12);
+    EXPECT_DOUBLE_EQ(gpu.peakFlops(Precision::BF16), 312e12);
+    EXPECT_DOUBLE_EQ(gpu.peakFlops(Precision::FP32), 19.5e12);
+}
+
+TEST(GpuSpec, FortyGbVariant)
+{
+    const GpuSpec gpu = a100Sxm40GB();
+    EXPECT_DOUBLE_EQ(gpu.memory_bytes, 40e9);
+    EXPECT_LT(gpu.hbm_bandwidth, a100Sxm80GB().hbm_bandwidth);
+}
+
+TEST(GpuSpec, PrecisionNames)
+{
+    EXPECT_EQ(toString(Precision::FP16), "fp16");
+    EXPECT_EQ(toString(Precision::BF16), "bf16");
+    EXPECT_EQ(toString(Precision::FP32), "fp32");
+}
+
+TEST(NodeSpec, DgxDefaults)
+{
+    const NodeSpec node = dgxA100Node();
+    EXPECT_EQ(node.gpus_per_node, 8);
+    // 4 x 200 Gbps HDR InfiniBand = 100 GB/s.
+    EXPECT_DOUBLE_EQ(node.nic_bandwidth, 100e9);
+}
+
+TEST(ClusterSpec, TotalGpus)
+{
+    EXPECT_EQ(validationCluster512().totalGpus(), 512);
+    EXPECT_EQ(schedulingCluster1024().totalGpus(), 1024);
+}
+
+TEST(ClusterSpec, MakeClusterWholeNodes)
+{
+    const ClusterSpec c = makeCluster(64);
+    EXPECT_EQ(c.num_nodes, 8);
+    EXPECT_EQ(c.totalGpus(), 64);
+}
+
+TEST(ClusterSpec, MakeClusterPartialNode)
+{
+    const ClusterSpec c = makeCluster(4);
+    EXPECT_EQ(c.num_nodes, 1);
+    EXPECT_EQ(c.node.gpus_per_node, 4);
+    EXPECT_EQ(c.totalGpus(), 4);
+}
+
+TEST(ClusterSpec, MakeClusterRejectsRaggedCounts)
+{
+    EXPECT_THROW(makeCluster(12), std::runtime_error);
+    EXPECT_THROW(makeCluster(0), std::runtime_error);
+}
+
+TEST(ClusterSpec, AggregatePeak)
+{
+    const ClusterSpec c = makeCluster(1024);
+    EXPECT_DOUBLE_EQ(c.peakFlops(Precision::FP16), 1024.0 * 312e12);
+}
+
+TEST(ClusterSpec, AlphaDefaultsToOne)
+{
+    // The paper's sweep found alpha = 1.0 optimal (Sec. IV).
+    EXPECT_DOUBLE_EQ(makeCluster(512).bandwidth_effectiveness, 1.0);
+}
+
+TEST(Pricing, DollarsPerHourMatchesTableI)
+{
+    const Pricing pricing = awsP4dPricing();
+    // Table I: 2,240 GPUs -> $11,200/hr.
+    EXPECT_DOUBLE_EQ(pricing.dollarsPerHour(2240), 11200.0);
+    EXPECT_DOUBLE_EQ(pricing.dollarsPerHour(3360), 16800.0);
+}
+
+TEST(Pricing, TotalDollarsMatchesTableI)
+{
+    const Pricing pricing = awsP4dPricing();
+    // Table I row 1: 2,240 GPUs for 33.52 days -> $9.01M.
+    const double dollars =
+        pricing.totalDollars(2240, 33.52 * kSecPerDay);
+    EXPECT_NEAR(dollars, 9.01e6, 0.01e6);
+}
+
+} // namespace
+} // namespace vtrain

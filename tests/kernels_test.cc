@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for src/kernels/: the GEMM and memory-bound kernel
+ * latency models.
+ */
+#include <gtest/gtest.h>
+
+#include "kernels/gemm_model.h"
+#include "kernels/kernel.h"
+#include "kernels/memops_model.h"
+
+namespace vtrain {
+namespace {
+
+const GpuSpec kGpu = a100Sxm80GB();
+
+TEST(GemmShape, FlopsAndBytes)
+{
+    GemmShape s{128, 256, 512, 2};
+    EXPECT_DOUBLE_EQ(s.flops(), 2.0 * 128 * 256 * 512 * 2);
+    EXPECT_DOUBLE_EQ(s.bytesFp16(),
+                     2.0 * (128.0 * 512 + 512.0 * 256 + 128.0 * 256) *
+                         2.0);
+}
+
+TEST(GemmModel, EfficiencyInUnitInterval)
+{
+    for (int64_t m : {1, 64, 128, 2048}) {
+        for (int64_t n : {16, 128, 10240}) {
+            for (int64_t k : {32, 160, 20480}) {
+                const double eff =
+                    gemmEfficiency(kGpu, GemmShape{m, n, k, 1});
+                EXPECT_GT(eff, 0.0);
+                EXPECT_LE(eff, 1.0);
+            }
+        }
+    }
+}
+
+TEST(GemmModel, WellShapedLargeGemmIsEfficient)
+{
+    // MT-NLG FC1 shard: all dims tile-aligned, deep K.
+    const double eff =
+        gemmEfficiency(kGpu, GemmShape{2048, 10240, 20480, 1});
+    EXPECT_GT(eff, 0.70);
+}
+
+TEST(GemmModel, TileQuantizationPenalizesRaggedShapes)
+{
+    // A ragged K is padded to the next 32-element tile without any
+    // compensating wave-quantization effect.
+    const double aligned =
+        gemmEfficiency(kGpu, GemmShape{2048, 1024, 4096, 1});
+    const double ragged =
+        gemmEfficiency(kGpu, GemmShape{2048, 1024, 4096 + 1, 1});
+    EXPECT_LT(ragged, aligned);
+}
+
+TEST(GemmModel, ShallowKPenalized)
+{
+    const double deep =
+        gemmEfficiency(kGpu, GemmShape{2048, 2048, 4096, 1});
+    const double shallow =
+        gemmEfficiency(kGpu, GemmShape{2048, 2048, 64, 1});
+    EXPECT_LT(shallow, deep);
+}
+
+TEST(GemmModel, TimeAtLeastLaunchOverhead)
+{
+    EXPECT_GE(gemmTime(kGpu, Precision::FP16, GemmShape{1, 1, 1, 1}),
+              kGpu.kernel_launch_overhead);
+}
+
+TEST(GemmModel, TimeScalesWithWork)
+{
+    const double small =
+        gemmTime(kGpu, Precision::FP16, GemmShape{2048, 2048, 2048, 1});
+    const double big =
+        gemmTime(kGpu, Precision::FP16, GemmShape{4096, 4096, 4096, 1});
+    // 8x the FLOPs must take meaningfully longer (but efficiency
+    // changes keep it from being exactly 8x).
+    EXPECT_GT(big, 4.0 * small);
+}
+
+TEST(GemmModel, LargeGemmNearRoofline)
+{
+    // A huge well-shaped GEMM should achieve > 60% of peak.
+    const GemmShape s{4096, 8192, 8192, 1};
+    const double t = gemmTime(kGpu, Precision::FP16, s);
+    const double achieved = s.flops() / t;
+    EXPECT_GT(achieved, 0.6 * kGpu.peak_fp16_flops);
+    EXPECT_LT(achieved, kGpu.peak_fp16_flops);
+}
+
+TEST(GemmModel, MemoryBoundFloorForSkinnyGemm)
+{
+    // A rank-1-ish GEMM moves more bytes than it computes FLOPs and
+    // must be bound by bandwidth, not compute.
+    const GemmShape s{8192, 8192, 8, 1};
+    const double t = gemmTime(kGpu, Precision::FP16, s);
+    const double mem_floor = s.bytesFp16() / kGpu.hbm_bandwidth;
+    EXPECT_GE(t, mem_floor);
+}
+
+TEST(GemmModel, BatchedNamesDiffer)
+{
+    const std::string single =
+        gemmKernelName(Precision::FP16, GemmShape{128, 128, 128, 1});
+    const std::string batched =
+        gemmKernelName(Precision::FP16, GemmShape{128, 128, 128, 16});
+    EXPECT_NE(single, batched);
+    EXPECT_NE(batched.find("batched"), std::string::npos);
+}
+
+TEST(GemmModel, NameLooksLikeCudaKernel)
+{
+    const std::string name =
+        gemmKernelName(Precision::FP16, GemmShape{2048, 4096, 1024, 1});
+    EXPECT_NE(name.find("ampere"), std::string::npos);
+    EXPECT_NE(name.find("gemm"), std::string::npos);
+}
+
+TEST(MemopsModel, LinearInBytes)
+{
+    const double t1 = memKernelTime(kGpu, 1e6);
+    const double t2 = memKernelTime(kGpu, 2e6);
+    EXPECT_NEAR(t2 - t1,
+                1e6 / (kMemKernelEfficiency * kGpu.hbm_bandwidth),
+                1e-12);
+}
+
+TEST(MemopsModel, ZeroBytesIsJustLaunch)
+{
+    EXPECT_DOUBLE_EQ(memKernelTime(kGpu, 0.0),
+                     kGpu.kernel_launch_overhead);
+}
+
+TEST(MemopsModel, NegativeBytesPanics)
+{
+    EXPECT_THROW(memKernelTime(kGpu, -1.0), std::logic_error);
+}
+
+TEST(MemopsModel, NameEmbedsOp)
+{
+    EXPECT_NE(memKernelName("layer_norm").find("layer_norm"),
+              std::string::npos);
+}
+
+TEST(KernelSequence, TotalDuration)
+{
+    KernelSequence seq;
+    seq.add("a", 1.0);
+    seq.add("b", 2.5);
+    EXPECT_DOUBLE_EQ(seq.totalDuration(), 3.5);
+    EXPECT_EQ(seq.kernels.size(), 2u);
+}
+
+} // namespace
+} // namespace vtrain

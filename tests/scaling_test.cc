@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests of the Chinchilla scaling law and the compute-optimal planner
+ * (paper Sec. V-C, Table IV).
+ */
+#include <gtest/gtest.h>
+
+#include "model/zoo.h"
+#include "scaling/chinchilla.h"
+#include "util/units.h"
+
+namespace vtrain {
+namespace {
+
+TEST(ChinchillaLaw, AlphaBetaProductIsOneSixth)
+{
+    // C = 6*N*T together with N = alpha*C^0.5 and T = beta*C^0.5
+    // forces alpha*beta = 1/6.
+    const ChinchillaLaw law;
+    EXPECT_NEAR(law.alpha * law.beta, 1.0 / 6.0, 1e-3);
+}
+
+TEST(ChinchillaLaw, PaperBudgetFlops)
+{
+    // Sec. V-C: 3,360 A100s for 30 days at 100% utility gives
+    // C = 2.72e24 FLOPs.
+    const double budget =
+        ChinchillaLaw::budgetFlops(3360, 30.0, 312e12, 1.0);
+    EXPECT_NEAR(budget, 2.72e24, 0.02e24);
+}
+
+TEST(ChinchillaLaw, NaivePointMatchesPaper)
+{
+    // The naive Chinchilla point of the paper: N = 145.61B,
+    // T = 2,912B tokens.
+    const ChinchillaLaw law;
+    const double budget =
+        ChinchillaLaw::budgetFlops(3360, 30.0, 312e12, 1.0);
+    EXPECT_NEAR(law.optimalParams(budget) / 1e9, 145.61, 3.0);
+    EXPECT_NEAR(law.optimalTokens(budget) / 1e9, 2912.0, 180.0);
+}
+
+TEST(ChinchillaLaw, TokensForParamsTwentyX)
+{
+    const ChinchillaLaw law;
+    EXPECT_DOUBLE_EQ(law.tokensForParams(145.61e9), 2912.2e9);
+}
+
+TEST(ChinchillaLaw, BudgetScalesLinearly)
+{
+    const double one =
+        ChinchillaLaw::budgetFlops(1000, 10.0, 312e12, 0.5);
+    EXPECT_NEAR(ChinchillaLaw::budgetFlops(2000, 10.0, 312e12, 0.5),
+                2.0 * one, 1e6);
+    EXPECT_NEAR(ChinchillaLaw::budgetFlops(1000, 20.0, 312e12, 0.5),
+                2.0 * one, 1e6);
+}
+
+TEST(ChinchillaPlanner, PickOptimalLargestFitting)
+{
+    std::vector<ChinchillaCandidate> cands(3);
+    cands[0].params = 100e9;
+    cands[0].estimated_days = 50.0;
+    cands[0].has_plan = true;
+    cands[1].params = 80e9;
+    cands[1].estimated_days = 28.0;
+    cands[1].has_plan = true;
+    cands[2].params = 60e9;
+    cands[2].estimated_days = 20.0;
+    cands[2].has_plan = true;
+    EXPECT_EQ(ChinchillaPlanner::pickOptimal(cands, 30.0), 1);
+}
+
+TEST(ChinchillaPlanner, PickOptimalIgnoresPlanless)
+{
+    std::vector<ChinchillaCandidate> cands(2);
+    cands[0].params = 100e9;
+    cands[0].estimated_days = 10.0;
+    cands[0].has_plan = false; // infeasible
+    cands[1].params = 50e9;
+    cands[1].estimated_days = 10.0;
+    cands[1].has_plan = true;
+    EXPECT_EQ(ChinchillaPlanner::pickOptimal(cands, 30.0), 1);
+}
+
+TEST(ChinchillaPlanner, PickOptimalNoneFits)
+{
+    std::vector<ChinchillaCandidate> cands(1);
+    cands[0].params = 100e9;
+    cands[0].estimated_days = 99.0;
+    cands[0].has_plan = true;
+    EXPECT_EQ(ChinchillaPlanner::pickOptimal(cands, 30.0), -1);
+}
+
+TEST(ChinchillaPlanner, EvaluatesCandidateEndToEnd)
+{
+    // Small-scale end-to-end: a 16-GPU budget with a tiny model.
+    const ClusterSpec cluster = makeCluster(16);
+    Explorer explorer(cluster, SimOptions{}, 2);
+    ChinchillaPlanner planner(explorer, 16, 64);
+    const ModelConfig model = makeModel(1024, 8, 16, 512, 8192);
+    const auto cand = planner.evaluate(model);
+    ASSERT_TRUE(cand.has_plan);
+    EXPECT_EQ(cand.best_plan.totalGpus(), 16);
+    EXPECT_GT(cand.iteration_seconds, 0.0);
+    EXPECT_GT(cand.estimated_days, 0.0);
+    EXPECT_DOUBLE_EQ(cand.tokens, 20.0 * cand.params);
+}
+
+TEST(ChinchillaPlanner, UtilizationFeedbackShrinksModel)
+{
+    // The central Sec. V-C claim: with realistic (not 100%) GPU
+    // utility, the compute-optimal model for a fixed wall-clock
+    // budget is substantially smaller than the naive estimate.
+    const ChinchillaLaw law;
+    const double naive_budget =
+        ChinchillaLaw::budgetFlops(3360, 30.0, 312e12, 1.0);
+    const double realistic_budget =
+        ChinchillaLaw::budgetFlops(3360, 30.0, 312e12, 0.3556);
+    const double naive_n = law.optimalParams(naive_budget);
+    const double realistic_n = law.optimalParams(realistic_budget);
+    // sqrt(0.3556) ~= 0.596 -> about 40% fewer parameters.
+    EXPECT_NEAR(realistic_n / naive_n, 0.596, 0.01);
+}
+
+} // namespace
+} // namespace vtrain

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for task-graph expansion: kernel-count bookkeeping,
+ * collapse-mode equivalence and perturbation hooks.
+ */
+#include <gtest/gtest.h>
+
+#include "comm/comm_model.h"
+#include "graph/builder.h"
+#include "graph/task_graph.h"
+#include "model/zoo.h"
+#include "profiling/synthetic_profiler.h"
+#include "sim/engine.h"
+
+namespace vtrain {
+namespace {
+
+ModelConfig
+tinyModel()
+{
+    return makeModel(1024, 4, 16, 512, 8192);
+}
+
+ParallelConfig
+tinyPlan()
+{
+    ParallelConfig plan;
+    plan.tensor = 2;
+    plan.data = 2;
+    plan.pipeline = 2;
+    plan.micro_batch_size = 1;
+    plan.global_batch_size = 8;
+    return plan;
+}
+
+struct Fixture {
+    ModelConfig model = tinyModel();
+    ParallelConfig plan = tinyPlan();
+    ClusterSpec cluster = makeCluster(8);
+    CommModel comm{cluster};
+    SyntheticProfiler profiler{cluster.node.gpu};
+
+    OpGraph
+    ops()
+    {
+        return GraphBuilder(model, plan, cluster, comm).build();
+    }
+};
+
+TEST(TaskGraphExpand, TaskCountMatchesKernelSum)
+{
+    Fixture f;
+    const OpGraph ops = f.ops();
+    OperatorToTaskTable table(f.profiler);
+    const TaskGraph tg = TaskGraph::expand(ops, table);
+
+    size_t expected = 0;
+    OperatorToTaskTable check(f.profiler);
+    for (const auto &node : ops.nodes()) {
+        expected += node.type == OpNodeType::Comm
+                        ? 1
+                        : check.lookup(ops.descOf(node)).kernels.size();
+    }
+    EXPECT_EQ(tg.numTasks(), expected);
+    EXPECT_GT(tg.numTasks(), ops.numNodes());
+}
+
+TEST(TaskGraphExpand, CollapseModeOneTaskPerOp)
+{
+    Fixture f;
+    const OpGraph ops = f.ops();
+    OperatorToTaskTable table(f.profiler);
+    ExpandOptions options;
+    options.collapse_operators = true;
+    const TaskGraph tg = TaskGraph::expand(ops, table, options);
+    EXPECT_EQ(tg.numTasks(), ops.numNodes());
+}
+
+TEST(TaskGraphExpand, CollapseModeTimingEquivalent)
+{
+    // Kernels within an operator are sequential on one stream, so
+    // collapsing them must not change the simulated makespan.
+    Fixture f;
+    const OpGraph ops = f.ops();
+    OperatorToTaskTable table(f.profiler);
+    const TaskGraph full = TaskGraph::expand(ops, table);
+    ExpandOptions options;
+    options.collapse_operators = true;
+    const TaskGraph collapsed = TaskGraph::expand(ops, table, options);
+    const double makespan_full = runSimulation(full).makespan;
+    const double makespan_collapsed =
+        runSimulation(collapsed).makespan;
+    EXPECT_NEAR(makespan_full, makespan_collapsed,
+                1e-9 * makespan_full);
+}
+
+TEST(TaskGraphExpand, EdgeCountConsistent)
+{
+    Fixture f;
+    const OpGraph ops = f.ops();
+    OperatorToTaskTable table(f.profiler);
+    const TaskGraph tg = TaskGraph::expand(ops, table);
+    // intra-op chains + one task-edge per op-edge.
+    EXPECT_EQ(tg.numEdges(),
+              tg.numTasks() - ops.numNodes() + ops.numEdges());
+    // in-degrees must sum to the edge count.
+    size_t in_sum = 0;
+    for (int32_t d : tg.inDegree())
+        in_sum += static_cast<size_t>(d);
+    EXPECT_EQ(in_sum, tg.numEdges());
+}
+
+TEST(TaskGraphExpand, DurationsPositive)
+{
+    Fixture f;
+    const OpGraph ops = f.ops();
+    OperatorToTaskTable table(f.profiler);
+    const TaskGraph tg = TaskGraph::expand(ops, table);
+    for (const auto &task : tg.tasks())
+        EXPECT_GT(task.duration, 0.0);
+}
+
+/** Scales every duration by a constant. */
+class ScalingPerturber : public Perturber
+{
+  public:
+    explicit ScalingPerturber(double factor) : factor_(factor) {}
+
+    double
+    perturbCompute(double duration, const OpNode &) const override
+    {
+        return duration * factor_;
+    }
+
+    double
+    perturbComm(double latency, const OpNode &) const override
+    {
+        return latency * factor_;
+    }
+
+  private:
+    double factor_;
+};
+
+TEST(TaskGraphExpand, UniformPerturbationScalesMakespan)
+{
+    Fixture f;
+    const OpGraph ops = f.ops();
+    OperatorToTaskTable table(f.profiler);
+    const TaskGraph base = TaskGraph::expand(ops, table);
+    ScalingPerturber doubler(2.0);
+    ExpandOptions options;
+    options.perturber = &doubler;
+    const TaskGraph scaled = TaskGraph::expand(ops, table, options);
+    EXPECT_NEAR(runSimulation(scaled).makespan,
+                2.0 * runSimulation(base).makespan, 1e-9);
+}
+
+TEST(TaskGraphExpand, CommOnlyPerturbationOnlyTouchesComm)
+{
+    /** Inflates only communication. */
+    class CommPerturber : public Perturber
+    {
+      public:
+        double
+        perturbCompute(double d, const OpNode &) const override
+        {
+            return d;
+        }
+        double
+        perturbComm(double l, const OpNode &) const override
+        {
+            return 3.0 * l;
+        }
+    };
+    Fixture f;
+    const OpGraph ops = f.ops();
+    OperatorToTaskTable table(f.profiler);
+    CommPerturber perturber;
+    ExpandOptions options;
+    options.perturber = &perturber;
+    const TaskGraph base = TaskGraph::expand(ops, table);
+    const TaskGraph inflated = TaskGraph::expand(ops, table, options);
+    const auto r_base = runSimulation(base);
+    const auto r_infl = runSimulation(inflated);
+    EXPECT_GT(r_infl.makespan, r_base.makespan);
+    // Compute totals must be identical.
+    EXPECT_NEAR(
+        r_infl.time_by_tag[static_cast<size_t>(TaskTag::Compute)],
+        r_base.time_by_tag[static_cast<size_t>(TaskTag::Compute)],
+        1e-12);
+}
+
+TEST(TaskGraphBuilder, BuildsChain)
+{
+    TaskGraph::Builder b;
+    const auto t0 = b.addTask(1.0, 0);
+    const auto t1 = b.addTask(2.0, 0);
+    b.addEdge(t0, t1);
+    const TaskGraph g = std::move(b).build(1);
+    EXPECT_EQ(g.numTasks(), 2u);
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.inDegree()[1], 1);
+    EXPECT_EQ(*g.childBegin(0), 1);
+}
+
+TEST(TaskGraphBuilder, RejectsBadEdge)
+{
+    TaskGraph::Builder b;
+    b.addTask(1.0, 0);
+    EXPECT_THROW(b.addEdge(0, 7), std::logic_error);
+}
+
+} // namespace
+} // namespace vtrain
