@@ -64,6 +64,11 @@ main()
         const SimulationResult r = sim.simulateIteration(model, plan);
         const PlanCost c = cost.evaluate(model, plan, r, tokens);
         costs.push_back(c);
+        // Built with += rather than operator+ to dodge the GCC 12
+        // -Wrestrict false positive (GCC PR 105651) under -O3.
+        std::string paper_total = "$";
+        paper_total += fmtDouble(row.dollars_m, 2);
+        paper_total += "M";
         table.addRow({i < 3 ? "MT-NLG" : "vTrain",
                       plan.brief(),
                       fmtDouble(c.iteration_seconds, 2),
@@ -75,7 +80,7 @@ main()
                       fmtInt(c.n_gpus),
                       formatDollars(c.dollars_per_hour),
                       formatDollars(c.total_dollars),
-                      "$" + fmtDouble(row.dollars_m, 2) + "M"});
+                      paper_total});
     }
     table.print(std::cout);
 

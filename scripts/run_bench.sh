@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Build the bench targets and run bench/perf_simulator to emit a
+# Google-Benchmark JSON baseline for the perf trajectory.
+#
+# Usage: scripts/run_bench.sh [output.json]
+#   output.json   defaults to <repo>/BENCH_simulator.json
+#   BUILD_DIR     overrides the build tree (default <repo>/build-release)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+OUT="${1:-${ROOT}/BENCH_simulator.json}"
+BUILD_DIR="${BUILD_DIR:-${ROOT}/build-release}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -S "${ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release \
+    -DVTRAIN_BUILD_BENCH=ON
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+PERF_BIN="${BUILD_DIR}/bench/perf_simulator"
+if [[ ! -x "${PERF_BIN}" ]]; then
+    echo "error: ${PERF_BIN} was not built (is libbenchmark-dev installed?)" >&2
+    exit 1
+fi
+
+"${PERF_BIN}" \
+    --benchmark_out="${OUT}" \
+    --benchmark_out_format=json \
+    --benchmark_min_time=0.1
+
+# Fail loudly if the baseline is not valid JSON.
+python3 -m json.tool "${OUT}" > /dev/null
+echo "perf baseline written to ${OUT}"

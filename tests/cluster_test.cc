@@ -7,7 +7,6 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <cmath>
 
 #include "cluster/cluster_sim.h"
 #include "cluster/metrics.h"
@@ -27,17 +26,6 @@ linearProfile(std::vector<int> gpus, double thr_per_gpu = 1.0 / 8.0)
     for (int g : gpus)
         points.push_back(
             ProfilePoint{g, thr_per_gpu * g, ParallelConfig{}});
-    return ThroughputProfile::fromPoints(std::move(points));
-}
-
-/** Sub-linear profile with diminishing returns. */
-ThroughputProfile
-sublinearProfile(std::vector<int> gpus)
-{
-    std::vector<ProfilePoint> points;
-    for (int g : gpus)
-        points.push_back(ProfilePoint{
-            g, std::sqrt(static_cast<double>(g)), ParallelConfig{}});
     return ThroughputProfile::fromPoints(std::move(points));
 }
 

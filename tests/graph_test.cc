@@ -275,8 +275,9 @@ TEST(GraphBuilder, CommLatenciesPositive)
                       true};
     const OpGraph g = buildGraph(c, cluster, tinyModel());
     for (const auto &node : g.nodes()) {
-        if (node.type == OpNodeType::Comm)
+        if (node.type == OpNodeType::Comm) {
             EXPECT_GT(node.comm_latency, 0.0);
+        }
     }
 }
 

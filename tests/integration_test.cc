@@ -107,9 +107,10 @@ TEST(Integration, VTrainProfileDominatesBaseline)
     ASSERT_FALSE(vtrain.empty());
     for (const auto &bp : baseline.points()) {
         const double v = vtrain.throughputAt(bp.n_gpus);
-        if (v > 0.0)
+        if (v > 0.0) {
             EXPECT_GE(v, bp.iterations_per_second * (1.0 - 1e-9))
                 << "at " << bp.n_gpus << " GPUs";
+        }
     }
 }
 

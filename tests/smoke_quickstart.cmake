@@ -1,0 +1,50 @@
+# Smoke fixture for the build itself: run the quickstart example and
+# assert it predicts a sane iteration time for GPT-3 175B on 1,024
+# A100s.  Invoked by ctest as
+#   cmake -DQUICKSTART=<path-to-binary> -P smoke_quickstart.cmake
+
+if(NOT QUICKSTART)
+    message(FATAL_ERROR "smoke: pass -DQUICKSTART=<path to quickstart binary>")
+endif()
+
+execute_process(
+    COMMAND ${QUICKSTART}
+    OUTPUT_VARIABLE smoke_out
+    ERROR_VARIABLE smoke_err
+    RESULT_VARIABLE smoke_rv)
+
+if(NOT smoke_rv EQUAL 0)
+    message(FATAL_ERROR
+        "smoke: quickstart exited with ${smoke_rv}\n"
+        "stdout:\n${smoke_out}\nstderr:\n${smoke_err}")
+endif()
+
+string(REGEX MATCH "predicted iteration time: ([0-9][0-9.]*) (us|ms|s|h|days)"
+       smoke_match "${smoke_out}")
+if(NOT smoke_match)
+    message(FATAL_ERROR
+        "smoke: no 'predicted iteration time' line in quickstart output:\n"
+        "${smoke_out}")
+endif()
+
+set(smoke_value "${CMAKE_MATCH_1}")
+set(smoke_unit "${CMAKE_MATCH_2}")
+
+# Sane = strictly positive and under an hour per iteration.  The paper
+# reports tens of seconds for GPT-3 175B / batch 1536 on 1,024 GPUs;
+# hours or days per iteration means the simulator (or the link) broke.
+if(NOT smoke_value GREATER 0)
+    message(FATAL_ERROR
+        "smoke: non-positive iteration time '${smoke_value} ${smoke_unit}'")
+endif()
+if(smoke_unit STREQUAL "h" OR smoke_unit STREQUAL "days")
+    message(FATAL_ERROR
+        "smoke: implausible iteration time '${smoke_value} ${smoke_unit}'")
+endif()
+if(smoke_unit STREQUAL "s" AND smoke_value GREATER 3600)
+    message(FATAL_ERROR
+        "smoke: implausible iteration time '${smoke_value} s'")
+endif()
+
+message(STATUS
+    "smoke: quickstart OK, predicted iteration time ${smoke_value} ${smoke_unit}")
