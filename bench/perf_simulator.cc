@@ -151,6 +151,47 @@ BM_ExactVsFast(benchmark::State &state)
 BENCHMARK(BM_ExactVsFast)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void
+BM_ExplorerSweep(benchmark::State &state)
+{
+    setVerbose(false);
+    const ModelConfig model = zoo::scaled3_6b();
+    const ClusterSpec cluster = makeCluster(64);
+    SweepSpec spec;
+    spec.global_batch_size = 512;
+    spec.max_data = 16;
+    const auto plans = enumeratePlans(model, cluster, spec);
+    // reuse=1 holds one Explorer across iterations: its SimService
+    // keeps the worker pool (no per-sweep thread spawn) and the
+    // result cache (repeat sweeps answer without simulating).
+    // reuse=0 rebuilds the Explorer each sweep, the pre-serve-layer
+    // behaviour.
+    const bool reuse = state.range(0) != 0;
+    Explorer persistent(cluster, SimOptions{}, 2);
+    if (reuse) // steady-state repeat-sweep cost, not the first fill
+        (void)persistent.sweep(model, plans);
+    for (auto _ : state) {
+        if (reuse) {
+            auto results = persistent.sweep(model, plans);
+            benchmark::DoNotOptimize(results.data());
+        } else {
+            Explorer fresh(cluster, SimOptions{}, 2);
+            auto results = fresh.sweep(model, plans);
+            benchmark::DoNotOptimize(results.data());
+        }
+    }
+    state.counters["plans"] = static_cast<double>(plans.size());
+}
+// Wall time: the sweep blocks on pool workers, so CPU time of the
+// calling thread is near zero.  Fixed iteration count: one function
+// call, so the primed explorer is not rebuilt by harness calibration.
+BENCHMARK(BM_ExplorerSweep)
+    ->Arg(1)
+    ->Arg(0)
+    ->Iterations(3)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_NcclTableLookup(benchmark::State &state)
 {
     const NcclLatencyTable table(dgxA100Node());

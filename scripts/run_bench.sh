@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Build the bench targets and run bench/perf_simulator to emit a
-# Google-Benchmark JSON baseline for the perf trajectory.
+# Build the bench targets and run the perf microbenchmarks to emit
+# Google-Benchmark JSON baselines for the perf trajectory:
+#   bench/perf_simulator -> BENCH_simulator.json (simulator pipeline)
+#   bench/perf_serve     -> BENCH_serve.json     (serve layer, cold/warm)
 #
-# Usage: scripts/run_bench.sh [output.json]
-#   output.json   defaults to <repo>/BENCH_simulator.json
-#   BUILD_DIR     overrides the build tree (default <repo>/build-release)
+# Usage: scripts/run_bench.sh [simulator.json] [serve.json]
+#   simulator.json  defaults to <repo>/BENCH_simulator.json
+#   serve.json      defaults to <repo>/BENCH_serve.json
+#   BUILD_DIR       overrides the build tree (default <repo>/build-release)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-OUT="${1:-${ROOT}/BENCH_simulator.json}"
+SIM_OUT="${1:-${ROOT}/BENCH_simulator.json}"
+SERVE_OUT="${2:-${ROOT}/BENCH_serve.json}"
 BUILD_DIR="${BUILD_DIR:-${ROOT}/build-release}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
@@ -16,17 +20,20 @@ cmake -S "${ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release \
     -DVTRAIN_BUILD_BENCH=ON
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-PERF_BIN="${BUILD_DIR}/bench/perf_simulator"
-if [[ ! -x "${PERF_BIN}" ]]; then
-    echo "error: ${PERF_BIN} was not built (is libbenchmark-dev installed?)" >&2
-    exit 1
-fi
+run_bench() {
+    local bin="$1" out="$2"
+    if [[ ! -x "${bin}" ]]; then
+        echo "error: ${bin} was not built (is libbenchmark-dev installed?)" >&2
+        exit 1
+    fi
+    "${bin}" \
+        --benchmark_out="${out}" \
+        --benchmark_out_format=json \
+        --benchmark_min_time=0.1
+    # Fail loudly if the baseline is not valid JSON.
+    python3 -m json.tool "${out}" > /dev/null
+    echo "perf baseline written to ${out}"
+}
 
-"${PERF_BIN}" \
-    --benchmark_out="${OUT}" \
-    --benchmark_out_format=json \
-    --benchmark_min_time=0.1
-
-# Fail loudly if the baseline is not valid JSON.
-python3 -m json.tool "${OUT}" > /dev/null
-echo "perf baseline written to ${OUT}"
+run_bench "${BUILD_DIR}/bench/perf_simulator" "${SIM_OUT}"
+run_bench "${BUILD_DIR}/bench/perf_serve" "${SERVE_OUT}"

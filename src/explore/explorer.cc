@@ -1,28 +1,37 @@
 #include "explore/explorer.h"
 
-#include "util/thread_pool.h"
+#include <utility>
 
 namespace vtrain {
 
 Explorer::Explorer(ClusterSpec cluster, SimOptions options,
                    size_t n_threads)
-    : cluster_(std::move(cluster)), options_(options),
-      n_threads_(n_threads)
+    : cluster_(std::move(cluster)), options_(options)
 {
+    SimService::Options service_options;
+    service_options.n_threads = n_threads;
+    service_ = std::make_unique<SimService>(std::move(service_options));
 }
 
 std::vector<ExploreResult>
 Explorer::sweep(const ModelConfig &model,
                 const std::vector<ParallelConfig> &plans) const
 {
+    std::vector<SimRequest> requests(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+        requests[i].model = model;
+        requests[i].parallel = plans[i];
+        requests[i].cluster = cluster_;
+        requests[i].options = options_;
+    }
+    std::vector<SimulationResult> sims =
+        service_->evaluateBatch(requests);
+
     std::vector<ExploreResult> results(plans.size());
-    ThreadPool pool(n_threads_);
-    pool.parallelFor(plans.size(), [&](size_t i) {
-        // Each worker owns a Simulator; points are independent.
-        Simulator sim(cluster_, options_);
+    for (size_t i = 0; i < plans.size(); ++i) {
         results[i].plan = plans[i];
-        results[i].sim = sim.simulateIteration(model, plans[i]);
-    });
+        results[i].sim = std::move(sims[i]);
+    }
     return results;
 }
 

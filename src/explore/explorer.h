@@ -5,14 +5,21 @@
  * Each simulation point is independent, so the sweep parallelizes
  * across CPU cores; the paper reports a full MT-NLG sweep in under
  * 200 seconds on one CPU server.
+ *
+ * Sweeps route through a SimService held for the Explorer's lifetime:
+ * the worker pool is spawned once instead of per sweep() call, and
+ * every simulated point lands in the service's result cache, so
+ * overlapping or repeated sweeps (iterative DSE, Chinchilla planning,
+ * throughput profiling) only pay for points they have not seen before.
  */
 #ifndef VTRAIN_EXPLORE_EXPLORER_H
 #define VTRAIN_EXPLORE_EXPLORER_H
 
-#include <functional>
+#include <memory>
 #include <vector>
 
 #include "explore/design_space.h"
+#include "serve/sim_service.h"
 #include "sim/simulator.h"
 
 namespace vtrain {
@@ -46,10 +53,15 @@ class Explorer
 
     const ClusterSpec &cluster() const { return cluster_; }
 
+    /** The underlying request service (persistent pool + cache). */
+    SimService &service() const { return *service_; }
+
   private:
     ClusterSpec cluster_;
     SimOptions options_;
-    size_t n_threads_;
+    // unique_ptr so the (logically const) sweep entry points can use
+    // the mutating service API; the Explorer is therefore move-only.
+    std::unique_ptr<SimService> service_;
 };
 
 /** @return index of the fastest plan, or -1 if `results` is empty. */

@@ -1,8 +1,26 @@
 #include "hw/cluster_spec.h"
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace vtrain {
+
+void
+hashAppend(Hash64 &h, const ClusterSpec &cluster)
+{
+    hashAppend(h, cluster.node);
+    h.mix(cluster.num_nodes)
+        .mix(cluster.bandwidth_effectiveness)
+        .mix(cluster.hierarchical_allreduce);
+}
+
+uint64_t
+ClusterSpec::fingerprint() const
+{
+    Hash64 h;
+    hashAppend(h, *this);
+    return h.digest();
+}
 
 double
 ClusterSpec::peakFlops(Precision p) const

@@ -6,6 +6,8 @@
 #ifndef VTRAIN_HW_CLUSTER_SPEC_H
 #define VTRAIN_HW_CLUSTER_SPEC_H
 
+#include <cstdint>
+
 #include "hw/node_spec.h"
 
 namespace vtrain {
@@ -38,7 +40,22 @@ struct ClusterSpec {
 
     /** @return aggregate peak FLOP/s at the given precision. */
     double peakFlops(Precision p) const;
+
+    bool operator==(const ClusterSpec &) const = default;
+
+    /**
+     * Stable 64-bit fingerprint of the full hardware description
+     * (GPU, node, fabric and modelling knobs).  Equal specs always
+     * fingerprint equally, across processes and platforms.
+     * Convenience for keying clusters on their own (maps, logs);
+     * SimRequest::fingerprint() folds the same fields in via
+     * hashAppend().
+     */
+    uint64_t fingerprint() const;
 };
+
+/** Folds every ClusterSpec field into the request fingerprint stream. */
+void hashAppend(Hash64 &h, const ClusterSpec &cluster);
 
 /** Builds a cluster with exactly n_gpus GPUs (must divide evenly). */
 ClusterSpec makeCluster(int n_gpus, const NodeSpec &node = dgxA100Node());

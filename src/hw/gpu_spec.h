@@ -44,7 +44,14 @@ struct GpuSpec {
 
     /** @return peak throughput for the given precision, FLOP/s. */
     double peakFlops(Precision p) const;
+
+    bool operator==(const GpuSpec &) const = default;
 };
+
+class Hash64;
+
+/** Folds every GpuSpec field into the request fingerprint stream. */
+void hashAppend(Hash64 &h, const GpuSpec &gpu);
 
 /** The 80 GB A100 used throughout the paper's evaluation. */
 GpuSpec a100Sxm80GB();

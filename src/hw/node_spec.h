@@ -32,7 +32,12 @@ struct NodeSpec {
 
     /** One-way intra-node (NVLink) message latency, seconds. */
     double nvlink_latency = 2e-6;
+
+    bool operator==(const NodeSpec &) const = default;
 };
+
+/** Folds every NodeSpec field into the request fingerprint stream. */
+void hashAppend(Hash64 &h, const NodeSpec &node);
 
 /** The paper's DGX-A100-class validation node. */
 NodeSpec dgxA100Node();

@@ -11,10 +11,14 @@
 #ifndef VTRAIN_MODEL_MODEL_CONFIG_H
 #define VTRAIN_MODEL_MODEL_CONFIG_H
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace vtrain {
+
+class Hash64;
 
 /** Hyperparameters of a decoder-only transformer LLM. */
 struct ModelConfig {
@@ -61,7 +65,15 @@ struct ModelConfig {
 
     /** A short "h=..,L=..,s=..,n=.." descriptor. */
     std::string brief() const;
+
+    bool operator==(const ModelConfig &) const = default;
 };
+
+/** Folds every ModelConfig field into a fingerprint stream. */
+void hashAppend(Hash64 &h, const ModelConfig &model);
+
+/** @return a stable 64-bit hash of the full model description. */
+uint64_t hashValue(const ModelConfig &model);
 
 /**
  * Builds a model from (h, L, n) with defaults for s and V, deriving a
@@ -72,5 +84,13 @@ ModelConfig makeModel(int64_t hidden_size, int64_t num_layers,
                       int64_t vocab_size = 51200);
 
 } // namespace vtrain
+
+/** Enables ModelConfig keys in std::unordered_map / std::unordered_set. */
+template <> struct std::hash<vtrain::ModelConfig> {
+    size_t operator()(const vtrain::ModelConfig &m) const
+    {
+        return static_cast<size_t>(vtrain::hashValue(m));
+    }
+};
 
 #endif // VTRAIN_MODEL_MODEL_CONFIG_H

@@ -9,6 +9,9 @@
 #ifndef VTRAIN_PARALLEL_PARALLEL_CONFIG_H
 #define VTRAIN_PARALLEL_PARALLEL_CONFIG_H
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "hw/cluster_spec.h"
@@ -99,8 +102,24 @@ struct ParallelConfig {
     /** Like valid() but throws a fatal error on failure. */
     void validate(const ModelConfig &model,
                   const ClusterSpec &cluster) const;
+
+    bool operator==(const ParallelConfig &) const = default;
 };
 
+/** Folds every ParallelConfig field into a fingerprint stream. */
+void hashAppend(Hash64 &h, const ParallelConfig &plan);
+
+/** @return a stable 64-bit hash of the full plan description. */
+uint64_t hashValue(const ParallelConfig &plan);
+
 } // namespace vtrain
+
+/** Enables ParallelConfig keys in std::unordered_map / set. */
+template <> struct std::hash<vtrain::ParallelConfig> {
+    size_t operator()(const vtrain::ParallelConfig &p) const
+    {
+        return static_cast<size_t>(vtrain::hashValue(p));
+    }
+};
 
 #endif // VTRAIN_PARALLEL_PARALLEL_CONFIG_H

@@ -1,0 +1,982 @@
+#include "serve/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace vtrain {
+namespace json {
+
+// ------------------------------------------------------------ accessors
+
+bool
+Value::asBool() const
+{
+    VTRAIN_CHECK(type_ == Type::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    VTRAIN_CHECK(type_ == Type::Number, "JSON value is not a number");
+    return number_;
+}
+
+/** Largest double magnitude that still represents integers exactly. */
+constexpr double kMaxExactInt = 9007199254740992.0; // 2^53
+
+int64_t
+Value::asInt64() const
+{
+    const double d = asNumber();
+    VTRAIN_CHECK(std::nearbyint(d) == d, "JSON number ", d,
+                 " is not an integer");
+    VTRAIN_CHECK(d >= -kMaxExactInt && d <= kMaxExactInt,
+                 "JSON number ", d, " exceeds the exact integer range");
+    return static_cast<int64_t>(d);
+}
+
+const std::string &
+Value::asString() const
+{
+    VTRAIN_CHECK(type_ == Type::String, "JSON value is not a string");
+    return string_;
+}
+
+const std::vector<Value> &
+Value::items() const
+{
+    VTRAIN_CHECK(type_ == Type::Array, "JSON value is not an array");
+    return array_;
+}
+
+void
+Value::push(Value v)
+{
+    VTRAIN_CHECK(type_ == Type::Array, "JSON value is not an array");
+    array_.push_back(std::move(v));
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    VTRAIN_CHECK(type_ == Type::Object, "JSON value is not an object");
+    return object_;
+}
+
+void
+Value::set(std::string key, Value v)
+{
+    VTRAIN_CHECK(type_ == Type::Object, "JSON value is not an object");
+    for (auto &[k, existing] : object_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    object_.emplace_back(std::move(key), std::move(v));
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : object_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+// --------------------------------------------------------------- dumping
+
+namespace {
+
+void
+dumpString(const std::string &s, std::string &out)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+dumpNumber(double d, std::string &out)
+{
+    VTRAIN_CHECK(std::isfinite(d),
+                 "JSON cannot represent non-finite numbers");
+    // Shortest representation that parses back to the same double.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    out.append(buf, res.ptr);
+}
+
+void
+dumpValue(const Value &v, std::string &out, int depth)
+{
+    const std::string pad(2 * (depth + 1), ' ');
+    const std::string close_pad(2 * depth, ' ');
+    switch (v.type()) {
+      case Value::Type::Null:
+        out += "null";
+        break;
+      case Value::Type::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case Value::Type::Number:
+        dumpNumber(v.asNumber(), out);
+        break;
+      case Value::Type::String:
+        dumpString(v.asString(), out);
+        break;
+      case Value::Type::Array: {
+        const auto &items = v.items();
+        if (items.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[";
+        for (size_t i = 0; i < items.size(); ++i) {
+            out += i == 0 ? "\n" : ",\n";
+            out += pad;
+            dumpValue(items[i], out, depth + 1);
+        }
+        out += "\n" + close_pad + "]";
+        break;
+      }
+      case Value::Type::Object: {
+        const auto &members = v.members();
+        if (members.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{";
+        for (size_t i = 0; i < members.size(); ++i) {
+            out += i == 0 ? "\n" : ",\n";
+            out += pad;
+            dumpString(members[i].first, out);
+            out += ": ";
+            dumpValue(members[i].second, out, depth + 1);
+        }
+        out += "\n" + close_pad + "}";
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+Value::dump() const
+{
+    std::string out;
+    dumpValue(*this, out, 0);
+    return out;
+}
+
+// --------------------------------------------------------------- parsing
+
+namespace {
+
+/** Recursive-descent parser over a complete document. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool parseDocument(Value *out)
+    {
+        skipWhitespace();
+        if (!parseValue(out, 0))
+            return false;
+        skipWhitespace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool fail(const std::string &what)
+    {
+        if (error_) {
+            *error_ = what + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) == word) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    bool parseValue(Value *out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out, depth);
+        if (c == '[')
+            return parseArray(out, depth);
+        if (c == '"') {
+            std::string s;
+            if (!parseString(&s))
+                return false;
+            *out = Value(std::move(s));
+            return true;
+        }
+        if (literal("true")) {
+            *out = Value(true);
+            return true;
+        }
+        if (literal("false")) {
+            *out = Value(false);
+            return true;
+        }
+        if (literal("null")) {
+            *out = Value();
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool parseObject(Value *out, int depth)
+    {
+        ++pos_; // '{'
+        *out = Value::object();
+        skipWhitespace();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWhitespace();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(&key))
+                return false;
+            skipWhitespace();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            skipWhitespace();
+            Value member;
+            if (!parseValue(&member, depth + 1))
+                return false;
+            out->set(std::move(key), std::move(member));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool parseArray(Value *out, int depth)
+    {
+        ++pos_; // '['
+        *out = Value::array();
+        skipWhitespace();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            skipWhitespace();
+            Value item;
+            if (!parseValue(&item, depth + 1))
+                return false;
+            out->push(std::move(item));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool parseString(std::string *out)
+    {
+        ++pos_; // '"'
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out->push_back(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_; // '\'
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                out->push_back('"');
+                break;
+              case '\\':
+                out->push_back('\\');
+                break;
+              case '/':
+                out->push_back('/');
+                break;
+              case 'b':
+                out->push_back('\b');
+                break;
+              case 'f':
+                out->push_back('\f');
+                break;
+              case 'n':
+                out->push_back('\n');
+                break;
+              case 'r':
+                out->push_back('\r');
+                break;
+              case 't':
+                out->push_back('\t');
+                break;
+              case 'u': {
+                unsigned cp = 0;
+                if (!parseHex4(&cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // Surrogate pair: expect the low half next.
+                    if (!literal("\\u"))
+                        return fail("unpaired high surrogate");
+                    unsigned low = 0;
+                    if (!parseHex4(&low))
+                        return false;
+                    if (low < 0xdc00 || low > 0xdfff)
+                        return fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (low - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    return fail("unpaired low surrogate");
+                }
+                appendUtf8(cp, out);
+                break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseHex4(unsigned *out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + i];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("invalid hex digit in \\u escape");
+        }
+        pos_ += 4;
+        *out = value;
+        return true;
+    }
+
+    static void appendUtf8(unsigned cp, std::string *out)
+    {
+        if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else if (cp < 0x10000) {
+            out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+            out->push_back(
+                static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    bool parseNumber(Value *out)
+    {
+        // Validate against the JSON number grammar first: from_chars
+        // alone would also accept "inf", "nan" and hex floats.
+        const size_t start = pos_;
+        size_t p = pos_;
+        auto digits = [&] {
+            const size_t first = p;
+            while (p < text_.size() && text_[p] >= '0' &&
+                   text_[p] <= '9')
+                ++p;
+            return p > first;
+        };
+        if (p < text_.size() && text_[p] == '-')
+            ++p;
+        if (!digits())
+            return fail("invalid number");
+        if (p < text_.size() && text_[p] == '.') {
+            ++p;
+            if (!digits())
+                return fail("invalid number");
+        }
+        if (p < text_.size() && (text_[p] == 'e' || text_[p] == 'E')) {
+            ++p;
+            if (p < text_.size() &&
+                (text_[p] == '+' || text_[p] == '-'))
+                ++p;
+            if (!digits())
+                return fail("invalid number");
+        }
+        double value = 0.0;
+        const auto res = std::from_chars(text_.data() + start,
+                                         text_.data() + p, value);
+        if (res.ec != std::errc{})
+            return fail("number out of range");
+        pos_ = p;
+        *out = Value(value);
+        return true;
+    }
+
+    std::string_view text_;
+    std::string *error_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+Value::parse(std::string_view text, Value *out, std::string *error)
+{
+    Parser parser(text, error);
+    return parser.parseDocument(out);
+}
+
+} // namespace json
+
+// ------------------------------------------------------- wire encoders
+
+namespace {
+
+using json::Value;
+
+constexpr int64_t kWireVersion = 1;
+
+Value
+gpuToJson(const GpuSpec &gpu)
+{
+    Value v = Value::object();
+    v.set("name", gpu.name);
+    v.set("peak_fp16_flops", gpu.peak_fp16_flops);
+    v.set("peak_fp32_flops", gpu.peak_fp32_flops);
+    v.set("hbm_bandwidth", gpu.hbm_bandwidth);
+    v.set("memory_bytes", gpu.memory_bytes);
+    v.set("kernel_launch_overhead", gpu.kernel_launch_overhead);
+    return v;
+}
+
+Value
+nodeToJson(const NodeSpec &node)
+{
+    Value v = Value::object();
+    v.set("gpu", gpuToJson(node.gpu));
+    v.set("gpus_per_node", int64_t{node.gpus_per_node});
+    v.set("nvlink_bandwidth", node.nvlink_bandwidth);
+    v.set("nic_bandwidth", node.nic_bandwidth);
+    v.set("nic_latency", node.nic_latency);
+    v.set("nvlink_latency", node.nvlink_latency);
+    return v;
+}
+
+Value
+clusterToJson(const ClusterSpec &cluster)
+{
+    Value v = Value::object();
+    v.set("node", nodeToJson(cluster.node));
+    v.set("num_nodes", int64_t{cluster.num_nodes});
+    v.set("bandwidth_effectiveness", cluster.bandwidth_effectiveness);
+    v.set("hierarchical_allreduce", cluster.hierarchical_allreduce);
+    return v;
+}
+
+Value
+modelToJson(const ModelConfig &model)
+{
+    Value v = Value::object();
+    v.set("name", model.name);
+    v.set("hidden_size", model.hidden_size);
+    v.set("num_layers", model.num_layers);
+    v.set("seq_length", model.seq_length);
+    v.set("num_heads", model.num_heads);
+    v.set("vocab_size", model.vocab_size);
+    return v;
+}
+
+Value
+parallelToJson(const ParallelConfig &plan)
+{
+    Value v = Value::object();
+    v.set("tensor", int64_t{plan.tensor});
+    v.set("data", int64_t{plan.data});
+    v.set("pipeline", int64_t{plan.pipeline});
+    v.set("micro_batch_size", int64_t{plan.micro_batch_size});
+    v.set("global_batch_size", int64_t{plan.global_batch_size});
+    v.set("schedule", toString(plan.schedule));
+    v.set("gradient_bucketing", plan.gradient_bucketing);
+    v.set("bucket_bytes", plan.bucket_bytes);
+    v.set("activation_recompute", plan.activation_recompute);
+    v.set("zero_stage", int64_t{plan.zero_stage});
+    v.set("precision", toString(plan.precision));
+    return v;
+}
+
+Value
+optionsToJson(const SimOptions &options)
+{
+    Value v = Value::object();
+    v.set("fast_mode", options.fast_mode);
+    v.set("memoize_profiles", options.memoize_profiles);
+    v.set("collapse_operators", options.collapse_operators);
+    v.set("attention", toString(options.attention));
+    return v;
+}
+
+} // namespace
+
+std::string
+toJson(const SimRequest &request)
+{
+    VTRAIN_REQUIRE(request.options.perturber == nullptr,
+                   "requests carrying a perturber are process-local "
+                   "and cannot be serialized");
+    Value v = Value::object();
+    v.set("version", kWireVersion);
+    v.set("model", modelToJson(request.model));
+    v.set("parallel", parallelToJson(request.parallel));
+    v.set("cluster", clusterToJson(request.cluster));
+    v.set("options", optionsToJson(request.options));
+    return v.dump();
+}
+
+std::string
+toJson(const SimulationResult &result)
+{
+    Value v = Value::object();
+    v.set("version", kWireVersion);
+    v.set("iteration_seconds", result.iteration_seconds);
+    v.set("utilization", result.utilization);
+    v.set("model_flops", result.model_flops);
+    v.set("bubble_fraction", result.bubble_fraction);
+    Value tags = Value::array();
+    for (const double t : result.time_by_tag)
+        tags.push(Value(t));
+    v.set("time_by_tag", std::move(tags));
+    v.set("num_operators", static_cast<int64_t>(result.num_operators));
+    v.set("num_tasks", static_cast<int64_t>(result.num_tasks));
+    v.set("distinct_operators_profiled",
+          static_cast<int64_t>(result.distinct_operators_profiled));
+    v.set("profiler_calls",
+          static_cast<int64_t>(result.profiler_calls));
+    v.set("extrapolated", result.extrapolated);
+    v.set("simulated_micro_batches",
+          int64_t{result.simulated_micro_batches});
+    v.set("total_micro_batches", int64_t{result.total_micro_batches});
+    v.set("sim_wall_seconds", result.sim_wall_seconds);
+    return v.dump();
+}
+
+// ------------------------------------------------------- wire decoders
+
+namespace {
+
+bool
+decodeError(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what;
+    return false;
+}
+
+const Value *
+member(const Value &obj, std::string_view key, Value::Type type,
+       std::string *error)
+{
+    const Value *v = obj.find(key);
+    if (!v || v->type() != type) {
+        if (error)
+            *error = "missing or mistyped field '" + std::string(key) +
+                     "'";
+        return nullptr;
+    }
+    return v;
+}
+
+bool
+getNumber(const Value &obj, std::string_view key, double *out,
+          std::string *error)
+{
+    const Value *v = member(obj, key, Value::Type::Number, error);
+    if (!v)
+        return false;
+    *out = v->asNumber();
+    return true;
+}
+
+template <typename Int>
+bool
+getInt(const Value &obj, std::string_view key, Int *out,
+       std::string *error)
+{
+    const Value *v = member(obj, key, Value::Type::Number, error);
+    if (!v)
+        return false;
+    const double d = v->asNumber();
+    if (std::nearbyint(d) != d)
+        return decodeError(error, "field '" + std::string(key) +
+                                      "' is not an integer");
+    // Reject values the target type cannot hold: the decoder is the
+    // cross-process input boundary, and an unchecked narrowing cast
+    // from double is undefined behavior.  Within +/-2^53 every
+    // integer is exact, so the limit comparisons are themselves safe.
+    if (d < -json::kMaxExactInt || d > json::kMaxExactInt ||
+        d < static_cast<double>(std::numeric_limits<Int>::min()) ||
+        d > static_cast<double>(std::numeric_limits<Int>::max()))
+        return decodeError(error, "field '" + std::string(key) +
+                                      "' is out of range");
+    *out = static_cast<Int>(d);
+    return true;
+}
+
+bool
+getBool(const Value &obj, std::string_view key, bool *out,
+        std::string *error)
+{
+    const Value *v = member(obj, key, Value::Type::Bool, error);
+    if (!v)
+        return false;
+    *out = v->asBool();
+    return true;
+}
+
+bool
+getString(const Value &obj, std::string_view key, std::string *out,
+          std::string *error)
+{
+    const Value *v = member(obj, key, Value::Type::String, error);
+    if (!v)
+        return false;
+    *out = v->asString();
+    return true;
+}
+
+bool
+parsePrecision(const std::string &s, Precision *out, std::string *error)
+{
+    if (s == "fp16")
+        *out = Precision::FP16;
+    else if (s == "bf16")
+        *out = Precision::BF16;
+    else if (s == "fp32")
+        *out = Precision::FP32;
+    else
+        return decodeError(error, "unknown precision '" + s + "'");
+    return true;
+}
+
+bool
+parseSchedule(const std::string &s, PipelineSchedule *out,
+              std::string *error)
+{
+    if (s == "gpipe")
+        *out = PipelineSchedule::GPipe;
+    else if (s == "1f1b")
+        *out = PipelineSchedule::OneFOneB;
+    else
+        return decodeError(error,
+                           "unknown pipeline schedule '" + s + "'");
+    return true;
+}
+
+bool
+parseAttention(const std::string &s, AttentionImpl *out,
+               std::string *error)
+{
+    if (s == "megatron")
+        *out = AttentionImpl::Megatron;
+    else if (s == "flash-attention")
+        *out = AttentionImpl::FlashAttention;
+    else if (s == "flash-attention-2")
+        *out = AttentionImpl::FlashAttention2;
+    else
+        return decodeError(error,
+                           "unknown attention impl '" + s + "'");
+    return true;
+}
+
+bool
+gpuFromJson(const Value &v, GpuSpec *out, std::string *error)
+{
+    return getString(v, "name", &out->name, error) &&
+           getNumber(v, "peak_fp16_flops", &out->peak_fp16_flops,
+                     error) &&
+           getNumber(v, "peak_fp32_flops", &out->peak_fp32_flops,
+                     error) &&
+           getNumber(v, "hbm_bandwidth", &out->hbm_bandwidth, error) &&
+           getNumber(v, "memory_bytes", &out->memory_bytes, error) &&
+           getNumber(v, "kernel_launch_overhead",
+                     &out->kernel_launch_overhead, error);
+}
+
+bool
+nodeFromJson(const Value &v, NodeSpec *out, std::string *error)
+{
+    const Value *gpu = member(v, "gpu", Value::Type::Object, error);
+    if (!gpu || !gpuFromJson(*gpu, &out->gpu, error))
+        return false;
+    return getInt(v, "gpus_per_node", &out->gpus_per_node, error) &&
+           getNumber(v, "nvlink_bandwidth", &out->nvlink_bandwidth,
+                     error) &&
+           getNumber(v, "nic_bandwidth", &out->nic_bandwidth, error) &&
+           getNumber(v, "nic_latency", &out->nic_latency, error) &&
+           getNumber(v, "nvlink_latency", &out->nvlink_latency, error);
+}
+
+bool
+clusterFromJson(const Value &v, ClusterSpec *out, std::string *error)
+{
+    const Value *node = member(v, "node", Value::Type::Object, error);
+    if (!node || !nodeFromJson(*node, &out->node, error))
+        return false;
+    return getInt(v, "num_nodes", &out->num_nodes, error) &&
+           getNumber(v, "bandwidth_effectiveness",
+                     &out->bandwidth_effectiveness, error) &&
+           getBool(v, "hierarchical_allreduce",
+                   &out->hierarchical_allreduce, error);
+}
+
+bool
+modelFromJson(const Value &v, ModelConfig *out, std::string *error)
+{
+    return getString(v, "name", &out->name, error) &&
+           getInt(v, "hidden_size", &out->hidden_size, error) &&
+           getInt(v, "num_layers", &out->num_layers, error) &&
+           getInt(v, "seq_length", &out->seq_length, error) &&
+           getInt(v, "num_heads", &out->num_heads, error) &&
+           getInt(v, "vocab_size", &out->vocab_size, error);
+}
+
+bool
+parallelFromJson(const Value &v, ParallelConfig *out, std::string *error)
+{
+    std::string schedule;
+    std::string precision;
+    if (!(getInt(v, "tensor", &out->tensor, error) &&
+          getInt(v, "data", &out->data, error) &&
+          getInt(v, "pipeline", &out->pipeline, error) &&
+          getInt(v, "micro_batch_size", &out->micro_batch_size,
+                 error) &&
+          getInt(v, "global_batch_size", &out->global_batch_size,
+                 error) &&
+          getString(v, "schedule", &schedule, error) &&
+          getBool(v, "gradient_bucketing", &out->gradient_bucketing,
+                  error) &&
+          getNumber(v, "bucket_bytes", &out->bucket_bytes, error) &&
+          getBool(v, "activation_recompute",
+                  &out->activation_recompute, error) &&
+          getInt(v, "zero_stage", &out->zero_stage, error) &&
+          getString(v, "precision", &precision, error)))
+        return false;
+    return parseSchedule(schedule, &out->schedule, error) &&
+           parsePrecision(precision, &out->precision, error);
+}
+
+bool
+optionsFromJson(const Value &v, SimOptions *out, std::string *error)
+{
+    std::string attention;
+    if (!(getBool(v, "fast_mode", &out->fast_mode, error) &&
+          getBool(v, "memoize_profiles", &out->memoize_profiles,
+                  error) &&
+          getBool(v, "collapse_operators", &out->collapse_operators,
+                  error) &&
+          getString(v, "attention", &attention, error)))
+        return false;
+    out->perturber = nullptr;
+    return parseAttention(attention, &out->attention, error);
+}
+
+bool
+checkVersion(const Value &root, std::string *error)
+{
+    int64_t version = 0;
+    if (!getInt(root, "version", &version, error))
+        return false;
+    if (version != kWireVersion)
+        return decodeError(error, "unsupported wire version " +
+                                      std::to_string(version));
+    return true;
+}
+
+} // namespace
+
+bool
+simRequestFromJson(std::string_view text, SimRequest *out,
+                   std::string *error)
+{
+    Value root;
+    if (!Value::parse(text, &root, error))
+        return false;
+    if (!root.isObject())
+        return decodeError(error, "request document is not an object");
+    if (!checkVersion(root, error))
+        return false;
+    const Value *model = member(root, "model", Value::Type::Object,
+                                error);
+    const Value *parallel =
+        member(root, "parallel", Value::Type::Object, error);
+    const Value *cluster =
+        member(root, "cluster", Value::Type::Object, error);
+    const Value *options =
+        member(root, "options", Value::Type::Object, error);
+    if (!model || !parallel || !cluster || !options)
+        return false;
+    SimRequest request;
+    if (!modelFromJson(*model, &request.model, error) ||
+        !parallelFromJson(*parallel, &request.parallel, error) ||
+        !clusterFromJson(*cluster, &request.cluster, error) ||
+        !optionsFromJson(*options, &request.options, error))
+        return false;
+    *out = std::move(request);
+    return true;
+}
+
+bool
+simResultFromJson(std::string_view text, SimulationResult *out,
+                  std::string *error)
+{
+    Value root;
+    if (!Value::parse(text, &root, error))
+        return false;
+    if (!root.isObject())
+        return decodeError(error, "result document is not an object");
+    if (!checkVersion(root, error))
+        return false;
+    SimulationResult result;
+    const Value *tags =
+        member(root, "time_by_tag", Value::Type::Array, error);
+    if (!tags)
+        return false;
+    if (tags->items().size() != result.time_by_tag.size())
+        return decodeError(error, "time_by_tag must have " +
+                                      std::to_string(
+                                          result.time_by_tag.size()) +
+                                      " entries");
+    for (size_t i = 0; i < result.time_by_tag.size(); ++i) {
+        const Value &t = tags->items()[i];
+        if (!t.isNumber())
+            return decodeError(error, "time_by_tag entries must be "
+                                      "numbers");
+        result.time_by_tag[i] = t.asNumber();
+    }
+    if (!(getNumber(root, "iteration_seconds",
+                    &result.iteration_seconds, error) &&
+          getNumber(root, "utilization", &result.utilization, error) &&
+          getNumber(root, "model_flops", &result.model_flops, error) &&
+          getNumber(root, "bubble_fraction", &result.bubble_fraction,
+                    error) &&
+          getInt(root, "num_operators", &result.num_operators,
+                 error) &&
+          getInt(root, "num_tasks", &result.num_tasks, error) &&
+          getInt(root, "distinct_operators_profiled",
+                 &result.distinct_operators_profiled, error) &&
+          getInt(root, "profiler_calls", &result.profiler_calls,
+                 error) &&
+          getBool(root, "extrapolated", &result.extrapolated, error) &&
+          getInt(root, "simulated_micro_batches",
+                 &result.simulated_micro_batches, error) &&
+          getInt(root, "total_micro_batches",
+                 &result.total_micro_batches, error) &&
+          getNumber(root, "sim_wall_seconds", &result.sim_wall_seconds,
+                    error)))
+        return false;
+    *out = result;
+    return true;
+}
+
+} // namespace vtrain

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Minimal JSON reader/writer and the request/result wire format.
+ *
+ * The serve layer needs SimRequests and SimulationResults to cross a
+ * process boundary (CLI front ends today, an RPC server later) without
+ * pulling in an external dependency, so this file provides a small,
+ * self-contained JSON value type (json::Value) with a strict
+ * recursive-descent parser, plus the (de)serializers for the two wire
+ * types.  Doubles are emitted in shortest round-trip form, so
+ * parse(dump(x)) == x holds bit-for-bit; the encoders version the
+ * payload ("version": 1) for forward compatibility.
+ *
+ * Requests carrying a Perturber cannot be serialized: the pointer is
+ * process-local and the perturbation nondeterministic (toJson exits
+ * with a fatal error; see SimRequest::cacheable()).
+ */
+#ifndef VTRAIN_SERVE_JSON_H
+#define VTRAIN_SERVE_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serve/sim_request.h"
+#include "sim/result.h"
+
+namespace vtrain {
+namespace json {
+
+/** A parsed JSON document node (null/bool/number/string/array/object). */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Value() = default;
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(double d) : type_(Type::Number), number_(d) {}
+    Value(int64_t i)
+        : type_(Type::Number), number_(static_cast<double>(i))
+    {
+    }
+    Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+    Value(const char *s) : type_(Type::String), string_(s) {}
+
+    static Value array() { return Value(Type::Array); }
+    static Value object() { return Value(Type::Object); }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; panic when the type does not match. */
+    bool asBool() const;
+    double asNumber() const;
+    int64_t asInt64() const;
+    const std::string &asString() const;
+
+    /** Array access. */
+    const std::vector<Value> &items() const;
+    void push(Value v);
+
+    /** Object access: members keep insertion order for stable dumps. */
+    const std::vector<std::pair<std::string, Value>> &members() const;
+    void set(std::string key, Value v);
+
+    /** @return the member named `key`, or nullptr when absent. */
+    const Value *find(std::string_view key) const;
+
+    /** Serializes the value (2-space indent pretty printing). */
+    std::string dump() const;
+
+    /**
+     * Strict parse of a complete JSON document.  On failure returns
+     * false and describes the problem (with offset) in *error.
+     */
+    static bool parse(std::string_view text, Value *out,
+                      std::string *error);
+
+  private:
+    explicit Value(Type t) : type_(t) {}
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+};
+
+} // namespace json
+
+/** Encodes a request (fatal error if it carries a perturber). */
+std::string toJson(const SimRequest &request);
+
+/** Encodes a simulation result. */
+std::string toJson(const SimulationResult &result);
+
+/**
+ * Decodes a request.  Strict: every field of the wire format must be
+ * present with the right type (unknown fields are ignored).  Returns
+ * false and sets *error on malformed input.
+ */
+bool simRequestFromJson(std::string_view text, SimRequest *out,
+                        std::string *error = nullptr);
+
+/** Decodes a simulation result (same strictness as requests). */
+bool simResultFromJson(std::string_view text, SimulationResult *out,
+                       std::string *error = nullptr);
+
+} // namespace vtrain
+
+#endif // VTRAIN_SERVE_JSON_H

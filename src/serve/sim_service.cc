@@ -1,0 +1,243 @@
+#include "serve/sim_service.h"
+
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace vtrain {
+
+SimService::SimService(Options options)
+    : options_(std::move(options)), cache_(options_.cache),
+      pool_(options_.n_threads)
+{
+}
+
+SimulationResult
+SimService::compute(const SimRequest &request) const
+{
+    if (options_.evaluator)
+        return options_.evaluator(request);
+    Simulator sim(request.cluster, request.options);
+    return sim.simulateIteration(request.model, request.parallel);
+}
+
+std::shared_future<SimulationResult>
+SimService::claimInflight(
+    uint64_t fp,
+    const std::shared_ptr<std::promise<SimulationResult>> &promise,
+    bool *joined)
+{
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_.find(fp);
+    if (it != inflight_.end()) {
+        *joined = true;
+        return it->second;
+    }
+    *joined = false;
+    auto future = promise->get_future().share();
+    inflight_.emplace(fp, future);
+    return future;
+}
+
+void
+SimService::publish(
+    const SimRequest &request, uint64_t fp,
+    const std::shared_ptr<std::promise<SimulationResult>> &promise,
+    const SimulationResult &result)
+{
+    // Cache before dropping the in-flight entry so that at every
+    // instant an identical request finds the answer in one of the two.
+    if (request.cacheable())
+        cache_.put(fp, result);
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_.erase(fp);
+    }
+    promise->set_value(result);
+}
+
+void
+SimService::publishFailure(
+    uint64_t fp,
+    const std::shared_ptr<std::promise<SimulationResult>> &promise)
+{
+    // A throwing evaluator must not poison the fingerprint: drop the
+    // in-flight entry so the next identical request recomputes, and
+    // hand the exception to everyone already joined on the future.
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_.erase(fp);
+    }
+    promise->set_exception(std::current_exception());
+}
+
+SimulationResult
+SimService::evaluate(const SimRequest &request)
+{
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++requests_;
+    }
+    if (!request.cacheable()) {
+        const SimulationResult result = compute(request);
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++computed_;
+        return result;
+    }
+
+    const uint64_t fp = request.fingerprint();
+    SimulationResult cached;
+    if (cache_.get(fp, &cached))
+        return cached;
+
+    auto promise = std::make_shared<std::promise<SimulationResult>>();
+    bool joined = false;
+    auto future = claimInflight(fp, promise, &joined);
+    if (joined) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++inflight_joins_;
+        }
+        return future.get();
+    }
+
+    // Compute on the calling thread: the synchronous path pays no
+    // queueing latency and cannot deadlock a saturated pool.
+    SimulationResult result;
+    try {
+        result = compute(request);
+    } catch (...) {
+        publishFailure(fp, promise);
+        throw;
+    }
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++computed_;
+    }
+    publish(request, fp, promise, result);
+    return result;
+}
+
+std::shared_future<SimulationResult>
+SimService::evaluateAsync(const SimRequest &request)
+{
+    return evaluateAsyncWithFp(
+        request, request.cacheable() ? request.fingerprint() : 0);
+}
+
+std::shared_future<SimulationResult>
+SimService::evaluateAsyncWithFp(const SimRequest &request, uint64_t fp)
+{
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++requests_;
+    }
+    if (!request.cacheable()) {
+        auto promise =
+            std::make_shared<std::promise<SimulationResult>>();
+        auto future = promise->get_future().share();
+        pool_.submit([this, request, promise] {
+            // Never let an exception escape into the worker loop
+            // (std::terminate); deliver it through the future.
+            try {
+                const SimulationResult result = compute(request);
+                {
+                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    ++computed_;
+                }
+                promise->set_value(result);
+            } catch (...) {
+                promise->set_exception(std::current_exception());
+            }
+        });
+        return future;
+    }
+
+    SimulationResult cached;
+    if (cache_.get(fp, &cached)) {
+        std::promise<SimulationResult> ready;
+        ready.set_value(cached);
+        return ready.get_future().share();
+    }
+
+    auto promise = std::make_shared<std::promise<SimulationResult>>();
+    bool joined = false;
+    auto future = claimInflight(fp, promise, &joined);
+    if (joined) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++inflight_joins_;
+        return future;
+    }
+
+    pool_.submit([this, request, fp, promise] {
+        try {
+            const SimulationResult result = compute(request);
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++computed_;
+            }
+            publish(request, fp, promise, result);
+        } catch (...) {
+            publishFailure(fp, promise);
+        }
+    });
+    return future;
+}
+
+std::vector<SimulationResult>
+SimService::evaluateBatch(const std::vector<SimRequest> &requests)
+{
+    // Collapse duplicates up front so each distinct point is submitted
+    // (and simulated) once, then fan the shared answers back out in
+    // request order.
+    std::vector<std::shared_future<SimulationResult>> futures;
+    futures.reserve(requests.size());
+    std::vector<size_t> future_of(requests.size());
+    std::unordered_map<uint64_t, size_t> first_with_fp;
+    uint64_t dedups = 0;
+
+    for (size_t i = 0; i < requests.size(); ++i) {
+        const SimRequest &request = requests[i];
+        uint64_t fp = 0;
+        if (request.cacheable()) {
+            fp = request.fingerprint();
+            auto [it, inserted] =
+                first_with_fp.emplace(fp, futures.size());
+            if (!inserted) {
+                future_of[i] = it->second;
+                ++dedups;
+                continue;
+            }
+        }
+        future_of[i] = futures.size();
+        futures.push_back(evaluateAsyncWithFp(request, fp));
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        requests_ += dedups; // evaluateAsync counted the unique ones
+        batch_dedups_ += dedups;
+    }
+
+    std::vector<SimulationResult> results(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i)
+        results[i] = futures[future_of[i]].get();
+    return results;
+}
+
+ServiceStats
+SimService::stats() const
+{
+    ServiceStats stats;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats.requests = requests_;
+        stats.computed = computed_;
+        stats.inflight_joins = inflight_joins_;
+        stats.batch_dedups = batch_dedups_;
+    }
+    stats.cache = cache_.stats();
+    return stats;
+}
+
+} // namespace vtrain

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Concurrent simulation service: the request-level front end of the
+ * simulator.
+ *
+ * SimService answers SimRequests through a three-level fast path:
+ *
+ *   1. result cache — a prior answer for the same canonical
+ *      fingerprint returns immediately (sharded LRU, see
+ *      result_cache.h);
+ *   2. in-flight dedup — a request identical to one currently being
+ *      computed attaches to that computation's shared future instead
+ *      of starting a second simulation;
+ *   3. compute — otherwise the request is simulated (inline for
+ *      evaluate(), on the service's ThreadPool for evaluateAsync() /
+ *      evaluateBatch()) and the answer is published to the cache.
+ *
+ * The service owns one long-lived ThreadPool; constructing it once and
+ * issuing many batches amortizes thread startup across sweeps (the
+ * Explorer now does exactly this).  All public methods are safe to
+ * call from multiple threads.  Do not call the blocking entry points
+ * from inside tasks running on this service's own pool: a saturated
+ * pool waiting on itself cannot make progress.
+ */
+#ifndef VTRAIN_SERVE_SIM_SERVICE_H
+#define VTRAIN_SERVE_SIM_SERVICE_H
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/result_cache.h"
+#include "serve/sim_request.h"
+#include "util/thread_pool.h"
+
+namespace vtrain {
+
+/** Service-level counters (cache counters live in CacheStats). */
+struct ServiceStats {
+    uint64_t requests = 0;      //!< requests received, all entry points
+    uint64_t computed = 0;      //!< full simulations actually run
+    uint64_t inflight_joins = 0; //!< requests that attached to a
+                                 //!< computation already in flight
+    uint64_t batch_dedups = 0;   //!< duplicates collapsed inside one
+                                 //!< evaluateBatch() call
+    CacheStats cache;
+};
+
+/** Thread-safe, memoizing façade over the vTrain simulator. */
+class SimService
+{
+  public:
+    /**
+     * Pluggable compute function (request -> result).  The default
+     * runs Simulator::simulateIteration; tests and instrumentation
+     * can substitute a counting or blocking evaluator.
+     */
+    using Evaluator = std::function<SimulationResult(const SimRequest &)>;
+
+    struct Options {
+        /** Worker threads for async/batch paths (0 = hw concurrency). */
+        size_t n_threads = 0;
+
+        ResultCache::Options cache;
+
+        /** Compute override; leave empty for the real simulator. */
+        Evaluator evaluator;
+    };
+
+    SimService() : SimService(Options{}) {}
+    explicit SimService(Options options);
+
+    SimService(const SimService &) = delete;
+    SimService &operator=(const SimService &) = delete;
+
+    /**
+     * Answers one request synchronously.  Cache hits return without
+     * simulating; a request identical to one already in flight waits
+     * for that computation; everything else simulates on the calling
+     * thread (no pool hop on the latency path).
+     */
+    SimulationResult evaluate(const SimRequest &request);
+
+    /**
+     * Submits one request to the worker pool and returns a shared
+     * future.  Duplicate concurrent submissions share one future.
+     */
+    std::shared_future<SimulationResult>
+    evaluateAsync(const SimRequest &request);
+
+    /**
+     * Evaluates a batch, preserving order: result[i] answers
+     * requests[i].  Duplicate requests inside the batch are computed
+     * once and fanned back out; distinct requests run concurrently on
+     * the pool.
+     */
+    std::vector<SimulationResult>
+    evaluateBatch(const std::vector<SimRequest> &requests);
+
+    ResultCache &cache() { return cache_; }
+    const ResultCache &cache() const { return cache_; }
+
+    ServiceStats stats() const;
+
+    size_t numThreads() const { return pool_.numThreads(); }
+
+  private:
+    /** Runs the evaluator (or the real simulator). */
+    SimulationResult compute(const SimRequest &request) const;
+
+    /**
+     * Claims `fp` in the in-flight table.  Returns the existing
+     * shared future when another thread got there first (joined =
+     * true), otherwise registers `promise`'s future and returns it.
+     */
+    std::shared_future<SimulationResult>
+    claimInflight(uint64_t fp,
+                  const std::shared_ptr<std::promise<SimulationResult>>
+                      &promise,
+                  bool *joined);
+
+    /** Publishes a finished computation: cache, table, promise. */
+    void publish(const SimRequest &request, uint64_t fp,
+                 const std::shared_ptr<std::promise<SimulationResult>>
+                     &promise,
+                 const SimulationResult &result);
+
+    /**
+     * Unwinds a failed computation (called from a catch block):
+     * drops the in-flight entry so the fingerprint stays servable and
+     * forwards the current exception through the shared future.
+     */
+    void publishFailure(
+        uint64_t fp,
+        const std::shared_ptr<std::promise<SimulationResult>> &promise);
+
+    /** evaluateAsync() with the fingerprint already computed. */
+    std::shared_future<SimulationResult>
+    evaluateAsyncWithFp(const SimRequest &request, uint64_t fp);
+
+    Options options_;
+    ResultCache cache_;
+
+    mutable std::mutex inflight_mutex_;
+    std::unordered_map<uint64_t, std::shared_future<SimulationResult>>
+        inflight_;
+
+    mutable std::mutex stats_mutex_;
+    uint64_t requests_ = 0;
+    uint64_t computed_ = 0;
+    uint64_t inflight_joins_ = 0;
+    uint64_t batch_dedups_ = 0;
+
+    // Last member on purpose: the pool is destroyed (and its queued
+    // tasks drained) first, while the cache, in-flight table, mutexes
+    // and counters those tasks touch are still alive.
+    ThreadPool pool_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_SERVE_SIM_SERVICE_H

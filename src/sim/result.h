@@ -54,6 +54,8 @@ struct SimulationResult {
 
     /** One-line human-readable summary. */
     std::string brief() const;
+
+    bool operator==(const SimulationResult &) const = default;
 };
 
 } // namespace vtrain

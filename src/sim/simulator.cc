@@ -5,10 +5,30 @@
 #include <cmath>
 
 #include "profiling/synthetic_profiler.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/units.h"
 
 namespace vtrain {
+
+void
+hashAppend(Hash64 &h, const SimOptions &options)
+{
+    h.mix(options.fast_mode)
+        .mix(options.memoize_profiles)
+        .mix(options.collapse_operators)
+        .mix(static_cast<int64_t>(options.attention))
+        .mix(static_cast<uint64_t>(
+            reinterpret_cast<uintptr_t>(options.perturber)));
+}
+
+uint64_t
+hashValue(const SimOptions &options)
+{
+    Hash64 h;
+    hashAppend(h, options);
+    return h.digest();
+}
 
 Simulator::Simulator(ClusterSpec cluster, SimOptions options)
     : cluster_(std::move(cluster)), options_(options), comm_(cluster_)

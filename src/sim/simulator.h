@@ -46,7 +46,23 @@ struct SimOptions {
 
     /** Optional duration perturbation (the testbed surrogate). */
     const Perturber *perturber = nullptr;
+
+    /** Pointer comparison for `perturber`: same object, same options. */
+    bool operator==(const SimOptions &) const = default;
 };
+
+class Hash64;
+
+/**
+ * Folds the options into a fingerprint stream.  The perturber is
+ * hashed by address, so the digest is canonical across processes only
+ * when `perturber == nullptr`; the serve layer refuses to cache (or
+ * serialize) perturbed requests for exactly this reason.
+ */
+void hashAppend(Hash64 &h, const SimOptions &options);
+
+/** @return a stable 64-bit hash of the options (see hashAppend). */
+uint64_t hashValue(const SimOptions &options);
 
 /** End-to-end training projection for a fixed token budget. */
 struct TrainingProjection {

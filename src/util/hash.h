@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic 64-bit streaming hasher for request fingerprinting.
+ *
+ * The serve layer (src/serve/) keys its result cache by a canonical
+ * fingerprint of the whole simulation request, so the hash must be
+ * stable across processes and platforms: FNV-1a over a canonical byte
+ * encoding of each field, with a splitmix64 finalizer for avalanche.
+ * Not cryptographic; collisions are possible in principle but a 64-bit
+ * space is ample for cache keys.
+ */
+#ifndef VTRAIN_UTIL_HASH_H
+#define VTRAIN_UTIL_HASH_H
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace vtrain {
+
+/** Accumulates fields into one 64-bit digest (FNV-1a + splitmix64). */
+class Hash64
+{
+  public:
+    Hash64() = default;
+
+    /** Seeds the stream, e.g. with a format-version tag. */
+    explicit Hash64(uint64_t seed) { mix(seed); }
+
+    Hash64 &mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            state_ ^= (v >> (8 * i)) & 0xffu;
+            state_ *= kFnvPrime;
+        }
+        return *this;
+    }
+
+    Hash64 &mix(int64_t v) { return mix(static_cast<uint64_t>(v)); }
+    Hash64 &mix(int v) { return mix(static_cast<uint64_t>(int64_t{v})); }
+    Hash64 &mix(bool v) { return mix(uint64_t{v ? 1u : 0u}); }
+
+    /** Doubles hash by bit pattern; -0.0 is canonicalized to +0.0. */
+    Hash64 &mix(double v)
+    {
+        if (v == 0.0)
+            v = 0.0; // collapse -0.0 and +0.0
+        return mix(std::bit_cast<uint64_t>(v));
+    }
+
+    /** Strings are length-prefixed so "ab","c" != "a","bc". */
+    Hash64 &mix(std::string_view s)
+    {
+        mix(static_cast<uint64_t>(s.size()));
+        for (const char c : s) {
+            state_ ^= static_cast<unsigned char>(c);
+            state_ *= kFnvPrime;
+        }
+        return *this;
+    }
+
+    /** @return the finalized digest (splitmix64 avalanche). */
+    uint64_t digest() const
+    {
+        uint64_t z = state_;
+        z ^= z >> 30;
+        z *= 0xbf58476d1ce4e5b9ull;
+        z ^= z >> 27;
+        z *= 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        return z;
+    }
+
+  private:
+    static constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+    static constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+    uint64_t state_ = kFnvOffset;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_UTIL_HASH_H

@@ -54,10 +54,15 @@
 #include "profiling/profiler.h"
 #include "profiling/synthetic_profiler.h"
 #include "scaling/chinchilla.h"
+#include "serve/json.h"
+#include "serve/result_cache.h"
+#include "serve/sim_request.h"
+#include "serve/sim_service.h"
 #include "sim/engine.h"
 #include "sim/result.h"
 #include "sim/simulator.h"
 #include "testbed/testbed.h"
+#include "util/hash.h"
 #include "util/interp.h"
 #include "util/logging.h"
 #include "util/rng.h"

@@ -99,5 +99,28 @@ TEST(Pricing, TotalDollarsMatchesTableI)
     EXPECT_NEAR(dollars, 9.01e6, 0.01e6);
 }
 
+
+TEST(ClusterSpec, EqualityAndFingerprint)
+{
+    const ClusterSpec a = makeCluster(512);
+    const ClusterSpec b = makeCluster(512);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+    ClusterSpec bigger = a;
+    bigger.num_nodes *= 2;
+    EXPECT_NE(bigger, a);
+    EXPECT_NE(bigger.fingerprint(), a.fingerprint());
+
+    ClusterSpec other_gpu = a;
+    other_gpu.node.gpu = a100Sxm40GB();
+    EXPECT_NE(other_gpu, a);
+    EXPECT_NE(other_gpu.fingerprint(), a.fingerprint());
+
+    ClusterSpec refined = a;
+    refined.hierarchical_allreduce = true;
+    EXPECT_NE(refined.fingerprint(), a.fingerprint());
+}
+
 } // namespace
 } // namespace vtrain

@@ -145,5 +145,24 @@ TEST(Zoo, TableIVCandidateSizes)
     EXPECT_NEAR(cands[4].numParameters() / 1e9, 76.04, 1.5);
 }
 
+
+TEST(ModelConfig, EqualityAndHashing)
+{
+    const ModelConfig a = makeModel(1024, 8, 16, 512, 8192);
+    const ModelConfig b = makeModel(1024, 8, 16, 512, 8192);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(hashValue(a), hashValue(b));
+
+    ModelConfig wider = a;
+    wider.hidden_size = 2048;
+    EXPECT_NE(wider, a);
+    EXPECT_NE(hashValue(wider), hashValue(a));
+
+    ModelConfig renamed = a;
+    renamed.name = "other";
+    EXPECT_NE(renamed, a);
+    EXPECT_NE(hashValue(renamed), hashValue(a));
+}
+
 } // namespace
 } // namespace vtrain

@@ -218,5 +218,27 @@ TEST(MemoryModel, MtNlgGPipeFullBatchDoesNotFit)
         fitsInMemory(zoo::mtNlg530b(), p, a100Sxm80GB()));
 }
 
+
+TEST(ParallelConfig, EqualityAndHashing)
+{
+    const ParallelConfig a = plan(2, 4, 2, 1, 64);
+    const ParallelConfig b = plan(2, 4, 2, 1, 64);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(hashValue(a), hashValue(b));
+
+    ParallelConfig gpipe = a;
+    gpipe.schedule = PipelineSchedule::GPipe;
+    EXPECT_NE(gpipe, a);
+    EXPECT_NE(hashValue(gpipe), hashValue(a));
+
+    ParallelConfig zero1 = a;
+    zero1.zero_stage = 1;
+    EXPECT_NE(hashValue(zero1), hashValue(a));
+
+    ParallelConfig fp32 = a;
+    fp32.precision = Precision::FP32;
+    EXPECT_NE(hashValue(fp32), hashValue(a));
+}
+
 } // namespace
 } // namespace vtrain
