@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the HTTP frontend: loopback
+ * request/response throughput through the full stack (client socket ->
+ * epoll loop -> HTTP parse -> JSON decode -> SimService -> JSON encode
+ * -> socket), isolated from simulation cost by a synthetic evaluator.
+ *
+ * The headline counters are items_per_second of
+ * BM_HttpEvaluate_CacheHit (the RPC overhead ceiling: every request is
+ * answered from the result cache) and BM_HttpConcurrentClients (the
+ * same path under parallel keep-alive connections).  BENCH_http.json
+ * is the committed baseline; regenerate it with
+ * `scripts/run_bench.sh http` on the same machine before and after a
+ * change.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "vtrain/vtrain.h"
+
+namespace {
+
+using namespace vtrain;
+
+/** Deterministic request -> result mapping; no real simulation. */
+SimulationResult
+syntheticResult(const SimRequest &request)
+{
+    SimulationResult result;
+    result.iteration_seconds =
+        static_cast<double>(request.fingerprint() % 100003) + 1.0;
+    return result;
+}
+
+SimRequest
+requestVariant(int i)
+{
+    SimRequest request;
+    request.model = makeModel(512, 4, 8, 128, 1024);
+    request.parallel.tensor = 2;
+    request.parallel.data = 2;
+    request.parallel.pipeline = 2;
+    request.parallel.micro_batch_size = 1;
+    request.parallel.global_batch_size = 8 * (i + 1);
+    request.cluster = makeCluster(8);
+    return request;
+}
+
+/** One shared service + frontend for the whole benchmark binary. */
+struct Stack {
+    Stack()
+    {
+        SimService::Options options;
+        options.n_threads = 4;
+        options.evaluator = syntheticResult;
+        service = std::make_unique<SimService>(std::move(options));
+        frontend = std::make_unique<HttpFrontend>(*service);
+        std::string error;
+        if (!frontend->start(&error)) {
+            std::fprintf(stderr, "frontend.start: %s\n",
+                         error.c_str());
+            std::abort();
+        }
+    }
+
+    std::unique_ptr<SimService> service;
+    std::unique_ptr<HttpFrontend> frontend;
+};
+
+Stack &
+stack()
+{
+    static Stack s;
+    return s;
+}
+
+void
+postOrAbort(net::HttpClient &client, const std::string &target,
+            const std::string &body)
+{
+    net::HttpResponse response;
+    std::string error;
+    if (!client.post(target, body, &response, &error) ||
+        response.status != 200) {
+        std::fprintf(stderr, "POST %s failed: %s (status %d)\n",
+                     target.c_str(), error.c_str(), response.status);
+        std::abort();
+    }
+    benchmark::DoNotOptimize(response.body.data());
+}
+
+/** Full-stack request latency with every answer cache-resident. */
+void
+BM_HttpEvaluate_CacheHit(benchmark::State &state)
+{
+    setVerbose(false);
+    Stack &s = stack();
+    net::HttpClient client("127.0.0.1", s.frontend->port());
+    const std::string wire = toJson(requestVariant(0));
+    postOrAbort(client, "/v1/evaluate", wire); // prime the cache
+    for (auto _ : state)
+        postOrAbort(client, "/v1/evaluate", wire);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HttpEvaluate_CacheHit)->UseRealTime();
+
+/** GET /healthz: server + parser floor, no JSON payload work. */
+void
+BM_HttpHealthz(benchmark::State &state)
+{
+    setVerbose(false);
+    Stack &s = stack();
+    net::HttpClient client("127.0.0.1", s.frontend->port());
+    for (auto _ : state) {
+        net::HttpResponse response;
+        std::string error;
+        if (!client.get("/healthz", &response, &error)) {
+            std::fprintf(stderr, "GET /healthz: %s\n", error.c_str());
+            std::abort();
+        }
+        benchmark::DoNotOptimize(response.body.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HttpHealthz)->UseRealTime();
+
+/** A 64-point batch per POST; items = requests inside the batch. */
+void
+BM_HttpEvaluateBatch64(benchmark::State &state)
+{
+    setVerbose(false);
+    Stack &s = stack();
+    net::HttpClient client("127.0.0.1", s.frontend->port());
+    json::Value requests = json::Value::array();
+    for (int i = 0; i < 64; ++i)
+        requests.push(toJsonValue(requestVariant(i)));
+    json::Value batch = json::Value::object();
+    batch.set("version", int64_t{1});
+    batch.set("requests", std::move(requests));
+    const std::string wire = batch.dump();
+    for (auto _ : state)
+        postOrAbort(client, "/v1/evaluate_batch", wire);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_HttpEvaluateBatch64)->UseRealTime();
+
+/**
+ * N keep-alive connections posting concurrently; items = total
+ * requests.  Exercises the accept/dispatch path the TSan job guards.
+ */
+void
+BM_HttpConcurrentClients(benchmark::State &state)
+{
+    setVerbose(false);
+    constexpr int kRequestsPerClientPerIter = 32;
+    Stack &s = stack();
+    const int n_clients = static_cast<int>(state.range(0));
+    const std::string wire = toJson(requestVariant(0));
+    {
+        net::HttpClient primer("127.0.0.1", s.frontend->port());
+        postOrAbort(primer, "/v1/evaluate", wire);
+    }
+    for (auto _ : state) {
+        std::vector<std::thread> clients;
+        clients.reserve(static_cast<size_t>(n_clients));
+        for (int c = 0; c < n_clients; ++c) {
+            clients.emplace_back([&s, &wire] {
+                net::HttpClient client("127.0.0.1",
+                                       s.frontend->port());
+                for (int i = 0; i < kRequestsPerClientPerIter; ++i)
+                    postOrAbort(client, "/v1/evaluate", wire);
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+    }
+    state.SetItemsProcessed(state.iterations() * n_clients *
+                            kRequestsPerClientPerIter);
+}
+BENCHMARK(BM_HttpConcurrentClients)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

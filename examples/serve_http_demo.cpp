@@ -1,0 +1,159 @@
+/**
+ * @file
+ * HTTP serving walkthrough: the SimService behind a network port.
+ *
+ * Starts an HttpFrontend over a real-simulator SimService, then
+ * demonstrates the whole RPC surface through the built-in HttpClient:
+ * POST /v1/evaluate (cold, then answered from the cache),
+ * POST /v1/evaluate_batch, GET /healthz and GET /statz.  Prints a
+ * copy-pasteable curl command line against the live port.
+ *
+ *   ./serve_http_demo [--serve] [port]
+ *
+ * With --serve the process keeps listening (on `port`, default 8080)
+ * until interrupted, so external clients -- curl, another machine --
+ * can talk to it.  Without it the demo runs its loopback tour on an
+ * ephemeral port and exits.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "vtrain/vtrain.h"
+
+using namespace vtrain;
+
+namespace {
+
+SimRequest
+gpt3Request(int tensor, int data, int pipeline)
+{
+    SimRequest request;
+    request.model = zoo::gpt3_175b();
+    request.cluster = makeCluster(1024);
+    request.parallel.tensor = tensor;
+    request.parallel.data = data;
+    request.parallel.pipeline = pipeline;
+    request.parallel.micro_batch_size = 1;
+    request.parallel.global_batch_size = 1536;
+    return request;
+}
+
+double
+iterationSecondsOf(const std::string &body)
+{
+    SimulationResult result;
+    std::string error;
+    if (!simResultFromJson(body, &result, &error)) {
+        std::fprintf(stderr, "bad result payload: %s\n",
+                     error.c_str());
+        std::exit(1);
+    }
+    return result.iteration_seconds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    bool serve = false;
+    uint16_t port = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--serve") == 0) {
+            serve = true;
+            if (port == 0)
+                port = 8080;
+        } else {
+            port = static_cast<uint16_t>(std::atoi(argv[i]));
+        }
+    }
+
+    SimService service;
+    HttpFrontend::Options options;
+    options.port = port;
+    HttpFrontend frontend(service, options);
+    std::string error;
+    if (!frontend.start(&error)) {
+        std::fprintf(stderr, "cannot start frontend: %s\n",
+                     error.c_str());
+        return 1;
+    }
+
+    const SimRequest request = gpt3Request(8, 16, 8);
+    std::printf("SimService listening on %s  (%zu worker threads)\n\n",
+                frontend.baseUrl().c_str(), service.numThreads());
+    std::printf("try it from a shell:\n"
+                "  curl -s %s/healthz\n"
+                "  curl -s %s/v1/evaluate -d @- <<'EOF'\n%s\nEOF\n\n",
+                frontend.baseUrl().c_str(), frontend.baseUrl().c_str(),
+                toJson(request).c_str());
+
+    if (serve) {
+        std::printf("serving until interrupted...\n");
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::seconds(3600));
+    }
+
+    // ---- loopback tour ------------------------------------------------
+    net::HttpClient client("127.0.0.1", frontend.port());
+    net::HttpResponse response;
+
+    if (!client.post("/v1/evaluate", toJson(request), &response,
+                     &error)) {
+        std::fprintf(stderr, "POST /v1/evaluate: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("POST /v1/evaluate         -> %d, iter=%.3fs (cold)\n",
+                response.status, iterationSecondsOf(response.body));
+
+    if (!client.post("/v1/evaluate", toJson(request), &response,
+                     &error)) {
+        std::fprintf(stderr, "POST /v1/evaluate: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("POST /v1/evaluate again   -> %d, iter=%.3fs "
+                "(cache hit)\n",
+                response.status, iterationSecondsOf(response.body));
+
+    // A small batch: plan variants answered in order, duplicates
+    // collapsed against the cache.
+    json::Value requests = json::Value::array();
+    requests.push(toJsonValue(gpt3Request(8, 16, 8))); // cached above
+    requests.push(toJsonValue(gpt3Request(8, 8, 16)));
+    requests.push(toJsonValue(gpt3Request(4, 16, 16)));
+    json::Value batch = json::Value::object();
+    batch.set("version", int64_t{1});
+    batch.set("requests", std::move(requests));
+    if (!client.post("/v1/evaluate_batch", batch.dump(), &response,
+                     &error)) {
+        std::fprintf(stderr, "POST /v1/evaluate_batch: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    json::Value results;
+    if (response.status != 200 ||
+        !json::Value::parse(response.body, &results, &error) ||
+        results.find("results") == nullptr) {
+        std::fprintf(stderr, "batch failed (%d): %s\n",
+                     response.status, response.body.c_str());
+        return 1;
+    }
+    std::printf("POST /v1/evaluate_batch   -> %d, %zu results\n",
+                response.status,
+                results.find("results")->items().size());
+
+    if (!client.get("/statz", &response, &error)) {
+        std::fprintf(stderr, "GET /statz: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("GET /statz                -> %d\n%s\n",
+                response.status, response.body.c_str());
+
+    frontend.stop();
+    return 0;
+}

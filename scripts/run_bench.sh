@@ -3,25 +3,41 @@
 # Google-Benchmark JSON baselines for the perf trajectory:
 #   bench/perf_simulator -> BENCH_simulator.json (simulator pipeline)
 #   bench/perf_serve     -> BENCH_serve.json     (serve layer, cold/warm)
+#   bench/perf_http      -> BENCH_http.json      (HTTP frontend loopback)
 #
-# Usage: scripts/run_bench.sh [simulator.json] [serve.json]
-#   simulator.json  defaults to <repo>/BENCH_simulator.json
-#   serve.json      defaults to <repo>/BENCH_serve.json
+# Usage: scripts/run_bench.sh [simulator|serve|http|all] [output.json]
+#   bench name      which baseline to regenerate (default: all)
+#   output.json     output path, only with a single bench name
+#                   (default <repo>/BENCH_<name>.json)
+#   OUT_DIR         overrides the output directory for the defaults
 #   BUILD_DIR       overrides the build tree (default <repo>/build-release)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-SIM_OUT="${1:-${ROOT}/BENCH_simulator.json}"
-SERVE_OUT="${2:-${ROOT}/BENCH_serve.json}"
+WHICH="${1:-all}"
+OUT_DIR="${OUT_DIR:-${ROOT}}"
 BUILD_DIR="${BUILD_DIR:-${ROOT}/build-release}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+case "${WHICH}" in
+    simulator|serve|http|all) ;;
+    *)
+        echo "usage: $0 [simulator|serve|http|all] [output.json]" >&2
+        exit 2
+        ;;
+esac
+if [[ $# -gt 1 && "${WHICH}" == "all" ]]; then
+    echo "error: an explicit output path needs a single bench name" >&2
+    exit 2
+fi
 
 cmake -S "${ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release \
     -DVTRAIN_BUILD_BENCH=ON
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 run_bench() {
-    local bin="$1" out="$2"
+    local name="$1" out="$2"
+    local bin="${BUILD_DIR}/bench/perf_${name}"
     if [[ ! -x "${bin}" ]]; then
         echo "error: ${bin} was not built (is libbenchmark-dev installed?)" >&2
         exit 1
@@ -35,5 +51,10 @@ run_bench() {
     echo "perf baseline written to ${out}"
 }
 
-run_bench "${BUILD_DIR}/bench/perf_simulator" "${SIM_OUT}"
-run_bench "${BUILD_DIR}/bench/perf_serve" "${SERVE_OUT}"
+if [[ "${WHICH}" == "all" ]]; then
+    for name in simulator serve http; do
+        run_bench "${name}" "${OUT_DIR}/BENCH_${name}.json"
+    done
+else
+    run_bench "${WHICH}" "${2:-${OUT_DIR}/BENCH_${WHICH}.json}"
+fi

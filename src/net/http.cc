@@ -1,0 +1,491 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <limits>
+
+namespace vtrain {
+namespace net {
+
+namespace {
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+               return std::tolower(static_cast<unsigned char>(x)) ==
+                      std::tolower(static_cast<unsigned char>(y));
+           });
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    });
+    return out;
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+const std::string *
+findHeaderIn(const std::vector<HttpHeader> &headers,
+             std::string_view name)
+{
+    for (const HttpHeader &h : headers) {
+        if (iequals(h.name, name))
+            return &h.value;
+    }
+    return nullptr;
+}
+
+/**
+ * Splits the header block [begin, end) of `text` into name/value
+ * pairs.  Returns false on a malformed field line.
+ */
+bool
+parseHeaderLines(std::string_view text, size_t begin, size_t end,
+                 std::vector<HttpHeader> *out)
+{
+    size_t pos = begin;
+    while (pos < end) {
+        size_t eol = text.find("\r\n", pos);
+        if (eol == std::string_view::npos || eol > end)
+            eol = end;
+        const std::string_view line = text.substr(pos, eol - pos);
+        pos = eol + 2;
+        if (line.empty())
+            continue;
+        const size_t colon = line.find(':');
+        if (colon == std::string_view::npos || colon == 0)
+            return false;
+        const std::string_view name = line.substr(0, colon);
+        // Field names cannot contain whitespace (obs-fold rejected).
+        if (name.find(' ') != std::string_view::npos ||
+            name.find('\t') != std::string_view::npos)
+            return false;
+        out->push_back(HttpHeader{std::string(name),
+                                  std::string(trim(line.substr(
+                                      colon + 1)))});
+    }
+    return true;
+}
+
+size_t
+countHeaders(const std::vector<HttpHeader> &headers,
+             std::string_view name)
+{
+    size_t count = 0;
+    for (const HttpHeader &h : headers)
+        count += iequals(h.name, name) ? 1 : 0;
+    return count;
+}
+
+/** Strict non-negative decimal parse for Content-Length. */
+bool
+parseContentLength(std::string_view s, size_t max_body_bytes,
+                   size_t *out, int *status, std::string *message)
+{
+    s = trim(s);
+    if (s.empty()) {
+        *status = 400;
+        *message = "empty Content-Length";
+        return false;
+    }
+    // Framing decides where the next pipelined request starts, so an
+    // unparseable or overflowing length must be an error, never a
+    // best-effort value.
+    constexpr uint64_t kOverflowGuard =
+        (std::numeric_limits<uint64_t>::max() - 9) / 10;
+    uint64_t value = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9') {
+            *status = 400;
+            *message = "malformed Content-Length";
+            return false;
+        }
+        if (value > kOverflowGuard) {
+            *status = 400;
+            *message = "Content-Length out of range";
+            return false;
+        }
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+        if (max_body_bytes != 0 && value > max_body_bytes) {
+            *status = 413;
+            *message = "request body exceeds the " +
+                       std::to_string(max_body_bytes) +
+                       "-byte limit";
+            return false;
+        }
+    }
+    if constexpr (sizeof(size_t) < sizeof(uint64_t)) {
+        if (value > static_cast<uint64_t>(
+                        std::numeric_limits<size_t>::max())) {
+            *status = 400;
+            *message = "Content-Length out of range";
+            return false;
+        }
+    }
+    *out = static_cast<size_t>(value);
+    return true;
+}
+
+/** Connection semantics shared by 1.0 and 1.1 messages. */
+bool
+keepAliveFor(std::string_view version, const std::string *connection)
+{
+    if (connection) {
+        const std::string value = toLower(*connection);
+        if (value.find("close") != std::string::npos)
+            return false;
+        if (value.find("keep-alive") != std::string::npos)
+            return true;
+    }
+    return version == "HTTP/1.1";
+}
+
+/** Minimal JSON string escape for the structured error payloads. */
+void
+appendJsonEscaped(std::string_view s, std::string *out)
+{
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            *out += "\\\"";
+            break;
+          case '\\':
+            *out += "\\\\";
+            break;
+          case '\n':
+            *out += "\\n";
+            break;
+          case '\r':
+            *out += "\\r";
+            break;
+          case '\t':
+            *out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                *out += buf;
+            } else {
+                *out += c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::string_view
+HttpRequest::path() const
+{
+    const std::string_view t(target);
+    const size_t query = t.find('?');
+    return query == std::string_view::npos ? t : t.substr(0, query);
+}
+
+const std::string *
+HttpRequest::findHeader(std::string_view name) const
+{
+    return findHeaderIn(headers, name);
+}
+
+const std::string *
+HttpResponse::findHeader(std::string_view name) const
+{
+    return findHeaderIn(headers, name);
+}
+
+std::string_view
+statusReason(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 204:
+        return "No Content";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 413:
+        return "Content Too Large";
+      case 422:
+        return "Unprocessable Content";
+      case 431:
+        return "Request Header Fields Too Large";
+      case 500:
+        return "Internal Server Error";
+      case 501:
+        return "Not Implemented";
+      case 503:
+        return "Service Unavailable";
+      case 505:
+        return "HTTP Version Not Supported";
+      default:
+        return status >= 200 && status < 300 ? "Success" : "Error";
+    }
+}
+
+std::string
+serializeResponse(const HttpResponse &response, bool keep_alive)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) +
+                      " " + std::string(statusReason(response.status)) +
+                      "\r\n";
+    if (!response.content_type.empty())
+        out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) +
+           "\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n"
+                      : "Connection: close\r\n";
+    for (const HttpHeader &h : response.headers)
+        out += h.name + ": " + h.value + "\r\n";
+    out += "\r\n";
+    out += response.body;
+    return out;
+}
+
+std::string
+serializeRequest(const HttpRequest &request)
+{
+    std::string out = request.method + " " + request.target + " " +
+                      (request.version.empty() ? "HTTP/1.1"
+                                               : request.version) +
+                      "\r\n";
+    for (const HttpHeader &h : request.headers)
+        out += h.name + ": " + h.value + "\r\n";
+    out += "Content-Length: " + std::to_string(request.body.size()) +
+           "\r\n\r\n";
+    out += request.body;
+    return out;
+}
+
+std::string
+jsonErrorBody(int status, std::string_view message)
+{
+    std::string out = "{\n  \"error\": {\n    \"code\": " +
+                      std::to_string(status) + ",\n    \"status\": \"";
+    appendJsonEscaped(statusReason(status), &out);
+    out += "\",\n    \"message\": \"";
+    appendJsonEscaped(message, &out);
+    out += "\"\n  }\n}";
+    return out;
+}
+
+HttpResponse
+errorResponse(int status, std::string_view message)
+{
+    HttpResponse response;
+    response.status = status;
+    response.body = jsonErrorBody(status, message);
+    return response;
+}
+
+// ------------------------------------------------------ request parse
+
+HttpRequestParser::Status
+HttpRequestParser::fail(int status, std::string message)
+{
+    error_status_ = status;
+    error_message_ = std::move(message);
+    return Status::Error;
+}
+
+void
+HttpRequestParser::reset()
+{
+    error_status_ = 0;
+    error_message_.clear();
+}
+
+HttpRequestParser::Status
+HttpRequestParser::parse(std::string *buffer, HttpRequest *out)
+{
+    if (error_status_ != 0)
+        return Status::Error;
+
+    const std::string_view text(*buffer);
+    const size_t head_end = text.find("\r\n\r\n");
+    if (head_end == std::string_view::npos) {
+        if (limits_.max_header_bytes != 0 &&
+            text.size() > limits_.max_header_bytes)
+            return fail(431, "header section exceeds the " +
+                                 std::to_string(
+                                     limits_.max_header_bytes) +
+                                 "-byte limit");
+        return Status::NeedMore;
+    }
+    if (limits_.max_header_bytes != 0 &&
+        head_end > limits_.max_header_bytes)
+        return fail(431, "header section exceeds the " +
+                             std::to_string(limits_.max_header_bytes) +
+                             "-byte limit");
+
+    // Request line: method SP target SP version.
+    const size_t line_end = text.find("\r\n");
+    const std::string_view line = text.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos ||
+        sp2 == std::string_view::npos || sp1 == 0 || sp2 == sp1 + 1 ||
+        sp2 + 1 >= line.size() ||
+        line.find(' ', sp2 + 1) != std::string_view::npos)
+        return fail(400, "malformed request line");
+    const std::string_view method = line.substr(0, sp1);
+    const std::string_view target =
+        line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string_view version = line.substr(sp2 + 1);
+    if (version != "HTTP/1.1" && version != "HTTP/1.0")
+        return fail(505, "unsupported protocol version");
+    if (target.front() != '/' &&
+        !(method == "OPTIONS" && target == "*"))
+        return fail(400, "request target must be in origin form");
+
+    HttpRequest request;
+    request.method = std::string(method);
+    request.target = std::string(target);
+    request.version = std::string(version);
+    if (!parseHeaderLines(text, line_end + 2, head_end,
+                          &request.headers))
+        return fail(400, "malformed header field");
+
+    if (request.findHeader("Transfer-Encoding") != nullptr)
+        return fail(501, "transfer encodings are not supported; "
+                         "use Content-Length framing");
+
+    // Conflicting duplicates would let two parties frame the message
+    // differently (request smuggling); reject them outright
+    // (RFC 9112 §6.2).
+    if (countHeaders(request.headers, "Content-Length") > 1)
+        return fail(400, "duplicate Content-Length");
+
+    size_t content_length = 0;
+    if (const std::string *cl = request.findHeader("Content-Length")) {
+        int status = 0;
+        std::string message;
+        if (!parseContentLength(*cl, limits_.max_body_bytes,
+                                &content_length, &status, &message))
+            return fail(status, std::move(message));
+    }
+
+    const size_t total = head_end + 4 + content_length;
+    if (buffer->size() < total)
+        return Status::NeedMore;
+
+    request.body = buffer->substr(head_end + 4, content_length);
+    request.keep_alive =
+        keepAliveFor(version, request.findHeader("Connection"));
+    buffer->erase(0, total);
+    *out = std::move(request);
+    return Status::Complete;
+}
+
+// ----------------------------------------------------- response parse
+
+HttpResponseParser::Status
+HttpResponseParser::fail(std::string message)
+{
+    error_message_ = std::move(message);
+    return Status::Error;
+}
+
+void
+HttpResponseParser::reset()
+{
+    error_message_.clear();
+}
+
+HttpResponseParser::Status
+HttpResponseParser::parse(std::string *buffer, HttpResponse *out)
+{
+    const std::string_view text(*buffer);
+    const size_t head_end = text.find("\r\n\r\n");
+    if (head_end == std::string_view::npos) {
+        if (limits_.max_header_bytes != 0 &&
+            text.size() > limits_.max_header_bytes)
+            return fail("response header section too large");
+        return Status::NeedMore;
+    }
+
+    // Status line: version SP code SP reason.
+    const size_t line_end = text.find("\r\n");
+    const std::string_view line = text.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos ||
+        line.substr(0, sp1).substr(0, 5) != "HTTP/")
+        return fail("malformed status line");
+    const size_t sp2 = line.find(' ', sp1 + 1);
+    const std::string_view code_text = line.substr(
+        sp1 + 1,
+        (sp2 == std::string_view::npos ? line.size() : sp2) - sp1 - 1);
+    if (code_text.size() != 3)
+        return fail("malformed status code");
+    int code = 0;
+    for (const char c : code_text) {
+        if (c < '0' || c > '9')
+            return fail("malformed status code");
+        code = code * 10 + (c - '0');
+    }
+
+    HttpResponse response;
+    response.status = code;
+    if (!parseHeaderLines(text, line_end + 2, head_end,
+                          &response.headers))
+        return fail("malformed header field");
+
+    // Same framing strictness as the request side: a chunked or
+    // ambiguously-framed response must fail cleanly, not desync the
+    // connection by mis-reading where the next response starts.
+    if (response.findHeader("Transfer-Encoding") != nullptr)
+        return fail("transfer encodings are not supported; "
+                    "use Content-Length framing");
+    if (countHeaders(response.headers, "Content-Length") > 1)
+        return fail("duplicate Content-Length");
+
+    size_t content_length = 0;
+    if (const std::string *cl =
+            response.findHeader("Content-Length")) {
+        int status = 0;
+        std::string message;
+        if (!parseContentLength(*cl, limits_.max_body_bytes,
+                                &content_length, &status, &message))
+            return fail(std::move(message));
+    }
+
+    const size_t total = head_end + 4 + content_length;
+    if (buffer->size() < total)
+        return Status::NeedMore;
+
+    response.body = buffer->substr(head_end + 4, content_length);
+    if (const std::string *ct =
+            response.findHeader("Content-Type"))
+        response.content_type = *ct;
+    response.close = !keepAliveFor(line.substr(0, sp1),
+                                   response.findHeader("Connection"));
+    buffer->erase(0, total);
+    *out = std::move(response);
+    return Status::Complete;
+}
+
+} // namespace net
+} // namespace vtrain

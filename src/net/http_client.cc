@@ -1,0 +1,125 @@
+#include "net/http_client.h"
+
+#include <utility>
+
+namespace vtrain {
+namespace net {
+
+HttpClient::HttpClient(Options options) : options_(std::move(options))
+{
+}
+
+void
+HttpClient::disconnect()
+{
+    sock_.close();
+    in_buf_.clear();
+}
+
+bool
+HttpClient::ensureConnected(std::string *error)
+{
+    if (sock_.valid())
+        return true;
+    std::string connect_error;
+    Socket sock =
+        connectTcp(options_.host, options_.port, &connect_error);
+    if (!sock.valid()) {
+        if (error)
+            *error = connect_error;
+        return false;
+    }
+    if (options_.timeout_ms > 0)
+        sock.setTimeouts(options_.timeout_ms);
+    sock_ = std::move(sock);
+    in_buf_.clear();
+    ++connects_;
+    return true;
+}
+
+bool
+HttpClient::roundTrip(const std::string &wire, HttpResponse *out,
+                      std::string *error, bool *retry_safe)
+{
+    *retry_safe = false;
+    if (!sock_.sendAll(wire.data(), wire.size())) {
+        if (error)
+            *error = "send failed";
+        // Nothing came back; the dead-idle-keep-alive signature.
+        *retry_safe = true;
+        disconnect();
+        return false;
+    }
+    HttpResponseParser parser(options_.limits);
+    bool received_any = false;
+    char buf[16384];
+    for (;;) {
+        const HttpResponseParser::Status status =
+            parser.parse(&in_buf_, out);
+        if (status == HttpResponseParser::Status::Complete) {
+            if (out->close)
+                disconnect();
+            return true;
+        }
+        if (status == HttpResponseParser::Status::Error) {
+            if (error)
+                *error = "bad response: " + parser.errorMessage();
+            disconnect();
+            return false;
+        }
+        size_t n = 0;
+        const IoStatus io = sock_.recvSome(buf, sizeof(buf), &n);
+        if (io == IoStatus::Ok) {
+            in_buf_.append(buf, n);
+            received_any = true;
+            continue;
+        }
+        if (error)
+            *error = io == IoStatus::Eof
+                         ? "connection closed before a full response"
+                         : "receive failed or timed out";
+        // A resend must not double-execute the request, so it is only
+        // safe when the connection died with zero response bytes --
+        // the server closed without processing (an idle keep-alive
+        // reaped between requests).  A timeout (WouldBlock) means the
+        // server may still be computing: never resend.
+        *retry_safe = !received_any && io != IoStatus::WouldBlock;
+        disconnect();
+        return false;
+    }
+}
+
+bool
+HttpClient::request(std::string_view method, std::string_view target,
+                    std::string_view body, HttpResponse *out,
+                    std::string *error)
+{
+    HttpRequest req;
+    req.method = std::string(method);
+    req.target = std::string(target);
+    req.headers.push_back(
+        {"Host",
+         options_.host + ":" + std::to_string(options_.port)});
+    if (!body.empty())
+        req.headers.push_back({"Content-Type", "application/json"});
+    req.body = std::string(body);
+    const std::string wire = serializeRequest(req);
+
+    const bool was_connected = sock_.valid();
+    if (!ensureConnected(error))
+        return false;
+    bool retry_safe = false;
+    if (roundTrip(wire, out, error, &retry_safe))
+        return true;
+    // A reused keep-alive connection may have been idle-closed by the
+    // server between requests; re-dial once on a fresh socket -- but
+    // only when the failure proves the server never answered.
+    if (!was_connected || !retry_safe)
+        return false;
+    if (!ensureConnected(error))
+        return false;
+    return roundTrip(wire, out, error, &retry_safe);
+}
+
+} // namespace net
+} // namespace vtrain

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Small blocking HTTP/1.1 client with keep-alive reuse.
+ *
+ * Just enough client for the serve layer's RPC surface and its tests:
+ * one connection per client, reused across requests until the server
+ * answers Connection: close (an idle keep-alive connection the server
+ * dropped is transparently re-dialed once).  Blocking sockets with a
+ * configurable timeout keep the implementation tiny; concurrency
+ * comes from using one HttpClient per thread, exactly like one
+ * connection per in-flight request.
+ */
+#ifndef VTRAIN_NET_HTTP_CLIENT_H
+#define VTRAIN_NET_HTTP_CLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/http.h"
+#include "net/socket.h"
+
+namespace vtrain {
+namespace net {
+
+/** A blocking single-connection HTTP/1.1 client. */
+class HttpClient
+{
+  public:
+    struct Options {
+        std::string host = "127.0.0.1";
+        uint16_t port = 0;
+
+        /** Per-operation socket timeout (0 = wait forever). */
+        int timeout_ms = 20000;
+
+        /** Response size limits. */
+        HttpLimits limits;
+    };
+
+    explicit HttpClient(Options options);
+    HttpClient(const std::string &host, uint16_t port)
+        : HttpClient(Options{host, port, 20000, HttpLimits{}})
+    {
+    }
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    /**
+     * Issues one request and blocks for the response.  Returns false
+     * and sets *error on connect/send/receive/parse failure; HTTP
+     * error statuses (4xx/5xx) are successful transfers and land in
+     * *out like any other response.
+     */
+    bool request(std::string_view method, std::string_view target,
+                 std::string_view body, HttpResponse *out,
+                 std::string *error);
+
+    bool get(std::string_view target, HttpResponse *out,
+             std::string *error)
+    {
+        return request("GET", target, "", out, error);
+    }
+
+    bool post(std::string_view target, std::string_view body,
+              HttpResponse *out, std::string *error)
+    {
+        return request("POST", target, body, out, error);
+    }
+
+    /** Drops the current connection (the next request re-dials). */
+    void disconnect();
+
+    bool connected() const { return sock_.valid(); }
+
+    /** TCP connects performed so far (tests assert keep-alive reuse). */
+    uint64_t connectsMade() const { return connects_; }
+
+  private:
+    bool ensureConnected(std::string *error);
+
+    /**
+     * One send + receive on the current connection.  On failure,
+     * *retry_safe reports whether re-sending on a fresh connection
+     * cannot double-execute the request (the connection died with
+     * zero response bytes; not a timeout).
+     */
+    bool roundTrip(const std::string &wire, HttpResponse *out,
+                   std::string *error, bool *retry_safe);
+
+    Options options_;
+    Socket sock_;
+    std::string in_buf_;
+    uint64_t connects_ = 0;
+};
+
+} // namespace net
+} // namespace vtrain
+
+#endif // VTRAIN_NET_HTTP_CLIENT_H

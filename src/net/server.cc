@@ -1,0 +1,436 @@
+#include "net/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace vtrain {
+namespace net {
+
+namespace {
+
+/** epoll user-data ids for the two non-connection descriptors. */
+constexpr uint64_t kListenerId = 0;
+constexpr uint64_t kWakeId = UINT64_MAX;
+
+} // namespace
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler))
+{
+    VTRAIN_CHECK(handler_ != nullptr,
+                 "HttpServer needs a request handler");
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+bool
+HttpServer::start(std::string *error)
+{
+    VTRAIN_CHECK(!running_.load(), "HttpServer is already running");
+    if (!listener_.listen(options_.host, options_.port, error))
+        return false;
+    port_ = listener_.port();
+
+    epoll_fd_ = ::epoll_create1(0);
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (epoll_fd_ < 0 || wake_fd_ < 0) {
+        if (error)
+            *error = std::string("epoll/eventfd setup: ") +
+                     std::strerror(errno);
+        stopFds();
+        return false;
+    }
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenerId;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &ev);
+    ev.data.u64 = kWakeId;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+    stop_requested_.store(false);
+    running_.store(true);
+    loop_ = std::thread([this] { runLoop(); });
+    return true;
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    stop_requested_.store(true);
+    wake();
+    if (loop_.joinable())
+        loop_.join();
+
+    // Handlers still running on the executor hold `this`; wait them
+    // out before tearing down the descriptors they wake.
+    {
+        std::unique_lock<std::mutex> lock(inflight_mutex_);
+        inflight_cv_.wait(lock,
+                          [this] { return inflight_handlers_ == 0; });
+    }
+    stopFds();
+    {
+        std::lock_guard<std::mutex> lock(completions_mutex_);
+        completions_.clear();
+    }
+}
+
+void
+HttpServer::stopFds()
+{
+    listener_.close();
+    if (epoll_fd_ >= 0) {
+        ::close(epoll_fd_);
+        epoll_fd_ = -1;
+    }
+    if (wake_fd_ >= 0) {
+        ::close(wake_fd_);
+        wake_fd_ = -1;
+    }
+}
+
+void
+HttpServer::wake()
+{
+    const uint64_t one = 1;
+    // A full eventfd counter still wakes the loop; ignore short/EAGAIN.
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_fd_, &one, sizeof(one));
+}
+
+HttpServerStats
+HttpServer::stats() const
+{
+    HttpServerStats stats;
+    stats.connections_accepted = accepted_.load();
+    stats.connections_open = open_.load();
+    stats.requests = requests_.load();
+    stats.responses = responses_.load();
+    stats.parse_errors = parse_errors_.load();
+    return stats;
+}
+
+// ------------------------------------------------------------ the loop
+
+void
+HttpServer::runLoop()
+{
+    std::array<epoll_event, 64> events;
+    while (!stop_requested_.load()) {
+        const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                   static_cast<int>(events.size()),
+                                   -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            const uint64_t id = events[i].data.u64;
+            if (id == kListenerId) {
+                acceptPending();
+            } else if (id == kWakeId) {
+                uint64_t counter = 0;
+                [[maybe_unused]] const ssize_t r = ::read(
+                    wake_fd_, &counter, sizeof(counter));
+            } else {
+                auto it = conns_.find(id);
+                if (it == conns_.end())
+                    continue;
+                handleConnEvent(it->second.get(),
+                                events[i].events);
+                reap(id);
+            }
+        }
+        drainCompletions();
+        if (stop_requested_.load())
+            break;
+    }
+    // Drop every connection on the way out; in-flight handlers will
+    // complete() into the (now unread) queue and be discarded.
+    for (auto &[id, conn] : conns_) {
+        if (!conn->defunct) {
+            conn->sock.close();
+            open_.fetch_sub(1);
+        }
+    }
+    conns_.clear();
+}
+
+void
+HttpServer::acceptPending()
+{
+    for (;;) {
+        Socket sock;
+        const IoStatus status = listener_.accept(&sock);
+        if (status != IoStatus::Ok)
+            return;
+        auto conn = std::make_unique<Conn>();
+        conn->id = next_conn_id_++;
+        conn->sock = std::move(sock);
+        conn->parser = HttpRequestParser(options_.limits);
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = conn->id;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->sock.fd(),
+                        &ev) != 0)
+            continue; // conn (and its socket) die here
+        conn->interest = EPOLLIN;
+        accepted_.fetch_add(1);
+        open_.fetch_add(1);
+        conns_.emplace(conn->id, std::move(conn));
+    }
+}
+
+void
+HttpServer::handleConnEvent(Conn *conn, uint32_t events)
+{
+    if (conn->defunct)
+        return;
+    // EPOLLHUP means both halves are closed (a half-closed peer shows
+    // up as EPOLLIN + EOF instead): no response can ever be
+    // delivered, so drop the connection even mid-handler -- its
+    // completion will find the id gone and be discarded.  Also vital
+    // for liveness: HUP cannot be masked out, so a lingering
+    // connection would wake the level-triggered loop forever.
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+        closeConn(conn);
+        return;
+    }
+    if ((events & EPOLLOUT) != 0)
+        flushConn(conn);
+    if (!conn->defunct && (events & EPOLLIN) != 0)
+        readFromConn(conn);
+    if (!conn->defunct)
+        updateInterest(conn);
+}
+
+void
+HttpServer::readFromConn(Conn *conn)
+{
+    char buf[16384];
+    for (;;) {
+        size_t n = 0;
+        const IoStatus status =
+            conn->sock.recvSome(buf, sizeof(buf), &n);
+        if (status == IoStatus::Ok) {
+            conn->in_buf.append(buf, n);
+            continue;
+        }
+        if (status == IoStatus::WouldBlock)
+            break;
+        if (status == IoStatus::Eof) {
+            // The peer may have shut down its send side and still be
+            // reading (request + shutdown(SHUT_WR) is legal); finish
+            // what is buffered, then close.
+            conn->read_closed = true;
+            break;
+        }
+        closeConn(conn);
+        return;
+    }
+    tryParse(conn);
+    if (!conn->defunct && conn->read_closed && !conn->in_flight &&
+        conn->out_buf.empty())
+        closeConn(conn);
+}
+
+void
+HttpServer::tryParse(Conn *conn)
+{
+    // One request at a time per connection: responses then come back
+    // in request order with no reordering bookkeeping, and a
+    // pipelining client simply has its followers parsed right after
+    // the previous response is flushed.
+    while (!conn->defunct && !conn->in_flight &&
+           conn->out_buf.empty()) {
+        HttpRequest request;
+        const HttpRequestParser::Status status =
+            conn->parser.parse(&conn->in_buf, &request);
+        if (status == HttpRequestParser::Status::Complete) {
+            dispatch(conn, std::move(request));
+        } else if (status == HttpRequestParser::Status::Error) {
+            parse_errors_.fetch_add(1);
+            queueResponse(conn,
+                          errorResponse(conn->parser.errorStatus(),
+                                        conn->parser.errorMessage()),
+                          /*keep_alive=*/false);
+            return;
+        } else {
+            return; // NeedMore
+        }
+    }
+}
+
+void
+HttpServer::dispatch(Conn *conn, HttpRequest request)
+{
+    requests_.fetch_add(1);
+    conn->in_flight = true;
+    const bool keep_alive = request.keep_alive && !conn->read_closed;
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        ++inflight_handlers_;
+    }
+    auto task = [this, id = conn->id, keep_alive,
+                 req = std::move(request)]() mutable {
+        HttpResponse response;
+        try {
+            response = handler_(req);
+        } catch (const std::exception &e) {
+            response = errorResponse(500, e.what());
+        } catch (...) {
+            response = errorResponse(500, "unknown handler failure");
+        }
+        complete(id, serializeResponse(response, keep_alive),
+                 keep_alive);
+    };
+    if (options_.executor)
+        options_.executor(std::move(task));
+    else
+        task();
+}
+
+void
+HttpServer::complete(uint64_t conn_id, std::string bytes,
+                     bool keep_alive)
+{
+    {
+        std::lock_guard<std::mutex> lock(completions_mutex_);
+        completions_.push_back(
+            Completion{conn_id, std::move(bytes), keep_alive});
+    }
+    wake();
+    // Last: once the count hits zero the destructor may tear down the
+    // descriptors wake() just used -- and the condition variable
+    // itself, so the notify must happen under the mutex (a waiter
+    // cannot re-check the predicate and return until we release it).
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        --inflight_handlers_;
+        inflight_cv_.notify_all();
+    }
+}
+
+void
+HttpServer::drainCompletions()
+{
+    std::deque<Completion> batch;
+    {
+        std::lock_guard<std::mutex> lock(completions_mutex_);
+        batch.swap(completions_);
+    }
+    for (Completion &completion : batch) {
+        auto it = conns_.find(completion.conn_id);
+        if (it == conns_.end())
+            continue; // the peer went away mid-compute
+        Conn *conn = it->second.get();
+        if (conn->defunct)
+            continue;
+        conn->in_flight = false;
+        conn->out_buf = std::move(completion.bytes);
+        conn->out_off = 0;
+        conn->close_after_write = !completion.keep_alive;
+        flushConn(conn);
+        if (!conn->defunct)
+            updateInterest(conn);
+        reap(completion.conn_id);
+    }
+}
+
+void
+HttpServer::queueResponse(Conn *conn, const HttpResponse &response,
+                          bool keep_alive)
+{
+    conn->out_buf = serializeResponse(response, keep_alive);
+    conn->out_off = 0;
+    conn->close_after_write = !keep_alive;
+    flushConn(conn);
+}
+
+void
+HttpServer::flushConn(Conn *conn)
+{
+    while (conn->out_off < conn->out_buf.size()) {
+        size_t n = 0;
+        const IoStatus status = conn->sock.sendSome(
+            conn->out_buf.data() + conn->out_off,
+            conn->out_buf.size() - conn->out_off, &n);
+        if (status == IoStatus::Ok) {
+            conn->out_off += n;
+            continue;
+        }
+        if (status == IoStatus::WouldBlock)
+            return; // EPOLLOUT will resume the flush
+        closeConn(conn);
+        return;
+    }
+    if (conn->out_buf.empty())
+        return;
+    responses_.fetch_add(1);
+    conn->out_buf.clear();
+    conn->out_off = 0;
+    if (conn->close_after_write || conn->read_closed) {
+        closeConn(conn);
+        return;
+    }
+    // The response is on the wire; serve the next pipelined request
+    // if the client already sent one.
+    tryParse(conn);
+}
+
+void
+HttpServer::updateInterest(Conn *conn)
+{
+    uint32_t interest = 0;
+    if (!conn->in_flight && !conn->read_closed &&
+        conn->out_buf.empty())
+        interest |= EPOLLIN;
+    if (conn->out_off < conn->out_buf.size())
+        interest |= EPOLLOUT;
+    if (interest == conn->interest)
+        return;
+    epoll_event ev{};
+    ev.events = interest;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->sock.fd(),
+                    &ev) == 0)
+        conn->interest = interest;
+}
+
+void
+HttpServer::closeConn(Conn *conn)
+{
+    if (conn->defunct)
+        return;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->sock.fd(), nullptr);
+    conn->sock.close();
+    conn->defunct = true;
+    open_.fetch_sub(1);
+}
+
+void
+HttpServer::reap(uint64_t id)
+{
+    auto it = conns_.find(id);
+    if (it != conns_.end() && it->second->defunct)
+        conns_.erase(it);
+}
+
+} // namespace net
+} // namespace vtrain

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Epoll-based HTTP/1.1 server for the simulation service.
+ *
+ * One event-loop thread multiplexes the listener and every client
+ * connection (level-triggered epoll, non-blocking sockets), so many
+ * concurrent keep-alive connections cost one thread total.  Handler
+ * execution is pluggable through an Executor: the HTTP frontend passes
+ * the SimService's ThreadPool, so request handling shares the
+ * process's one worker pool instead of spawning a second one.  When no
+ * executor is given, handlers run inline on the event loop (fine for
+ * trivial handlers and tests).
+ *
+ * Per connection the server parses at most one request at a time:
+ * while a request is being handled, reads are paused; once the
+ * response is written, buffered pipelined requests are served next.
+ * This keeps responses in request order (RFC 9112 §9.3) with no
+ * per-connection queue.  Keep-alive follows the message's HTTP
+ * version and Connection header; malformed or oversized requests are
+ * answered with a structured JSON error and the connection is closed.
+ */
+#ifndef VTRAIN_NET_SERVER_H
+#define VTRAIN_NET_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/http.h"
+#include "net/socket.h"
+
+namespace vtrain {
+namespace net {
+
+/** Event-loop and dispatch counters. */
+struct HttpServerStats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_open = 0;
+    uint64_t requests = 0;     //!< complete requests dispatched
+    uint64_t responses = 0;    //!< responses fully written
+    uint64_t parse_errors = 0; //!< malformed requests answered 4xx/5xx
+};
+
+/** A minimal epoll HTTP server; see the file comment for the model. */
+class HttpServer
+{
+  public:
+    /** Produces the response for one parsed request. */
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    /** Runs a handler invocation somewhere (e.g. a thread pool). */
+    using Executor = std::function<void(std::function<void()>)>;
+
+    struct Options {
+        std::string host = "127.0.0.1";
+
+        /** Port to bind; 0 picks an ephemeral port (see port()). */
+        uint16_t port = 0;
+
+        /** Parser limits, enforced per connection. */
+        HttpLimits limits;
+
+        /** Where handlers run; empty = inline on the event loop. */
+        Executor executor;
+    };
+
+    HttpServer(Options options, Handler handler);
+
+    /** Stops the loop and waits for in-flight handlers. */
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /**
+     * Binds the listener and starts the event-loop thread.  Returns
+     * false and sets *error when the socket setup fails.
+     */
+    bool start(std::string *error);
+
+    /**
+     * Closes the listener and every connection, then joins the loop
+     * thread and waits for handlers still running on the executor.
+     * Idempotent.
+     */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** The bound port (the ephemeral one when Options::port was 0). */
+    uint16_t port() const { return port_; }
+
+    const std::string &host() const { return options_.host; }
+
+    HttpServerStats stats() const;
+
+  private:
+    /** Per-connection state; owned and touched by the loop thread. */
+    struct Conn {
+        uint64_t id = 0;
+        Socket sock;
+        std::string in_buf;
+        std::string out_buf;
+        size_t out_off = 0;
+        HttpRequestParser parser;
+        bool in_flight = false;   //!< a handler owns the next response
+        bool read_closed = false; //!< peer sent EOF (may still read
+                                  //!< our response)
+        bool close_after_write = false;
+        bool defunct = false;     //!< closed; awaiting table removal
+        uint32_t interest = 0;    //!< currently registered epoll mask
+    };
+
+    /** A handler's finished response on its way back to the loop. */
+    struct Completion {
+        uint64_t conn_id = 0;
+        std::string bytes;
+        bool keep_alive = true;
+    };
+
+    void runLoop();
+    void acceptPending();
+    void handleConnEvent(Conn *conn, uint32_t events);
+    void readFromConn(Conn *conn);
+    void tryParse(Conn *conn);
+    void dispatch(Conn *conn, HttpRequest request);
+    void flushConn(Conn *conn);
+    void queueResponse(Conn *conn, const HttpResponse &response,
+                       bool keep_alive);
+    void drainCompletions();
+    void closeConn(Conn *conn);
+    /** Erases `id` from the table once its connection is defunct. */
+    void reap(uint64_t id);
+    void updateInterest(Conn *conn);
+    void wake();
+    void stopFds();
+
+    /** Called from executor threads when a handler finishes. */
+    void complete(uint64_t conn_id, std::string bytes,
+                  bool keep_alive);
+
+    Options options_;
+    Handler handler_;
+
+    TcpListener listener_;
+    uint16_t port_ = 0;
+    int epoll_fd_ = -1;
+    int wake_fd_ = -1;
+    std::thread loop_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stop_requested_{false};
+
+    // Loop-thread state: connection table keyed by id (epoll events
+    // carry the id, so a completion for a dead connection is dropped
+    // instead of dereferencing freed memory).
+    std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+    uint64_t next_conn_id_ = 1;
+
+    std::mutex completions_mutex_;
+    std::deque<Completion> completions_;
+
+    // Handlers running (or queued) on the executor; the destructor
+    // waits for zero so tasks never outlive the server they call into.
+    std::mutex inflight_mutex_;
+    std::condition_variable inflight_cv_;
+    size_t inflight_handlers_ = 0;
+
+    std::atomic<uint64_t> accepted_{0};
+    std::atomic<uint64_t> open_{0};
+    std::atomic<uint64_t> requests_{0};
+    std::atomic<uint64_t> responses_{0};
+    std::atomic<uint64_t> parse_errors_{0};
+};
+
+} // namespace net
+} // namespace vtrain
+
+#endif // VTRAIN_NET_SERVER_H

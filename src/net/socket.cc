@@ -1,0 +1,289 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vtrain {
+namespace net {
+
+namespace {
+
+/** errno as a readable string (strerror_r's portable cousin). */
+std::string
+errnoString()
+{
+    return std::strerror(errno);
+}
+
+/**
+ * Resolves `host` to an IPv4 address.  Accepts dotted quads and the
+ * one name the frontend ever binds ("localhost"); everything else
+ * fails rather than pulling in a resolver.
+ */
+bool
+resolveHost(const std::string &host, in_addr *out)
+{
+    const std::string name =
+        (host.empty() || host == "localhost") ? "127.0.0.1" : host;
+    return ::inet_pton(AF_INET, name.c_str(), out) == 1;
+}
+
+} // namespace
+
+Socket &
+Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+int
+Socket::release()
+{
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+bool
+Socket::setNonBlocking(bool on)
+{
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    return ::fcntl(fd_, F_SETFL, next) == 0;
+}
+
+bool
+Socket::setNoDelay(bool on)
+{
+    const int value = on ? 1 : 0;
+    return ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &value,
+                        sizeof(value)) == 0;
+}
+
+bool
+Socket::setTimeouts(int timeout_ms)
+{
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                        sizeof(tv)) == 0 &&
+           ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                        sizeof(tv)) == 0;
+}
+
+IoStatus
+Socket::recvSome(char *buf, size_t len, size_t *n_read)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buf, len, 0);
+        if (n > 0) {
+            *n_read = static_cast<size_t>(n);
+            return IoStatus::Ok;
+        }
+        if (n == 0)
+            return IoStatus::Eof;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoStatus::WouldBlock;
+        return IoStatus::Error;
+    }
+}
+
+IoStatus
+Socket::sendSome(const char *buf, size_t len, size_t *n_written)
+{
+    for (;;) {
+        // MSG_NOSIGNAL: a peer that went away yields EPIPE, not a
+        // process-killing SIGPIPE.
+        const ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+        if (n >= 0) {
+            *n_written = static_cast<size_t>(n);
+            return IoStatus::Ok;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoStatus::WouldBlock;
+        return IoStatus::Error;
+    }
+}
+
+bool
+Socket::sendAll(const char *buf, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        size_t n = 0;
+        const IoStatus status = sendSome(buf + sent, len - sent, &n);
+        if (status == IoStatus::Ok) {
+            sent += n;
+            continue;
+        }
+        // WouldBlock on a blocking socket means the send timeout
+        // expired; treat it like any other failure.
+        return false;
+    }
+    return true;
+}
+
+bool
+TcpListener::listen(const std::string &host, uint16_t port,
+                    std::string *error)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (!resolveHost(host, &addr.sin_addr)) {
+        if (error)
+            *error = "cannot resolve host '" + host + "'";
+        return false;
+    }
+
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) {
+        if (error)
+            *error = "socket(): " + errnoString();
+        return false;
+    }
+    const int reuse = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &reuse,
+                 sizeof(reuse));
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (error)
+            *error = "bind(" + host + ":" + std::to_string(port) +
+                     "): " + errnoString();
+        return false;
+    }
+    if (::listen(sock.fd(), SOMAXCONN) != 0) {
+        if (error)
+            *error = "listen(): " + errnoString();
+        return false;
+    }
+    if (!sock.setNonBlocking(true)) {
+        if (error)
+            *error = "fcntl(O_NONBLOCK): " + errnoString();
+        return false;
+    }
+
+    // Resolve the ephemeral port the kernel picked for port 0.
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(sock.fd(),
+                      reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) != 0) {
+        if (error)
+            *error = "getsockname(): " + errnoString();
+        return false;
+    }
+    port_ = ntohs(bound.sin_port);
+    sock_ = std::move(sock);
+    return true;
+}
+
+IoStatus
+TcpListener::accept(Socket *out)
+{
+    for (;;) {
+        const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+        if (fd >= 0) {
+            Socket conn(fd);
+            conn.setNonBlocking(true);
+            conn.setNoDelay(true);
+            *out = std::move(conn);
+            return IoStatus::Ok;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoStatus::WouldBlock;
+        return IoStatus::Error;
+    }
+}
+
+Socket
+connectTcp(const std::string &host, uint16_t port, std::string *error)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (!resolveHost(host, &addr.sin_addr)) {
+        if (error)
+            *error = "cannot resolve host '" + host + "'";
+        return Socket();
+    }
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) {
+        if (error)
+            *error = "socket(): " + errnoString();
+        return Socket();
+    }
+    if (::connect(sock.fd(),
+                  reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (errno != EINTR) {
+            if (error)
+                *error = "connect(" + host + ":" +
+                         std::to_string(port) +
+                         "): " + errnoString();
+            return Socket();
+        }
+        // EINTR leaves the attempt in progress (re-calling connect()
+        // would yield EALREADY even on success); wait for the outcome
+        // and read it from SO_ERROR.
+        pollfd pfd{};
+        pfd.fd = sock.fd();
+        pfd.events = POLLOUT;
+        while (::poll(&pfd, 1, -1) < 0) {
+            if (errno != EINTR) {
+                if (error)
+                    *error = "poll(): " + errnoString();
+                return Socket();
+            }
+        }
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &so_error,
+                         &len) != 0 ||
+            so_error != 0) {
+            if (error) {
+                errno = so_error;
+                *error = "connect(" + host + ":" +
+                         std::to_string(port) +
+                         "): " + errnoString();
+            }
+            return Socket();
+        }
+    }
+    sock.setNoDelay(true);
+    return sock;
+}
+
+} // namespace net
+} // namespace vtrain

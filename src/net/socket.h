@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Thin RAII wrappers over POSIX TCP sockets.
+ *
+ * The net layer is dependency-free by design (the serve layer's JSON
+ * wire format already is), so these classes wrap only what the HTTP
+ * frontend needs: a listening socket on a configurable port (port 0
+ * picks an ephemeral one, which the tests use), an accepted or
+ * connected stream socket with non-blocking and timeout controls, and
+ * EINTR/EAGAIN-safe read/write helpers.  No ownership surprises: a
+ * Socket closes its descriptor on destruction and is move-only.
+ */
+#ifndef VTRAIN_NET_SOCKET_H
+#define VTRAIN_NET_SOCKET_H
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+namespace vtrain {
+namespace net {
+
+/** Outcome of one non-blocking I/O attempt. */
+enum class IoStatus {
+    Ok,         //!< progress was made
+    WouldBlock, //!< the operation would block; retry after polling
+    Eof,        //!< the peer closed its end (reads only)
+    Error       //!< a real error; errno-derived detail in *error
+};
+
+/** Move-only owner of one stream-socket file descriptor. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &operator=(Socket &&other) noexcept;
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Closes the descriptor (idempotent). */
+    void close();
+
+    /** Releases ownership of the descriptor without closing it. */
+    int release();
+
+    bool setNonBlocking(bool on);
+    bool setNoDelay(bool on);
+
+    /** Send/receive timeouts for blocking sockets (0 = no timeout). */
+    bool setTimeouts(int timeout_ms);
+
+    /**
+     * Reads once into buf (at most len bytes).  On IoStatus::Ok,
+     * *n_read holds the byte count (> 0).
+     */
+    IoStatus recvSome(char *buf, size_t len, size_t *n_read);
+
+    /**
+     * Writes once from buf.  On IoStatus::Ok, *n_written holds the
+     * byte count (>= 0; short writes are normal on non-blocking
+     * sockets).
+     */
+    IoStatus sendSome(const char *buf, size_t len, size_t *n_written);
+
+    /** Blocking loop until all len bytes are written (or error). */
+    bool sendAll(const char *buf, size_t len);
+
+  private:
+    int fd_ = -1;
+};
+
+/** A bound + listening TCP socket that hands out accepted Sockets. */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    TcpListener(TcpListener &&) = default;
+    TcpListener &operator=(TcpListener &&) = default;
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** Closes the listening socket (idempotent). */
+    void close()
+    {
+        sock_.close();
+        port_ = 0;
+    }
+
+    /**
+     * Binds `host:port` (IPv4 dotted quad or "localhost"; port 0
+     * selects an ephemeral port) and starts listening.  Returns false
+     * and sets *error on failure.
+     */
+    bool listen(const std::string &host, uint16_t port,
+                std::string *error);
+
+    /**
+     * Accepts one pending connection (non-blocking listener).  On
+     * IoStatus::Ok, *out holds the connected, non-blocking socket.
+     */
+    IoStatus accept(Socket *out);
+
+    bool valid() const { return sock_.valid(); }
+    int fd() const { return sock_.fd(); }
+
+    /** The actually-bound port (resolves port 0 to the ephemeral). */
+    uint16_t port() const { return port_; }
+
+  private:
+    Socket sock_;
+    uint16_t port_ = 0;
+};
+
+/**
+ * Opens a blocking TCP connection to `host:port`.  Returns an invalid
+ * Socket and sets *error on failure.
+ */
+Socket connectTcp(const std::string &host, uint16_t port,
+                  std::string *error);
+
+} // namespace net
+} // namespace vtrain
+
+#endif // VTRAIN_NET_SOCKET_H

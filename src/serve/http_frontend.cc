@@ -1,0 +1,224 @@
+#include "serve/http_frontend.h"
+
+#include <utility>
+
+#include "serve/json.h"
+
+namespace vtrain {
+
+namespace {
+
+using net::HttpRequest;
+using net::HttpResponse;
+
+constexpr int64_t kBatchWireVersion = 1;
+
+net::HttpServer::Options
+serverOptions(const HttpFrontend::Options &options,
+              SimService &service)
+{
+    net::HttpServer::Options server;
+    server.host = options.host;
+    server.port = options.port;
+    server.limits = options.limits;
+    // Handlers run on the service's own pool: one pool per process,
+    // and the event loop never blocks on a simulation.
+    server.executor = [&service](std::function<void()> task) {
+        service.pool().submit(std::move(task));
+    };
+    return server;
+}
+
+HttpResponse
+jsonResponse(std::string body)
+{
+    HttpResponse response;
+    response.body = std::move(body);
+    return response;
+}
+
+json::Value
+cacheStatsToJson(const CacheStats &cache)
+{
+    json::Value v = json::Value::object();
+    v.set("hits", static_cast<int64_t>(cache.hits));
+    v.set("misses", static_cast<int64_t>(cache.misses));
+    v.set("insertions", static_cast<int64_t>(cache.insertions));
+    v.set("updates", static_cast<int64_t>(cache.updates));
+    v.set("evictions", static_cast<int64_t>(cache.evictions));
+    v.set("entries", static_cast<int64_t>(cache.entries));
+    v.set("bytes", static_cast<int64_t>(cache.bytes));
+    v.set("hit_rate", cache.hitRate());
+    return v;
+}
+
+} // namespace
+
+HttpFrontend::HttpFrontend(SimService &service, Options options)
+    : service_(service),
+      server_(serverOptions(options, service),
+              [this](const HttpRequest &request) {
+                  return handle(request);
+              })
+{
+}
+
+bool
+HttpFrontend::start(std::string *error)
+{
+    return server_.start(error);
+}
+
+std::string
+HttpFrontend::baseUrl() const
+{
+    return "http://" + server_.host() + ":" +
+           std::to_string(server_.port());
+}
+
+HttpFrontendStats
+HttpFrontend::stats() const
+{
+    HttpFrontendStats stats;
+    stats.service = service_.stats();
+    stats.http = server_.stats();
+    return stats;
+}
+
+HttpResponse
+HttpFrontend::handle(const HttpRequest &request)
+{
+    const std::string_view path = request.path();
+    if (path == "/healthz") {
+        if (request.method != "GET")
+            return net::errorResponse(405, "use GET /healthz");
+        return handleHealthz();
+    }
+    if (path == "/statz") {
+        if (request.method != "GET")
+            return net::errorResponse(405, "use GET /statz");
+        return handleStatz();
+    }
+    if (path == "/v1/evaluate") {
+        if (request.method != "POST")
+            return net::errorResponse(405, "use POST /v1/evaluate");
+        return handleEvaluate(request);
+    }
+    if (path == "/v1/evaluate_batch") {
+        if (request.method != "POST")
+            return net::errorResponse(405,
+                                      "use POST /v1/evaluate_batch");
+        return handleEvaluateBatch(request);
+    }
+    return net::errorResponse(404, "no route for '" +
+                                       std::string(path) + "'");
+}
+
+HttpResponse
+HttpFrontend::handleEvaluate(const HttpRequest &request)
+{
+    SimRequest sim_request;
+    std::string error;
+    if (!simRequestFromJson(request.body, &sim_request, &error))
+        return net::errorResponse(400,
+                                  "bad request payload: " + error);
+    std::string why;
+    if (!sim_request.valid(&why))
+        return net::errorResponse(422, "invalid plan: " + why);
+    return jsonResponse(toJson(service_.evaluate(sim_request)));
+}
+
+HttpResponse
+HttpFrontend::handleEvaluateBatch(const HttpRequest &request)
+{
+    json::Value root;
+    std::string error;
+    if (!json::Value::parse(request.body, &root, &error))
+        return net::errorResponse(400,
+                                  "bad batch payload: " + error);
+    const json::Value *version = root.find("version");
+    if (!version || !version->isNumber() ||
+        version->asNumber() !=
+            static_cast<double>(kBatchWireVersion))
+        return net::errorResponse(
+            400, "bad batch payload: missing or unsupported version");
+    const json::Value *requests = root.find("requests");
+    if (!requests || !requests->isArray())
+        return net::errorResponse(
+            400, "bad batch payload: 'requests' must be an array");
+
+    std::vector<SimRequest> batch;
+    batch.reserve(requests->items().size());
+    for (size_t i = 0; i < requests->items().size(); ++i) {
+        SimRequest sim_request;
+        if (!simRequestFromJsonValue(requests->items()[i],
+                                     &sim_request, &error))
+            return net::errorResponse(
+                400, "bad request payload at index " +
+                         std::to_string(i) + ": " + error);
+        std::string why;
+        if (!sim_request.valid(&why))
+            return net::errorResponse(
+                422, "invalid plan at index " + std::to_string(i) +
+                         ": " + why);
+        batch.push_back(std::move(sim_request));
+    }
+
+    // This handler is itself a pool task, so it must not block on
+    // work queued to the same pool (evaluateBatch would): answer the
+    // items inline instead.  evaluate() computes on this thread and
+    // publishes to the cache, so duplicates inside the batch and
+    // identical requests from other connections still collapse.
+    json::Value results = json::Value::array();
+    for (const SimRequest &sim_request : batch)
+        results.push(toJsonValue(service_.evaluate(sim_request)));
+
+    json::Value body = json::Value::object();
+    body.set("version", kBatchWireVersion);
+    body.set("results", std::move(results));
+    return jsonResponse(body.dump());
+}
+
+HttpResponse
+HttpFrontend::handleHealthz() const
+{
+    json::Value body = json::Value::object();
+    body.set("status", "ok");
+    body.set("threads", static_cast<int64_t>(service_.numThreads()));
+    return jsonResponse(body.dump());
+}
+
+HttpResponse
+HttpFrontend::handleStatz() const
+{
+    const HttpFrontendStats stats = this->stats();
+
+    json::Value service = json::Value::object();
+    service.set("requests",
+                static_cast<int64_t>(stats.service.requests));
+    service.set("computed",
+                static_cast<int64_t>(stats.service.computed));
+    service.set("inflight_joins",
+                static_cast<int64_t>(stats.service.inflight_joins));
+    service.set("batch_dedups",
+                static_cast<int64_t>(stats.service.batch_dedups));
+    service.set("cache", cacheStatsToJson(stats.service.cache));
+
+    json::Value http = json::Value::object();
+    http.set("connections_accepted",
+             static_cast<int64_t>(stats.http.connections_accepted));
+    http.set("connections_open",
+             static_cast<int64_t>(stats.http.connections_open));
+    http.set("requests", static_cast<int64_t>(stats.http.requests));
+    http.set("responses", static_cast<int64_t>(stats.http.responses));
+    http.set("parse_errors",
+             static_cast<int64_t>(stats.http.parse_errors));
+
+    json::Value body = json::Value::object();
+    body.set("service", std::move(service));
+    body.set("http", std::move(http));
+    body.set("threads", static_cast<int64_t>(service_.numThreads()));
+    return jsonResponse(body.dump());
+}
+
+} // namespace vtrain

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * HTTP frontend: SimService as a network service.
+ *
+ * Exposes the serve layer's versioned JSON wire format (serve/json.h)
+ * over a dependency-free epoll HTTP/1.1 server (net/server.h), so
+ * requests can come from other processes and machines:
+ *
+ *   POST /v1/evaluate        one SimRequest payload -> one result
+ *   POST /v1/evaluate_batch  {"version":1,"requests":[...]} ->
+ *                            {"version":1,"results":[...]} (order
+ *                            preserved; duplicates answered from the
+ *                            cache after the first computes)
+ *   GET  /healthz            {"status":"ok"} liveness probe
+ *   GET  /statz              service + cache + HTTP counters as JSON
+ *
+ * Handlers run on the SimService's own ThreadPool (the server's
+ * executor), so the process keeps exactly one worker pool: the event
+ * loop stays responsive while simulations run, and concurrent
+ * connections get true compute parallelism.  Malformed payloads are
+ * answered with a structured JSON error ({"error":{code,status,
+ * message}}), well-formed but invalid plans with 422, and unknown
+ * routes with 404.
+ */
+#ifndef VTRAIN_SERVE_HTTP_FRONTEND_H
+#define VTRAIN_SERVE_HTTP_FRONTEND_H
+
+#include <cstdint>
+#include <string>
+
+#include "net/server.h"
+#include "serve/sim_service.h"
+
+namespace vtrain {
+
+/** Combined snapshot for /statz and operators. */
+struct HttpFrontendStats {
+    ServiceStats service;
+    net::HttpServerStats http;
+};
+
+/** Serves a SimService over HTTP; one instance per listening port. */
+class HttpFrontend
+{
+  public:
+    struct Options {
+        std::string host = "127.0.0.1";
+
+        /** Port to bind; 0 picks an ephemeral port (see port()). */
+        uint16_t port = 0;
+
+        /** Per-request size limits forwarded to the HTTP parser. */
+        net::HttpLimits limits;
+    };
+
+    /** The service must outlive the frontend. */
+    explicit HttpFrontend(SimService &service)
+        : HttpFrontend(service, Options{})
+    {
+    }
+    HttpFrontend(SimService &service, Options options);
+
+    ~HttpFrontend() = default; // the server stops itself
+
+    HttpFrontend(const HttpFrontend &) = delete;
+    HttpFrontend &operator=(const HttpFrontend &) = delete;
+
+    /**
+     * Binds and starts serving.  Returns false and sets *error when
+     * the address cannot be bound.
+     */
+    bool start(std::string *error);
+
+    /** Drains in-flight requests and stops serving (idempotent). */
+    void stop() { server_.stop(); }
+
+    bool running() const { return server_.running(); }
+
+    /** The bound port (the ephemeral one when Options::port was 0). */
+    uint16_t port() const { return server_.port(); }
+
+    /** "http://host:port" of the running server. */
+    std::string baseUrl() const;
+
+    HttpFrontendStats stats() const;
+
+  private:
+    net::HttpResponse handle(const net::HttpRequest &request);
+    net::HttpResponse handleEvaluate(const net::HttpRequest &request);
+    net::HttpResponse
+    handleEvaluateBatch(const net::HttpRequest &request);
+    net::HttpResponse handleHealthz() const;
+    net::HttpResponse handleStatz() const;
+
+    SimService &service_;
+    net::HttpServer server_;
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_SERVE_HTTP_FRONTEND_H

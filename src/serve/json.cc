@@ -619,8 +619,8 @@ optionsToJson(const SimOptions &options)
 
 } // namespace
 
-std::string
-toJson(const SimRequest &request)
+Value
+toJsonValue(const SimRequest &request)
 {
     VTRAIN_REQUIRE(request.options.perturber == nullptr,
                    "requests carrying a perturber are process-local "
@@ -631,11 +631,17 @@ toJson(const SimRequest &request)
     v.set("parallel", parallelToJson(request.parallel));
     v.set("cluster", clusterToJson(request.cluster));
     v.set("options", optionsToJson(request.options));
-    return v.dump();
+    return v;
 }
 
 std::string
-toJson(const SimulationResult &result)
+toJson(const SimRequest &request)
+{
+    return toJsonValue(request).dump();
+}
+
+Value
+toJsonValue(const SimulationResult &result)
 {
     Value v = Value::object();
     v.set("version", kWireVersion);
@@ -658,7 +664,13 @@ toJson(const SimulationResult &result)
           int64_t{result.simulated_micro_batches});
     v.set("total_micro_batches", int64_t{result.total_micro_batches});
     v.set("sim_wall_seconds", result.sim_wall_seconds);
-    return v.dump();
+    return v;
+}
+
+std::string
+toJson(const SimulationResult &result)
+{
+    return toJsonValue(result).dump();
 }
 
 // ------------------------------------------------------- wire decoders
@@ -896,12 +908,9 @@ checkVersion(const Value &root, std::string *error)
 } // namespace
 
 bool
-simRequestFromJson(std::string_view text, SimRequest *out,
-                   std::string *error)
+simRequestFromJsonValue(const json::Value &root, SimRequest *out,
+                        std::string *error)
 {
-    Value root;
-    if (!Value::parse(text, &root, error))
-        return false;
     if (!root.isObject())
         return decodeError(error, "request document is not an object");
     if (!checkVersion(root, error))
@@ -927,12 +936,19 @@ simRequestFromJson(std::string_view text, SimRequest *out,
 }
 
 bool
-simResultFromJson(std::string_view text, SimulationResult *out,
-                  std::string *error)
+simRequestFromJson(std::string_view text, SimRequest *out,
+                   std::string *error)
 {
     Value root;
     if (!Value::parse(text, &root, error))
         return false;
+    return simRequestFromJsonValue(root, out, error);
+}
+
+bool
+simResultFromJsonValue(const json::Value &root, SimulationResult *out,
+                       std::string *error)
+{
     if (!root.isObject())
         return decodeError(error, "result document is not an object");
     if (!checkVersion(root, error))
@@ -977,6 +993,16 @@ simResultFromJson(std::string_view text, SimulationResult *out,
         return false;
     *out = result;
     return true;
+}
+
+bool
+simResultFromJson(std::string_view text, SimulationResult *out,
+                  std::string *error)
+{
+    Value root;
+    if (!Value::parse(text, &root, error))
+        return false;
+    return simResultFromJsonValue(root, out, error);
 }
 
 } // namespace vtrain

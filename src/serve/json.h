@@ -104,6 +104,20 @@ std::string toJson(const SimRequest &request);
 std::string toJson(const SimulationResult &result);
 
 /**
+ * Document-node variants of the wire codecs, for embedding request
+ * and result payloads inside larger documents (the HTTP frontend's
+ * batch endpoint wraps arrays of them).  Each node is the complete
+ * versioned payload, byte-identical to the string forms above.
+ */
+json::Value toJsonValue(const SimRequest &request);
+json::Value toJsonValue(const SimulationResult &result);
+bool simRequestFromJsonValue(const json::Value &root, SimRequest *out,
+                             std::string *error = nullptr);
+bool simResultFromJsonValue(const json::Value &root,
+                            SimulationResult *out,
+                            std::string *error = nullptr);
+
+/**
  * Decodes a request.  Strict: every field of the wire format must be
  * present with the right type (unknown fields are ignored).  Returns
  * false and sets *error on malformed input.

@@ -108,6 +108,14 @@ class SimService
 
     size_t numThreads() const { return pool_.numThreads(); }
 
+    /**
+     * The service's worker pool, shared with the HTTP frontend so the
+     * process runs exactly one pool.  The caveat at the top of this
+     * file applies doubly here: tasks submitted to this pool must not
+     * block on other work queued to the same pool.
+     */
+    ThreadPool &pool() { return pool_; }
+
   private:
     /** Runs the evaluator (or the real simulator). */
     SimulationResult compute(const SimRequest &request) const;

@@ -47,6 +47,10 @@
 #include "kernels/memops_model.h"
 #include "model/model_config.h"
 #include "model/zoo.h"
+#include "net/http.h"
+#include "net/http_client.h"
+#include "net/server.h"
+#include "net/socket.h"
 #include "parallel/memory_model.h"
 #include "parallel/parallel_config.h"
 #include "profiling/op_task_table.h"
@@ -54,6 +58,7 @@
 #include "profiling/profiler.h"
 #include "profiling/synthetic_profiler.h"
 #include "scaling/chinchilla.h"
+#include "serve/http_frontend.h"
 #include "serve/json.h"
 #include "serve/result_cache.h"
 #include "serve/sim_request.h"

@@ -1,0 +1,621 @@
+/**
+ * @file
+ * End-to-end tests of the HTTP frontend: a real HttpFrontend on an
+ * ephemeral loopback port, driven by HttpClient (and raw sockets for
+ * the pipelining and parse-error cases).  Covers the acceptance path
+ * -- POST a real SimRequest, match a direct SimService::evaluate,
+ * observe the repeat answered from the cache via /statz -- plus the
+ * error surface (400/404/405/413/422) and concurrent keep-alive
+ * connections.  Every suite name starts with "Http" so CI can select
+ * the subsystem with `ctest -R '^Http'` (the TSan job does).
+ */
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/zoo.h"
+#include "net/http_client.h"
+#include "serve/http_frontend.h"
+#include "serve/json.h"
+#include "sim/simulator.h"
+
+namespace vtrain {
+namespace {
+
+using net::HttpClient;
+using net::HttpResponse;
+
+SimRequest
+tinyRequest()
+{
+    SimRequest r;
+    r.model = makeModel(512, 4, 8, 128, 1024);
+    r.parallel.tensor = 2;
+    r.parallel.data = 2;
+    r.parallel.pipeline = 2;
+    r.parallel.micro_batch_size = 1;
+    r.parallel.global_batch_size = 8;
+    r.cluster = makeCluster(8);
+    return r;
+}
+
+/** @return a tinyRequest variant distinguished only by batch size. */
+SimRequest
+requestVariant(int i)
+{
+    SimRequest r = tinyRequest();
+    r.parallel.global_batch_size = 8 * (i + 1);
+    return r;
+}
+
+/** Deterministic request -> result mapping; no real simulation. */
+SimulationResult
+syntheticResult(const SimRequest &request)
+{
+    SimulationResult result;
+    result.iteration_seconds =
+        static_cast<double>(request.fingerprint() % 100003) + 1.0;
+    return result;
+}
+
+SimService::Options
+syntheticServiceOptions(size_t n_threads = 2)
+{
+    SimService::Options options;
+    options.n_threads = n_threads;
+    options.evaluator = syntheticResult;
+    return options;
+}
+
+/** A started frontend + service + client, torn down in order. */
+struct Loopback {
+    explicit Loopback(SimService::Options service_options = {},
+                      HttpFrontend::Options frontend_options = {})
+        : service(std::move(service_options)),
+          frontend(service, std::move(frontend_options))
+    {
+        std::string error;
+        if (!frontend.start(&error))
+            ADD_FAILURE() << "frontend.start: " << error;
+    }
+
+    HttpClient client()
+    {
+        return HttpClient("127.0.0.1", frontend.port());
+    }
+
+    /** Fetches and parses /statz. */
+    json::Value statz()
+    {
+        HttpClient c = client();
+        HttpResponse response;
+        std::string error;
+        if (!c.get("/statz", &response, &error)) {
+            ADD_FAILURE() << "GET /statz: " << error;
+            return json::Value();
+        }
+        json::Value doc;
+        if (!json::Value::parse(response.body, &doc, &error)) {
+            ADD_FAILURE() << "parse /statz: " << error;
+            return json::Value();
+        }
+        return doc;
+    }
+
+    SimService service;
+    HttpFrontend frontend;
+};
+
+int64_t
+statInt(const json::Value &doc, const char *section, const char *key)
+{
+    const json::Value *s = doc.find(section);
+    if (!s || !s->find(key)) {
+        ADD_FAILURE() << "missing stat " << section << "." << key;
+        return -1;
+    }
+    return s->find(key)->asInt64();
+}
+
+// ------------------------------------------------- acceptance path
+
+TEST(HttpFrontendTest, EvaluateMatchesDirectCallAndRepeatHitsCache)
+{
+    // The real simulator, as production would run it.
+    Loopback loop;
+    HttpClient client = loop.client();
+
+    const SimRequest request = tinyRequest();
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.post("/v1/evaluate", toJson(request),
+                            &response, &error))
+        << error;
+    ASSERT_EQ(response.status, 200) << response.body;
+
+    SimulationResult over_http;
+    ASSERT_TRUE(
+        simResultFromJson(response.body, &over_http, &error))
+        << error;
+    // The direct call answers from the cache the POST populated, and
+    // the JSON codec round-trips doubles bit-for-bit, so the results
+    // must be identical in every field.
+    const SimulationResult direct = loop.service.evaluate(request);
+    EXPECT_EQ(over_http, direct);
+    EXPECT_GT(over_http.iteration_seconds, 0.0);
+
+    // A second identical POST is a cache hit: computed stays 1.
+    HttpResponse repeat;
+    ASSERT_TRUE(client.post("/v1/evaluate", toJson(request), &repeat,
+                            &error))
+        << error;
+    ASSERT_EQ(repeat.status, 200);
+    EXPECT_EQ(repeat.body, response.body);
+
+    const json::Value statz = loop.statz();
+    EXPECT_EQ(statInt(statz, "service", "computed"), 1);
+    EXPECT_EQ(statInt(statz, "service", "requests"), 3);
+    const json::Value *cache = statz.find("service")->find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_GE(cache->find("hits")->asInt64(), 2);
+    EXPECT_EQ(cache->find("entries")->asInt64(), 1);
+}
+
+TEST(HttpFrontendTest, BatchPreservesOrderAndDedups)
+{
+    std::atomic<int> computed{0};
+    SimService::Options options = syntheticServiceOptions();
+    options.evaluator = [&computed](const SimRequest &request) {
+        computed.fetch_add(1);
+        return syntheticResult(request);
+    };
+    Loopback loop(std::move(options));
+    HttpClient client = loop.client();
+
+    const SimRequest a = requestVariant(0);
+    const SimRequest b = requestVariant(1);
+    json::Value requests = json::Value::array();
+    for (const SimRequest *r : {&a, &b, &a})
+        requests.push(toJsonValue(*r));
+    json::Value body = json::Value::object();
+    body.set("version", int64_t{1});
+    body.set("requests", std::move(requests));
+
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.post("/v1/evaluate_batch", body.dump(),
+                            &response, &error))
+        << error;
+    ASSERT_EQ(response.status, 200) << response.body;
+
+    json::Value doc;
+    ASSERT_TRUE(json::Value::parse(response.body, &doc, &error))
+        << error;
+    const json::Value *results = doc.find("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->items().size(), 3u);
+
+    std::vector<SimulationResult> parsed(3);
+    for (size_t i = 0; i < 3; ++i)
+        ASSERT_TRUE(simResultFromJsonValue(results->items()[i],
+                                           &parsed[i], &error))
+            << error;
+    EXPECT_EQ(parsed[0], syntheticResult(a));
+    EXPECT_EQ(parsed[1], syntheticResult(b));
+    EXPECT_EQ(parsed[2], parsed[0]);
+    // The duplicate was answered from the cache, not recomputed.
+    EXPECT_EQ(computed.load(), 2);
+}
+
+TEST(HttpFrontendTest, BatchRejectsBadEnvelopesAndAllowsEmpty)
+{
+    Loopback loop(syntheticServiceOptions());
+    HttpClient client = loop.client();
+    HttpResponse response;
+    std::string error;
+    // A malformed envelope must produce a clean 400, never tear down
+    // the server (1.5 would panic a naive asInt64 on the version).
+    for (const char *body :
+         {"{\"version\": 1.5, \"requests\": []}",
+          "{\"version\": 2, \"requests\": []}",
+          "{\"requests\": []}",
+          "{\"version\": 1}",
+          "{\"version\": 1, \"requests\": {}}",
+          "{\"version\": 1, \"requests\": [42]}"}) {
+        ASSERT_TRUE(client.post("/v1/evaluate_batch", body,
+                                &response, &error))
+            << error;
+        EXPECT_EQ(response.status, 400) << body;
+    }
+
+    ASSERT_TRUE(client.post("/v1/evaluate_batch",
+                            "{\"version\": 1, \"requests\": []}",
+                            &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 200);
+    json::Value doc;
+    ASSERT_TRUE(json::Value::parse(response.body, &doc, &error));
+    EXPECT_TRUE(doc.find("results")->items().empty());
+}
+
+// ------------------------------------------------------ error surface
+
+TEST(HttpFrontendTest, MalformedJsonBodyIs400WithStructuredError)
+{
+    Loopback loop(syntheticServiceOptions());
+    HttpClient client = loop.client();
+
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.post("/v1/evaluate", "{not json",
+                            &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 400);
+
+    json::Value doc;
+    ASSERT_TRUE(json::Value::parse(response.body, &doc, &error))
+        << error;
+    const json::Value *err = doc.find("error");
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->find("code")->asInt64(), 400);
+    EXPECT_FALSE(err->find("message")->asString().empty());
+}
+
+TEST(HttpFrontendTest, MissingWireFieldIs400)
+{
+    Loopback loop(syntheticServiceOptions());
+    HttpClient client = loop.client();
+    HttpResponse response;
+    std::string error;
+    // Well-formed JSON that is not a request payload.
+    ASSERT_TRUE(client.post("/v1/evaluate", "{\"version\": 1}",
+                            &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 400);
+}
+
+TEST(HttpFrontendTest, UnknownRouteIs404)
+{
+    Loopback loop(syntheticServiceOptions());
+    HttpClient client = loop.client();
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.get("/v2/evaluate", &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 404);
+    json::Value doc;
+    ASSERT_TRUE(json::Value::parse(response.body, &doc, &error));
+    EXPECT_EQ(doc.find("error")->find("code")->asInt64(), 404);
+}
+
+TEST(HttpFrontendTest, WrongMethodIs405)
+{
+    Loopback loop(syntheticServiceOptions());
+    HttpClient client = loop.client();
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.get("/v1/evaluate", &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 405);
+    ASSERT_TRUE(client.post("/healthz", "{}", &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 405);
+}
+
+TEST(HttpFrontendTest, InvalidPlanIs422)
+{
+    Loopback loop(syntheticServiceOptions());
+    HttpClient client = loop.client();
+
+    SimRequest bad = tinyRequest();
+    bad.parallel.tensor = 16; // 16*2*2 GPUs > the 8 in the cluster
+    ASSERT_FALSE(bad.valid());
+
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.post("/v1/evaluate", toJson(bad), &response,
+                            &error))
+        << error;
+    EXPECT_EQ(response.status, 422);
+}
+
+TEST(HttpFrontendTest, OversizedBodyIs413)
+{
+    HttpFrontend::Options options;
+    options.limits.max_body_bytes = 256;
+    Loopback loop(syntheticServiceOptions(), std::move(options));
+    HttpClient client = loop.client();
+
+    HttpResponse response;
+    std::string error;
+    const std::string big(1024, 'x');
+    ASSERT_TRUE(client.post("/v1/evaluate", big, &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 413);
+}
+
+// ----------------------------------------- connections and keep-alive
+
+TEST(HttpClientTest, KeepAliveReusesOneConnection)
+{
+    Loopback loop(syntheticServiceOptions());
+    HttpClient client = loop.client();
+
+    for (int i = 0; i < 5; ++i) {
+        HttpResponse response;
+        std::string error;
+        ASSERT_TRUE(client.get("/healthz", &response, &error))
+            << error;
+        ASSERT_EQ(response.status, 200);
+    }
+    EXPECT_EQ(client.connectsMade(), 1u);
+
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.get("/statz", &response, &error)) << error;
+    json::Value doc;
+    ASSERT_TRUE(json::Value::parse(response.body, &doc, &error));
+    EXPECT_EQ(statInt(doc, "http", "connections_accepted"), 1);
+    EXPECT_EQ(statInt(doc, "http", "requests"), 6);
+}
+
+TEST(HttpFrontendTest, PipelinedRequestsAnswerInOrder)
+{
+    Loopback loop(syntheticServiceOptions());
+
+    std::string error;
+    net::Socket sock =
+        net::connectTcp("127.0.0.1", loop.frontend.port(), &error);
+    ASSERT_TRUE(sock.valid()) << error;
+    sock.setTimeouts(10000);
+
+    // Two requests in one write: the server must answer both, in
+    // order, on the one connection.
+    net::HttpRequest healthz;
+    healthz.method = "GET";
+    healthz.target = "/healthz";
+    net::HttpRequest statz;
+    statz.method = "GET";
+    statz.target = "/statz";
+    const std::string wire =
+        net::serializeRequest(healthz) + net::serializeRequest(statz);
+    ASSERT_TRUE(sock.sendAll(wire.data(), wire.size()));
+
+    net::HttpResponseParser parser;
+    std::string buffer;
+    std::vector<HttpResponse> responses;
+    char buf[4096];
+    while (responses.size() < 2) {
+        HttpResponse response;
+        const auto status = parser.parse(&buffer, &response);
+        if (status == net::HttpResponseParser::Status::Complete) {
+            responses.push_back(std::move(response));
+            continue;
+        }
+        ASSERT_EQ(status, net::HttpResponseParser::Status::NeedMore);
+        size_t n = 0;
+        ASSERT_EQ(sock.recvSome(buf, sizeof(buf), &n),
+                  net::IoStatus::Ok);
+        buffer.append(buf, n);
+    }
+    EXPECT_EQ(responses[0].status, 200);
+    EXPECT_EQ(responses[1].status, 200);
+    // First response answers the first request (healthz), second the
+    // second (statz).
+    EXPECT_NE(responses[0].body.find("\"status\""),
+              std::string::npos);
+    EXPECT_NE(responses[1].body.find("\"service\""),
+              std::string::npos);
+}
+
+TEST(HttpFrontendTest, ParseErrorAnswers400AndCloses)
+{
+    Loopback loop(syntheticServiceOptions());
+
+    std::string error;
+    net::Socket sock =
+        net::connectTcp("127.0.0.1", loop.frontend.port(), &error);
+    ASSERT_TRUE(sock.valid()) << error;
+    sock.setTimeouts(10000);
+    const std::string garbage = "GARBAGE\r\n\r\n";
+    ASSERT_TRUE(sock.sendAll(garbage.data(), garbage.size()));
+
+    net::HttpResponseParser parser;
+    std::string buffer;
+    HttpResponse response;
+    char buf[4096];
+    for (;;) {
+        const auto status = parser.parse(&buffer, &response);
+        if (status == net::HttpResponseParser::Status::Complete)
+            break;
+        ASSERT_EQ(status, net::HttpResponseParser::Status::NeedMore);
+        size_t n = 0;
+        ASSERT_EQ(sock.recvSome(buf, sizeof(buf), &n),
+                  net::IoStatus::Ok);
+        buffer.append(buf, n);
+    }
+    EXPECT_EQ(response.status, 400);
+    EXPECT_TRUE(response.close);
+    // The server closes after a parse error.
+    size_t n = 0;
+    EXPECT_EQ(sock.recvSome(buf, sizeof(buf), &n), net::IoStatus::Eof);
+
+    const json::Value statz = loop.statz();
+    EXPECT_EQ(statInt(statz, "http", "parse_errors"), 1);
+}
+
+TEST(HttpFrontendTest, ClientAbortMidComputeIsDropped)
+{
+    // A peer that resets its connection while its request is still
+    // computing must be dropped (its EPOLLHUP cannot be masked, so
+    // keeping the connection would spin the event loop) and its
+    // completion discarded, leaving the server fully functional.
+    SimService::Options options = syntheticServiceOptions();
+    options.evaluator = [](const SimRequest &request) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        return syntheticResult(request);
+    };
+    Loopback loop(std::move(options));
+
+    {
+        std::string error;
+        net::Socket sock = net::connectTcp(
+            "127.0.0.1", loop.frontend.port(), &error);
+        ASSERT_TRUE(sock.valid()) << error;
+        net::HttpRequest req;
+        req.method = "POST";
+        req.target = "/v1/evaluate";
+        req.body = toJson(requestVariant(0));
+        const std::string wire = net::serializeRequest(req);
+        ASSERT_TRUE(sock.sendAll(wire.data(), wire.size()));
+        // Give the loop a beat to dispatch, then reset the
+        // connection (SO_LINGER 0 turns close() into RST).
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        linger lg{};
+        lg.l_onoff = 1;
+        lg.l_linger = 0;
+        ::setsockopt(sock.fd(), SOL_SOCKET, SO_LINGER, &lg,
+                     sizeof(lg));
+    }
+
+    // Outlive the handler; the discarded completion must not wedge
+    // or crash anything.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    HttpClient client = loop.client();
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.get("/healthz", &response, &error)) << error;
+    EXPECT_EQ(response.status, 200);
+    const json::Value statz = loop.statz();
+    // Three connections ever: the aborted one, the healthz client
+    // (still open, keep-alive), and the statz fetch.  The aborted one
+    // must be gone.
+    EXPECT_EQ(statInt(statz, "http", "connections_accepted"), 3);
+    EXPECT_EQ(statInt(statz, "http", "connections_open"), 2);
+}
+
+TEST(HttpFrontendTest, ManyConcurrentConnections)
+{
+    constexpr int kClients = 8;
+    constexpr int kRequestsPerClient = 20;
+    Loopback loop(syntheticServiceOptions(4));
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&loop, &failures, c] {
+            HttpClient client("127.0.0.1", loop.frontend.port());
+            for (int i = 0; i < kRequestsPerClient; ++i) {
+                const SimRequest request =
+                    requestVariant(c * kRequestsPerClient + i);
+                HttpResponse response;
+                std::string error;
+                if (!client.post("/v1/evaluate", toJson(request),
+                                 &response, &error) ||
+                    response.status != 200) {
+                    failures.fetch_add(1);
+                    continue;
+                }
+                SimulationResult result;
+                if (!simResultFromJson(response.body, &result) ||
+                    result != syntheticResult(request))
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    const json::Value statz = loop.statz();
+    EXPECT_EQ(statInt(statz, "service", "requests"),
+              kClients * kRequestsPerClient);
+    EXPECT_EQ(statInt(statz, "http", "connections_accepted"),
+              kClients + 1); // +1: this statz fetch
+    EXPECT_GE(statInt(statz, "http", "responses"),
+              kClients * kRequestsPerClient);
+}
+
+// ------------------------------------------------------------ lifecycle
+
+TEST(HttpFrontendTest, HealthzReportsOk)
+{
+    Loopback loop(syntheticServiceOptions());
+    HttpClient client = loop.client();
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.get("/healthz", &response, &error)) << error;
+    EXPECT_EQ(response.status, 200);
+    json::Value doc;
+    ASSERT_TRUE(json::Value::parse(response.body, &doc, &error));
+    EXPECT_EQ(doc.find("status")->asString(), "ok");
+}
+
+TEST(HttpFrontendTest, StopReleasesThePort)
+{
+    SimService service(syntheticServiceOptions());
+    HttpFrontend frontend(service);
+    std::string error;
+    ASSERT_TRUE(frontend.start(&error)) << error;
+    const uint16_t port = frontend.port();
+    EXPECT_TRUE(frontend.running());
+
+    frontend.stop();
+    EXPECT_FALSE(frontend.running());
+    net::Socket sock = net::connectTcp("127.0.0.1", port, &error);
+    EXPECT_FALSE(sock.valid());
+}
+
+TEST(HttpFrontendTest, StopWithConnectedClientIsClean)
+{
+    SimService service(syntheticServiceOptions());
+    HttpFrontend frontend(service);
+    std::string error;
+    ASSERT_TRUE(frontend.start(&error)) << error;
+
+    HttpClient client("127.0.0.1", frontend.port());
+    HttpResponse response;
+    ASSERT_TRUE(client.get("/healthz", &response, &error)) << error;
+
+    frontend.stop(); // must drain cleanly with the client still open
+    EXPECT_FALSE(client.get("/healthz", &response, &error));
+}
+
+TEST(HttpFrontendTest, TwoFrontendsShareOneService)
+{
+    SimService service(syntheticServiceOptions());
+    HttpFrontend a(service);
+    HttpFrontend b(service);
+    std::string error;
+    ASSERT_TRUE(a.start(&error)) << error;
+    ASSERT_TRUE(b.start(&error)) << error;
+    ASSERT_NE(a.port(), b.port());
+
+    const SimRequest request = tinyRequest();
+    HttpClient ca("127.0.0.1", a.port());
+    HttpClient cb("127.0.0.1", b.port());
+    HttpResponse ra, rb;
+    ASSERT_TRUE(
+        ca.post("/v1/evaluate", toJson(request), &ra, &error))
+        << error;
+    ASSERT_TRUE(
+        cb.post("/v1/evaluate", toJson(request), &rb, &error))
+        << error;
+    EXPECT_EQ(ra.status, 200);
+    EXPECT_EQ(rb.status, 200);
+    EXPECT_EQ(ra.body, rb.body);
+    // One cache: the second frontend's request was a hit.
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.computed, 1u);
+    EXPECT_GE(stats.cache.hits, 1u);
+}
+
+} // namespace
+} // namespace vtrain

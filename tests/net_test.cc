@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Tests of the dependency-free net layer: the incremental HTTP
+ * request/response parsers (including the malformed-input and
+ * size-limit edge cases the server relies on), the serializers, and
+ * the socket wrappers.  Every suite name starts with "Net" so CI can
+ * select the subsystem with `ctest -R '^Net'` (the TSan job does).
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "net/http.h"
+#include "net/socket.h"
+#include "serve/json.h"
+
+namespace vtrain {
+namespace net {
+namespace {
+
+using Status = HttpRequestParser::Status;
+
+constexpr char kSimpleGet[] = "GET /healthz HTTP/1.1\r\n"
+                              "Host: localhost:8080\r\n"
+                              "\r\n";
+
+// ------------------------------------------------------ request parse
+
+TEST(NetHttpParser, ParsesSimpleGet)
+{
+    HttpRequestParser parser;
+    std::string buffer = kSimpleGet;
+    HttpRequest request;
+    ASSERT_EQ(parser.parse(&buffer, &request), Status::Complete);
+    EXPECT_EQ(request.method, "GET");
+    EXPECT_EQ(request.target, "/healthz");
+    EXPECT_EQ(request.version, "HTTP/1.1");
+    EXPECT_TRUE(request.keep_alive);
+    EXPECT_TRUE(request.body.empty());
+    EXPECT_TRUE(buffer.empty());
+    const std::string *host = request.findHeader("Host");
+    ASSERT_NE(host, nullptr);
+    EXPECT_EQ(*host, "localhost:8080");
+}
+
+TEST(NetHttpParser, ParsesPostWithBody)
+{
+    HttpRequestParser parser;
+    std::string buffer = "POST /v1/evaluate HTTP/1.1\r\n"
+                         "Content-Type: application/json\r\n"
+                         "Content-Length: 11\r\n"
+                         "\r\n"
+                         "{\"x\": true}";
+    HttpRequest request;
+    ASSERT_EQ(parser.parse(&buffer, &request), Status::Complete);
+    EXPECT_EQ(request.method, "POST");
+    EXPECT_EQ(request.body, "{\"x\": true}");
+    EXPECT_TRUE(buffer.empty());
+}
+
+TEST(NetHttpParser, AssemblesRequestFromSingleByteReads)
+{
+    const std::string wire = "POST /v1/evaluate HTTP/1.1\r\n"
+                             "Content-Length: 4\r\n"
+                             "\r\n"
+                             "household"; // 5 trailing pipelined bytes
+    HttpRequestParser parser;
+    std::string buffer;
+    HttpRequest request;
+    const size_t complete_at = wire.size() - 5;
+    for (size_t i = 0; i < complete_at; ++i) {
+        buffer.push_back(wire[i]);
+        const Status status = parser.parse(&buffer, &request);
+        if (i + 1 < complete_at)
+            ASSERT_EQ(status, Status::NeedMore) << "byte " << i;
+        else
+            ASSERT_EQ(status, Status::Complete);
+    }
+    EXPECT_EQ(request.body, "hous");
+    EXPECT_TRUE(buffer.empty());
+}
+
+TEST(NetHttpParser, TruncatedHeadersWantMoreBytes)
+{
+    HttpRequestParser parser;
+    std::string buffer = "GET /healthz HTTP/1.1\r\nHost: unfin";
+    HttpRequest request;
+    EXPECT_EQ(parser.parse(&buffer, &request), Status::NeedMore);
+    // The partial request stays buffered for the next read.
+    EXPECT_EQ(buffer, "GET /healthz HTTP/1.1\r\nHost: unfin");
+}
+
+TEST(NetHttpParser, OversizedHeaderSectionIs431)
+{
+    HttpLimits limits;
+    limits.max_header_bytes = 128;
+    HttpRequestParser parser(limits);
+    std::string buffer = "GET / HTTP/1.1\r\nX-Filler: " +
+                         std::string(256, 'x'); // no terminator yet
+    HttpRequest request;
+    ASSERT_EQ(parser.parse(&buffer, &request), Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(NetHttpParser, ContentLengthOverBodyLimitIs413)
+{
+    HttpLimits limits;
+    limits.max_body_bytes = 64;
+    HttpRequestParser parser(limits);
+    // The declared length alone must trigger the error -- the server
+    // cannot wait for (or buffer) a body it will refuse.
+    std::string buffer = "POST /v1/evaluate HTTP/1.1\r\n"
+                         "Content-Length: 65\r\n"
+                         "\r\n";
+    HttpRequest request;
+    ASSERT_EQ(parser.parse(&buffer, &request), Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 413);
+}
+
+TEST(NetHttpParser, MalformedRequestLineIs400)
+{
+    for (const char *wire :
+         {"GARBAGE\r\n\r\n", "GET /\r\n\r\n",
+          "GET  / HTTP/1.1\r\n\r\n", "GET / HTTP/1.1 extra\r\n\r\n",
+          "GET nopath HTTP/1.1\r\n\r\n"}) {
+        HttpRequestParser parser;
+        std::string buffer = wire;
+        HttpRequest request;
+        ASSERT_EQ(parser.parse(&buffer, &request), Status::Error)
+            << wire;
+        EXPECT_EQ(parser.errorStatus(), 400) << wire;
+        EXPECT_FALSE(parser.errorMessage().empty());
+    }
+}
+
+TEST(NetHttpParser, MalformedContentLengthIs400)
+{
+    for (const char *value : {"abc", "-5", "1 2", ""}) {
+        HttpRequestParser parser;
+        std::string buffer = "POST / HTTP/1.1\r\nContent-Length: " +
+                             std::string(value) + "\r\n\r\n";
+        HttpRequest request;
+        ASSERT_EQ(parser.parse(&buffer, &request), Status::Error)
+            << value;
+        EXPECT_EQ(parser.errorStatus(), 400) << value;
+    }
+}
+
+TEST(NetHttpParser, DuplicateContentLengthIs400)
+{
+    HttpRequestParser parser;
+    // Conflicting lengths would let two parties frame the body
+    // differently (request smuggling); even agreeing duplicates are
+    // rejected.
+    std::string buffer = "POST / HTTP/1.1\r\n"
+                         "Content-Length: 5\r\n"
+                         "Content-Length: 30\r\n"
+                         "\r\n"
+                         "hello";
+    HttpRequest request;
+    ASSERT_EQ(parser.parse(&buffer, &request), Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 400);
+}
+
+TEST(NetHttpParser, OverflowingContentLengthIsRejectedUnlimited)
+{
+    HttpLimits limits;
+    limits.max_body_bytes = 0; // "unlimited" must still not overflow
+    HttpRequestParser parser(limits);
+    std::string buffer = "POST / HTTP/1.1\r\n"
+                         "Content-Length: 18446744073709551617\r\n"
+                         "\r\n";
+    HttpRequest request;
+    ASSERT_EQ(parser.parse(&buffer, &request), Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 400);
+}
+
+TEST(NetHttpParser, ChunkedTransferEncodingIs501)
+{
+    HttpRequestParser parser;
+    std::string buffer = "POST / HTTP/1.1\r\n"
+                         "Transfer-Encoding: chunked\r\n"
+                         "\r\n";
+    HttpRequest request;
+    ASSERT_EQ(parser.parse(&buffer, &request), Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 501);
+}
+
+TEST(NetHttpParser, UnsupportedVersionIs505)
+{
+    HttpRequestParser parser;
+    std::string buffer = "GET / HTTP/2.0\r\n\r\n";
+    HttpRequest request;
+    ASSERT_EQ(parser.parse(&buffer, &request), Status::Error);
+    EXPECT_EQ(parser.errorStatus(), 505);
+}
+
+TEST(NetHttpParser, PipelinedRequestsParseInOrder)
+{
+    HttpRequestParser parser;
+    std::string buffer = std::string(kSimpleGet) +
+                         "POST /v1/evaluate HTTP/1.1\r\n"
+                         "Content-Length: 2\r\n"
+                         "\r\n"
+                         "{}";
+    HttpRequest first;
+    ASSERT_EQ(parser.parse(&buffer, &first), Status::Complete);
+    EXPECT_EQ(first.target, "/healthz");
+    // The second request is still intact at the front of the buffer.
+    HttpRequest second;
+    ASSERT_EQ(parser.parse(&buffer, &second), Status::Complete);
+    EXPECT_EQ(second.target, "/v1/evaluate");
+    EXPECT_EQ(second.body, "{}");
+    EXPECT_TRUE(buffer.empty());
+}
+
+TEST(NetHttpParser, KeepAliveSemanticsPerVersion)
+{
+    struct Case {
+        const char *head;
+        bool keep_alive;
+    };
+    const Case cases[] = {
+        {"GET / HTTP/1.1\r\n\r\n", true},
+        {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+        {"GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n", false},
+        {"GET / HTTP/1.0\r\n\r\n", false},
+        {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+    };
+    for (const Case &c : cases) {
+        HttpRequestParser parser;
+        std::string buffer = c.head;
+        HttpRequest request;
+        ASSERT_EQ(parser.parse(&buffer, &request), Status::Complete)
+            << c.head;
+        EXPECT_EQ(request.keep_alive, c.keep_alive) << c.head;
+    }
+}
+
+TEST(NetHttpParser, HeaderLookupIsCaseInsensitive)
+{
+    HttpRequestParser parser;
+    std::string buffer = "POST / HTTP/1.1\r\n"
+                         "cOnTeNt-LeNgTh: 2\r\n"
+                         "\r\n"
+                         "ok";
+    HttpRequest request;
+    ASSERT_EQ(parser.parse(&buffer, &request), Status::Complete);
+    ASSERT_NE(request.findHeader("Content-Length"), nullptr);
+    EXPECT_EQ(request.body, "ok");
+}
+
+TEST(NetHttpParser, PathStripsQueryString)
+{
+    HttpRequestParser parser;
+    std::string buffer = "GET /statz?verbose=1&pretty HTTP/1.1\r\n\r\n";
+    HttpRequest request;
+    ASSERT_EQ(parser.parse(&buffer, &request), Status::Complete);
+    EXPECT_EQ(request.path(), "/statz");
+    EXPECT_EQ(request.target, "/statz?verbose=1&pretty");
+}
+
+TEST(NetHttpParser, ErrorStateSticksUntilReset)
+{
+    HttpRequestParser parser;
+    std::string buffer = "GARBAGE\r\n\r\n";
+    HttpRequest request;
+    ASSERT_EQ(parser.parse(&buffer, &request), Status::Error);
+    std::string fine = kSimpleGet;
+    EXPECT_EQ(parser.parse(&fine, &request), Status::Error);
+    parser.reset();
+    EXPECT_EQ(parser.parse(&fine, &request), Status::Complete);
+}
+
+// ------------------------------------------------ serialize + client
+
+TEST(NetHttpSerialize, ResponseRoundTripsThroughResponseParser)
+{
+    HttpResponse response;
+    response.status = 200;
+    response.body = "{\"ok\": true}";
+    const std::string wire = serializeResponse(response,
+                                               /*keep_alive=*/true);
+
+    HttpResponseParser parser;
+    std::string buffer = wire;
+    HttpResponse parsed;
+    ASSERT_EQ(parser.parse(&buffer, &parsed),
+              HttpResponseParser::Status::Complete);
+    EXPECT_EQ(parsed.status, 200);
+    EXPECT_EQ(parsed.body, "{\"ok\": true}");
+    EXPECT_EQ(parsed.content_type, "application/json");
+    EXPECT_FALSE(parsed.close);
+    EXPECT_TRUE(buffer.empty());
+}
+
+TEST(NetHttpSerialize, CloseResponsesAreMarked)
+{
+    const std::string wire =
+        serializeResponse(errorResponse(400, "nope"),
+                          /*keep_alive=*/false);
+    HttpResponseParser parser;
+    std::string buffer = wire;
+    HttpResponse parsed;
+    ASSERT_EQ(parser.parse(&buffer, &parsed),
+              HttpResponseParser::Status::Complete);
+    EXPECT_EQ(parsed.status, 400);
+    EXPECT_TRUE(parsed.close);
+}
+
+TEST(NetHttpSerialize, ErrorResponseCarriesStructuredJson)
+{
+    const HttpResponse response =
+        errorResponse(404, "no route for '/nope'");
+    json::Value doc;
+    std::string error;
+    ASSERT_TRUE(json::Value::parse(response.body, &doc, &error))
+        << error;
+    const json::Value *err = doc.find("error");
+    ASSERT_NE(err, nullptr);
+    ASSERT_NE(err->find("code"), nullptr);
+    EXPECT_EQ(err->find("code")->asInt64(), 404);
+    EXPECT_EQ(err->find("message")->asString(),
+              "no route for '/nope'");
+    EXPECT_EQ(err->find("status")->asString(), "Not Found");
+}
+
+TEST(NetHttpSerialize, ErrorBodyEscapesMessage)
+{
+    const std::string body =
+        jsonErrorBody(400, "bad \"quote\" and\nnewline");
+    json::Value doc;
+    std::string error;
+    ASSERT_TRUE(json::Value::parse(body, &doc, &error)) << error;
+    EXPECT_EQ(doc.find("error")->find("message")->asString(),
+              "bad \"quote\" and\nnewline");
+}
+
+TEST(NetHttpSerialize, ResponseParserRejectsChunkedFraming)
+{
+    // A chunked response must fail cleanly rather than parse as an
+    // empty body and desync every following response.
+    HttpResponseParser parser;
+    std::string buffer = "HTTP/1.1 200 OK\r\n"
+                         "Transfer-Encoding: chunked\r\n"
+                         "\r\n"
+                         "5\r\nhello\r\n0\r\n\r\n";
+    HttpResponse response;
+    EXPECT_EQ(parser.parse(&buffer, &response),
+              HttpResponseParser::Status::Error);
+
+    parser.reset();
+    std::string dup = "HTTP/1.1 200 OK\r\n"
+                      "Content-Length: 2\r\n"
+                      "Content-Length: 4\r\n"
+                      "\r\n"
+                      "okok";
+    EXPECT_EQ(parser.parse(&dup, &response),
+              HttpResponseParser::Status::Error);
+}
+
+TEST(NetHttpSerialize, RequestRoundTripsThroughRequestParser)
+{
+    HttpRequest request;
+    request.method = "POST";
+    request.target = "/v1/evaluate";
+    request.headers.push_back({"Host", "localhost:1"});
+    request.body = "{\"version\": 1}";
+    const std::string wire = serializeRequest(request);
+
+    HttpRequestParser parser;
+    std::string buffer = wire;
+    HttpRequest parsed;
+    ASSERT_EQ(parser.parse(&buffer, &parsed), Status::Complete);
+    EXPECT_EQ(parsed.method, "POST");
+    EXPECT_EQ(parsed.target, "/v1/evaluate");
+    EXPECT_EQ(parsed.body, "{\"version\": 1}");
+}
+
+// -------------------------------------------------------------- socket
+
+TEST(NetSocket, ListenerHandsOutEphemeralPortAndMovesBytes)
+{
+    TcpListener listener;
+    std::string error;
+    ASSERT_TRUE(listener.listen("127.0.0.1", 0, &error)) << error;
+    EXPECT_GT(listener.port(), 0);
+
+    Socket client = connectTcp("127.0.0.1", listener.port(), &error);
+    ASSERT_TRUE(client.valid()) << error;
+    client.setTimeouts(5000);
+
+    Socket accepted;
+    // The non-blocking listener may see the connection a beat later.
+    for (int i = 0; i < 500; ++i) {
+        if (listener.accept(&accepted) == IoStatus::Ok)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(accepted.valid());
+
+    const std::string ping = "ping";
+    ASSERT_TRUE(client.sendAll(ping.data(), ping.size()));
+    char buf[16];
+    size_t n = 0;
+    for (int i = 0; i < 500; ++i) {
+        const IoStatus status =
+            accepted.recvSome(buf, sizeof(buf), &n);
+        if (status == IoStatus::Ok)
+            break;
+        ASSERT_EQ(status, IoStatus::WouldBlock);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(std::string(buf, n), "ping");
+
+    // And the other direction, accepted -> client (blocking read).
+    ASSERT_TRUE(accepted.sendAll("pong", 4));
+    size_t m = 0;
+    ASSERT_EQ(client.recvSome(buf, sizeof(buf), &m), IoStatus::Ok);
+    EXPECT_EQ(std::string(buf, m), "pong");
+
+    // EOF is reported as such, not as an error.
+    client.close();
+    for (int i = 0; i < 500; ++i) {
+        const IoStatus status =
+            accepted.recvSome(buf, sizeof(buf), &n);
+        if (status == IoStatus::Eof)
+            break;
+        ASSERT_EQ(status, IoStatus::WouldBlock);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+}
+
+TEST(NetSocket, ConnectToClosedPortFails)
+{
+    // Grab an ephemeral port, then close the listener so the port is
+    // (momentarily) known-dead.
+    TcpListener listener;
+    std::string error;
+    ASSERT_TRUE(listener.listen("127.0.0.1", 0, &error)) << error;
+    const uint16_t port = listener.port();
+    listener.close();
+
+    Socket sock = connectTcp("127.0.0.1", port, &error);
+    EXPECT_FALSE(sock.valid());
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace net
+} // namespace vtrain
