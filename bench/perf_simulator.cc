@@ -26,6 +26,18 @@ mtNlgPlan()
     return plan;
 }
 
+ParallelConfig
+gpt3Plan()
+{
+    ParallelConfig plan;
+    plan.tensor = 8;
+    plan.data = 16;
+    plan.pipeline = 8;
+    plan.micro_batch_size = 1;
+    plan.global_batch_size = 1536;
+    return plan;
+}
+
 void
 BM_GraphBuild(benchmark::State &state)
 {
@@ -102,6 +114,10 @@ BM_SimulateIteration_MtNlg(benchmark::State &state)
     const ModelConfig model = zoo::mtNlg530b();
     Simulator sim(makeCluster(3360));
     const ParallelConfig plan = mtNlgPlan();
+    // Prime the graph-template cache so every measured iteration is
+    // the steady-state request cost (the first call pays a one-off
+    // capture; BM_TemplateRetime reports that cold/warm split).
+    (void)sim.simulateIteration(model, plan);
     for (auto _ : state) {
         SimulationResult r = sim.simulateIteration(model, plan);
         benchmark::DoNotOptimize(r.iteration_seconds);
@@ -115,18 +131,68 @@ BM_SimulateIteration_Gpt3(benchmark::State &state)
     setVerbose(false);
     const ModelConfig model = zoo::gpt3_175b();
     Simulator sim(makeCluster(1024));
-    ParallelConfig plan;
-    plan.tensor = 8;
-    plan.data = 16;
-    plan.pipeline = 8;
-    plan.micro_batch_size = 1;
-    plan.global_batch_size = 1536;
+    const ParallelConfig plan = gpt3Plan();
+    (void)sim.simulateIteration(model, plan); // prime (see MtNlg)
     for (auto _ : state) {
         SimulationResult r = sim.simulateIteration(model, plan);
         benchmark::DoNotOptimize(r.iteration_seconds);
     }
 }
 BENCHMARK(BM_SimulateIteration_Gpt3)->Unit(benchmark::kMillisecond);
+
+void
+BM_TemplateRetime(benchmark::State &state)
+{
+    // Arg 0: model (0 = MT-NLG 530B, 1 = GPT-3 175B).
+    // Arg 1: 0 = cold (the simulator's template-miss path: graph
+    //            build + capturing expansion),
+    //        1 = warm (the hit path: re-time the cached template).
+    setVerbose(false);
+    const bool gpt3 = state.range(0) != 0;
+    const bool warm = state.range(1) != 0;
+    const ModelConfig model = gpt3 ? zoo::gpt3_175b() : zoo::mtNlg530b();
+    const ClusterSpec cluster = makeCluster(gpt3 ? 1024 : 3360);
+    const ParallelConfig plan = gpt3 ? gpt3Plan() : mtNlgPlan();
+    CommModel comm(cluster);
+    GraphBuilder builder(model, plan, cluster, comm);
+    BuildOptions options;
+    options.n_micro_override = 2 * plan.pipeline + 2; // fast-mode cap
+    SyntheticProfiler profiler(cluster.node.gpu);
+    OperatorToTaskTable table(profiler);
+
+    const OpGraph ops = builder.build(options);
+    TaskGraph expanded;
+    const auto tmpl =
+        GraphTemplate::capture(ops, table, ExpandOptions{}, &expanded);
+
+    for (auto _ : state) {
+        if (warm) {
+            TaskGraph out;
+            if (!tmpl->retime(table, plan, cluster, comm, &out)) {
+                state.SkipWithError("retime rejected the table");
+                break;
+            }
+            benchmark::DoNotOptimize(out.numTasks());
+        } else {
+            OpGraph g = builder.build(options);
+            TaskGraph out;
+            const auto fresh = GraphTemplate::capture(
+                g, table, ExpandOptions{}, &out);
+            benchmark::DoNotOptimize(fresh->numTasks());
+            benchmark::DoNotOptimize(out.numTasks());
+        }
+    }
+    state.counters["tasks"] = static_cast<double>(tmpl->numTasks());
+}
+// Build-once/retime-many: cold (miss) vs warm (hit) graph production
+// for the two flagship shapes; the engine replay is excluded so the
+// ratio isolates exactly what the template cache removes.
+BENCHMARK(BM_TemplateRetime)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_ExactVsFast(benchmark::State &state)

@@ -6,6 +6,41 @@
 
 namespace vtrain {
 
+CommOpDesc
+commDescFor(CommKind kind, double bytes, const ParallelConfig &parallel,
+            const ClusterSpec &cluster)
+{
+    CommOpDesc desc;
+    desc.kind = kind;
+    desc.bytes = bytes;
+    switch (kind) {
+      case CommKind::TpAllReduce:
+        desc.scope = CommModel::tpScope(parallel, cluster);
+        desc.n_workers = parallel.tensor;
+        desc.concurrent_groups = 1;
+        break;
+      case CommKind::PipeSendRecv:
+        desc.scope = CommModel::pipeScope(parallel, cluster);
+        desc.n_workers = 2;
+        desc.concurrent_groups = 1;
+        break;
+      case CommKind::DpAllReduce:
+      case CommKind::DpReduceScatter:
+      case CommKind::DpAllGather: {
+        desc.scope = CommModel::dpScope(parallel, cluster);
+        desc.n_workers = parallel.data;
+        const int tp_per_node =
+            std::min(parallel.tensor, cluster.node.gpus_per_node);
+        desc.concurrent_groups = tp_per_node;
+        desc.members_per_node = std::min(
+            parallel.data,
+            std::max(1, cluster.node.gpus_per_node / tp_per_node));
+        break;
+      }
+    }
+    return desc;
+}
+
 GraphBuilder::GraphBuilder(const ModelConfig &model,
                            const ParallelConfig &parallel,
                            const ClusterSpec &cluster,
@@ -68,105 +103,108 @@ GraphBuilder::chain(OpGraph &g, Block &block, OpGraph::NodeId node)
     block.last = node;
 }
 
+GraphBuilder::BuildCtx
+GraphBuilder::makeCtx(OpGraph &g) const
+{
+    BuildCtx ctx;
+    const int m = parallel_.micro_batch_size;
+    const int t = parallel_.tensor;
+    const bool recompute = parallel_.activation_recompute;
+
+    ctx.embed_fwd =
+        g.internDesc(OpDesc::forModel(OpKind::EmbeddingFwd, model_, m, t));
+    ctx.mha_fwd =
+        g.internDesc(OpDesc::forModel(OpKind::MhaFwd, model_, m, t));
+    ctx.ffn_fwd =
+        g.internDesc(OpDesc::forModel(OpKind::FfnFwd, model_, m, t));
+    ctx.lm_fwd =
+        g.internDesc(OpDesc::forModel(OpKind::LmHeadFwd, model_, m, t));
+    // The LM head is not checkpointed; its backward runs directly.
+    ctx.lm_bwd = g.internDesc(OpDesc::forModel(OpKind::LmHeadBwd, model_,
+                                               m, t, /*recompute=*/false));
+    ctx.ffn_bwd = g.internDesc(
+        OpDesc::forModel(OpKind::FfnBwd, model_, m, t, recompute));
+    ctx.mha_bwd = g.internDesc(
+        OpDesc::forModel(OpKind::MhaBwd, model_, m, t, recompute));
+    ctx.embed_bwd =
+        g.internDesc(OpDesc::forModel(OpKind::EmbeddingBwd, model_, m, t));
+
+    if (t >= 2) {
+        // Shape-invariant across stages and micro-batches: price the
+        // tensor-parallel All-Reduce once per build, not once per node.
+        ctx.tp_desc = commDescFor(CommKind::TpAllReduce,
+                                  activationBytes(), parallel_, cluster_);
+        ctx.tp_latency = comm_.latencySeconds(ctx.tp_desc);
+    }
+    return ctx;
+}
+
 void
-GraphBuilder::addTpAllReduce(OpGraph &g, Block &block, int stage,
-                             int mb) const
+GraphBuilder::addTpAllReduce(OpGraph &g, const BuildCtx &ctx, Block &block,
+                             int stage, int mb) const
 {
     if (parallel_.tensor < 2)
         return;
-    CommOpDesc desc;
-    desc.kind = CommKind::TpAllReduce;
-    desc.scope = CommModel::tpScope(parallel_, cluster_);
-    desc.bytes = activationBytes();
-    desc.n_workers = parallel_.tensor;
-    desc.concurrent_groups = 1;
-    const double latency = comm_.latencySeconds(desc);
     // Tensor-parallel All-Reduce has a strict sequential dependency on
     // its producing compute op (Sec. II-B), so it lives on the compute
     // stream: it cannot be hidden.
-    const auto node =
-        g.addComm(static_cast<int16_t>(stage), mb, desc.kind, latency,
-                  desc.n_workers, desc.scope, desc.concurrent_groups,
-                  StreamKind::Compute);
+    const auto node = g.addComm(
+        static_cast<int16_t>(stage), mb, ctx.tp_desc.kind, ctx.tp_latency,
+        ctx.tp_desc.n_workers, ctx.tp_desc.scope,
+        ctx.tp_desc.concurrent_groups, StreamKind::Compute,
+        ctx.tp_desc.bytes);
     chain(g, block, node);
 }
 
 GraphBuilder::Block
-GraphBuilder::buildForwardBlock(OpGraph &g, int stage, int mb) const
+GraphBuilder::buildForwardBlock(OpGraph &g, const BuildCtx &ctx, int stage,
+                                int mb) const
 {
     Block block;
-    const int m = parallel_.micro_batch_size;
-    const int t = parallel_.tensor;
+    const auto device = static_cast<int16_t>(stage);
 
-    if (stage == 0) {
-        chain(g, block,
-              g.addCompute(static_cast<int16_t>(stage), mb,
-                           OpDesc::forModel(OpKind::EmbeddingFwd, model_,
-                                            m, t)));
-    }
+    if (stage == 0)
+        chain(g, block, g.addCompute(device, mb, ctx.embed_fwd));
     for (int l = 0; l < layersPerStage(); ++l) {
-        chain(g, block,
-              g.addCompute(static_cast<int16_t>(stage), mb,
-                           OpDesc::forModel(OpKind::MhaFwd, model_, m,
-                                            t)));
-        addTpAllReduce(g, block, stage, mb);
-        chain(g, block,
-              g.addCompute(static_cast<int16_t>(stage), mb,
-                           OpDesc::forModel(OpKind::FfnFwd, model_, m,
-                                            t)));
-        addTpAllReduce(g, block, stage, mb);
+        chain(g, block, g.addCompute(device, mb, ctx.mha_fwd));
+        addTpAllReduce(g, ctx, block, stage, mb);
+        chain(g, block, g.addCompute(device, mb, ctx.ffn_fwd));
+        addTpAllReduce(g, ctx, block, stage, mb);
     }
-    if (stage == parallel_.pipeline - 1) {
-        chain(g, block,
-              g.addCompute(static_cast<int16_t>(stage), mb,
-                           OpDesc::forModel(OpKind::LmHeadFwd, model_, m,
-                                            t)));
-    }
+    if (stage == parallel_.pipeline - 1)
+        chain(g, block, g.addCompute(device, mb, ctx.lm_fwd));
     return block;
 }
 
 GraphBuilder::Block
-GraphBuilder::buildBackwardBlock(OpGraph &g, int stage, int mb) const
+GraphBuilder::buildBackwardBlock(OpGraph &g, const BuildCtx &ctx,
+                                 int stage, int mb) const
 {
     Block block;
-    const int m = parallel_.micro_batch_size;
-    const int t = parallel_.tensor;
+    const auto device = static_cast<int16_t>(stage);
     const bool recompute = parallel_.activation_recompute;
     const int first_layer = stageFirstLayer(stage);
+    block.grad_ready.reserve(static_cast<size_t>(layersPerStage()) + 1);
 
-    if (stage == parallel_.pipeline - 1) {
-        // The LM head is not checkpointed; its backward runs directly.
-        chain(g, block,
-              g.addCompute(static_cast<int16_t>(stage), mb,
-                           OpDesc::forModel(OpKind::LmHeadBwd, model_, m,
-                                            t, /*recompute=*/false)));
-    }
+    if (stage == parallel_.pipeline - 1)
+        chain(g, block, g.addCompute(device, mb, ctx.lm_bwd));
     for (int l = layersPerStage() - 1; l >= 0; --l) {
         if (recompute) {
             // The recomputed forward pass re-executes its two
             // tensor-parallel All-Reduces (the recomputed GEMMs are
             // folded into the backward operators' kernel sequences).
-            addTpAllReduce(g, block, stage, mb);
-            addTpAllReduce(g, block, stage, mb);
+            addTpAllReduce(g, ctx, block, stage, mb);
+            addTpAllReduce(g, ctx, block, stage, mb);
         }
-        chain(g, block,
-              g.addCompute(static_cast<int16_t>(stage), mb,
-                           OpDesc::forModel(OpKind::FfnBwd, model_, m, t,
-                                            recompute)));
-        addTpAllReduce(g, block, stage, mb);
-        const auto mha_bwd =
-            g.addCompute(static_cast<int16_t>(stage), mb,
-                         OpDesc::forModel(OpKind::MhaBwd, model_, m, t,
-                                          recompute));
+        chain(g, block, g.addCompute(device, mb, ctx.ffn_bwd));
+        addTpAllReduce(g, ctx, block, stage, mb);
+        const auto mha_bwd = g.addCompute(device, mb, ctx.mha_bwd);
         chain(g, block, mha_bwd);
-        addTpAllReduce(g, block, stage, mb);
+        addTpAllReduce(g, ctx, block, stage, mb);
         block.grad_ready.emplace_back(first_layer + l, mha_bwd);
     }
     if (stage == 0) {
-        const auto embed_bwd =
-            g.addCompute(static_cast<int16_t>(stage), mb,
-                         OpDesc::forModel(OpKind::EmbeddingBwd, model_, m,
-                                          t));
+        const auto embed_bwd = g.addCompute(device, mb, ctx.embed_bwd);
         chain(g, block, embed_bwd);
         block.grad_ready.emplace_back(-1, embed_bwd);
     }
@@ -226,25 +264,17 @@ GraphBuilder::addGradReduceAndUpdate(OpGraph &g, int stage,
     if (d < 2)
         return;
 
-    CommOpDesc ar;
-    ar.kind = zero ? CommKind::DpReduceScatter : CommKind::DpAllReduce;
-    ar.scope = CommModel::dpScope(parallel_, cluster_);
-    ar.n_workers = d;
-    ar.concurrent_groups =
-        std::min(t, cluster_.node.gpus_per_node);
-    ar.members_per_node = std::min(
-        d, std::max(1, cluster_.node.gpus_per_node /
-                           std::min(t, cluster_.node.gpus_per_node)));
+    const CommKind reduce_kind =
+        zero ? CommKind::DpReduceScatter : CommKind::DpAllReduce;
 
     if (zero) {
         // Updated-parameter All-Gather closes the iteration.
-        CommOpDesc ag = ar;
-        ag.kind = CommKind::DpAllGather;
-        ag.bytes = 2.0 * stage_params;
+        const CommOpDesc ag = commDescFor(
+            CommKind::DpAllGather, 2.0 * stage_params, parallel_, cluster_);
         const auto ag_node = g.addComm(
             static_cast<int16_t>(stage), -1, ag.kind,
             comm_.latencySeconds(ag), ag.n_workers, ag.scope,
-            ag.concurrent_groups, StreamKind::DpCollective);
+            ag.concurrent_groups, StreamKind::DpCollective, ag.bytes);
         g.addEdge(wu, ag_node);
     }
 
@@ -263,15 +293,15 @@ GraphBuilder::addGradReduceAndUpdate(OpGraph &g, int stage,
                2.0 * static_cast<double>(model_.hidden_size));
 
     auto add_bucket = [&](double bytes, OpGraph::NodeId ready) {
-        CommOpDesc desc = ar;
-        desc.bytes = bytes;
+        const CommOpDesc desc =
+            commDescFor(reduce_kind, bytes, parallel_, cluster_);
         // Gradient All-Reduce runs on DDP's dedicated communication
         // stream, so it overlaps backward compute (Fig. 5) without
         // blocking pipeline Send-Receive traffic.
         const auto node = g.addComm(
             static_cast<int16_t>(stage), -1, desc.kind,
             comm_.latencySeconds(desc), desc.n_workers, desc.scope,
-            desc.concurrent_groups, StreamKind::DpCollective);
+            desc.concurrent_groups, StreamKind::DpCollective, desc.bytes);
         g.addEdge(ready, node);
         g.addEdge(node, wu);
     };
@@ -327,14 +357,44 @@ GraphBuilder::build(const BuildOptions &options) const
     OpGraph g;
     g.setNumDevices(p);
 
+    // Pre-size node and edge storage from per-block op counts so the
+    // build never reallocates mid-graph.  Upper bounds: a forward
+    // block is ls*(2 compute + 2 ARs) plus embedding/LM head; a
+    // backward block is ls*(2 compute + (2 + 2*recompute) ARs) plus
+    // its boundary ops; P2P adds 2 nodes per (boundary, micro-batch);
+    // DP adds at most ls+2 buckets plus weight update and All-Gather
+    // per stage.  Edges: every node is chained at most once (<=
+    // nodes), schedule edges <= 2 per (stage, micro-batch), P2P <= 4,
+    // and DP <= 2*ls + 6 per stage.
+    {
+        const size_t ls = static_cast<size_t>(layersPerStage());
+        const size_t ar = parallel_.tensor >= 2 ? 1 : 0;
+        const size_t rec = parallel_.activation_recompute ? 1 : 0;
+        const size_t fwd_ops = ls * (2 + 2 * ar) + 2;
+        const size_t bwd_ops = ls * (2 + (2 + 2 * rec) * ar) + 2;
+        const size_t blocks = static_cast<size_t>(p) *
+                              static_cast<size_t>(n_micro);
+        const size_t nodes = blocks * (fwd_ops + bwd_ops) +
+                             2 * blocks +
+                             static_cast<size_t>(p) * (ls + 4);
+        g.reserve(nodes, nodes + 6 * blocks +
+                             static_cast<size_t>(p) * (2 * ls + 6));
+    }
+
+    const BuildCtx ctx = makeCtx(g);
+
     // 1. Build every (stage, micro-batch) forward/backward block.
-    std::vector<std::vector<Block>> fwd(p), bwd(p);
+    std::vector<Block> fwd(static_cast<size_t>(p) *
+                           static_cast<size_t>(n_micro));
+    std::vector<Block> bwd(fwd.size());
+    const auto at = [n_micro](int stage, int mb) {
+        return static_cast<size_t>(stage) * static_cast<size_t>(n_micro) +
+               static_cast<size_t>(mb);
+    };
     for (int stage = 0; stage < p; ++stage) {
-        fwd[stage].reserve(n_micro);
-        bwd[stage].reserve(n_micro);
         for (int mb = 0; mb < n_micro; ++mb) {
-            fwd[stage].push_back(buildForwardBlock(g, stage, mb));
-            bwd[stage].push_back(buildBackwardBlock(g, stage, mb));
+            fwd[at(stage, mb)] = buildForwardBlock(g, ctx, stage, mb);
+            bwd[at(stage, mb)] = buildBackwardBlock(g, ctx, stage, mb);
         }
     }
 
@@ -344,7 +404,8 @@ GraphBuilder::build(const BuildOptions &options) const
         const auto order = stageSchedule(stage, n_micro);
         const Block *prev = nullptr;
         for (const auto &[is_fwd, mb] : order) {
-            const Block &cur = is_fwd ? fwd[stage][mb] : bwd[stage][mb];
+            const Block &cur =
+                is_fwd ? fwd[at(stage, mb)] : bwd[at(stage, mb)];
             if (prev)
                 g.addEdge(prev->last, cur.first);
             prev = &cur;
@@ -356,34 +417,34 @@ GraphBuilder::build(const BuildOptions &options) const
     // 3. Cross-stage micro-batch dependencies through P2P Send-Receive
     //    operators at each stage boundary.
     if (p > 1) {
-        CommOpDesc p2p;
-        p2p.kind = CommKind::PipeSendRecv;
-        p2p.scope = CommModel::pipeScope(parallel_, cluster_);
-        p2p.bytes = activationBytes();
-        p2p.n_workers = 2;
+        const CommOpDesc p2p = commDescFor(
+            CommKind::PipeSendRecv, activationBytes(), parallel_, cluster_);
         const double latency = comm_.latencySeconds(p2p);
         for (int stage = 0; stage + 1 < p; ++stage) {
             for (int mb = 0; mb < n_micro; ++mb) {
                 // Forward: activations flow stage -> stage+1.
                 const auto send_fwd = g.addComm(
                     static_cast<int16_t>(stage), mb, p2p.kind, latency,
-                    2, p2p.scope, 1, StreamKind::Comm);
-                g.addEdge(fwd[stage][mb].last, send_fwd);
-                g.addEdge(send_fwd, fwd[stage + 1][mb].first);
+                    2, p2p.scope, 1, StreamKind::Comm, p2p.bytes);
+                g.addEdge(fwd[at(stage, mb)].last, send_fwd);
+                g.addEdge(send_fwd, fwd[at(stage + 1, mb)].first);
                 // Backward: gradients flow stage+1 -> stage.
                 const auto send_bwd = g.addComm(
                     static_cast<int16_t>(stage + 1), mb, p2p.kind,
-                    latency, 2, p2p.scope, 1, StreamKind::Comm);
-                g.addEdge(bwd[stage + 1][mb].last, send_bwd);
-                g.addEdge(send_bwd, bwd[stage][mb].first);
+                    latency, 2, p2p.scope, 1, StreamKind::Comm,
+                    p2p.bytes);
+                g.addEdge(bwd[at(stage + 1, mb)].last, send_bwd);
+                g.addEdge(send_bwd, bwd[at(stage, mb)].first);
             }
         }
     }
 
     // 4. Data-parallel gradient reduction and weight update per stage.
     for (int stage = 0; stage < p; ++stage)
-        addGradReduceAndUpdate(g, stage, bwd[stage][final_bwd_mb[stage]]);
+        addGradReduceAndUpdate(g, stage,
+                               bwd[at(stage, final_bwd_mb[stage])]);
 
+    g.finalize();
     return g;
 }
 

@@ -39,6 +39,18 @@ struct BuildOptions {
     int n_micro_override = 0;
 };
 
+/**
+ * The builder's communication-descriptor policy: everything the
+ * latency model needs beyond (kind, payload) is a pure function of
+ * the plan and the cluster.  Shared with GraphTemplate::retime(),
+ * which re-derives latencies from recorded (kind, bytes) pairs under
+ * a possibly different cluster or DP degree — routing both the build
+ * and the retime through this one function keeps them bit-identical.
+ */
+CommOpDesc commDescFor(CommKind kind, double bytes,
+                       const ParallelConfig &parallel,
+                       const ClusterSpec &cluster);
+
 /** Builds operator-granularity graphs for training iterations. */
 class GraphBuilder
 {
@@ -46,7 +58,7 @@ class GraphBuilder
     GraphBuilder(const ModelConfig &model, const ParallelConfig &parallel,
                  const ClusterSpec &cluster, const CommModel &comm);
 
-    /** Constructs the graph for one training iteration. */
+    /** Constructs the graph for one training iteration (finalized). */
     OpGraph build(const BuildOptions &options = {}) const;
 
   private:
@@ -59,15 +71,35 @@ class GraphBuilder
         std::vector<std::pair<int, OpGraph::NodeId>> grad_ready;
     };
 
-    Block buildForwardBlock(OpGraph &g, int stage, int mb) const;
-    Block buildBackwardBlock(OpGraph &g, int stage, int mb) const;
+    /** Per-build() constants hoisted out of the block loops: interned
+     *  operator-descriptor ids and the (shape-invariant) tensor-
+     *  parallel All-Reduce descriptor and latency. */
+    struct BuildCtx {
+        int32_t embed_fwd = -1;
+        int32_t mha_fwd = -1;
+        int32_t ffn_fwd = -1;
+        int32_t lm_fwd = -1;
+        int32_t lm_bwd = -1;
+        int32_t ffn_bwd = -1;
+        int32_t mha_bwd = -1;
+        int32_t embed_bwd = -1;
+        CommOpDesc tp_desc;
+        double tp_latency = 0.0;
+    };
+
+    BuildCtx makeCtx(OpGraph &g) const;
+
+    Block buildForwardBlock(OpGraph &g, const BuildCtx &ctx, int stage,
+                            int mb) const;
+    Block buildBackwardBlock(OpGraph &g, const BuildCtx &ctx, int stage,
+                             int mb) const;
 
     /** Appends node to the block chain (edge from previous last). */
     static void chain(OpGraph &g, Block &block, OpGraph::NodeId node);
 
     /** Adds a tensor-parallel All-Reduce node into the chain. */
-    void addTpAllReduce(OpGraph &g, Block &block, int stage,
-                        int mb) const;
+    void addTpAllReduce(OpGraph &g, const BuildCtx &ctx, Block &block,
+                        int stage, int mb) const;
 
     /** The (is_forward, micro_batch) sequence of one stage. */
     std::vector<std::pair<bool, int>> stageSchedule(int stage,

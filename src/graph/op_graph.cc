@@ -2,27 +2,28 @@
 
 #include <algorithm>
 
+#include "graph/csr.h"
 #include "util/logging.h"
 
 namespace vtrain {
 
-OpGraph::NodeId
-OpGraph::addCompute(int16_t device, int32_t micro_batch, const OpDesc &desc)
+int32_t
+OpGraph::internDesc(const OpDesc &desc)
 {
     const OperatorKey key = OperatorKey::of(desc);
-    int32_t desc_id = -1;
-    for (const auto &[existing, id] : desc_index_) {
-        if (existing == key) {
-            desc_id = id;
-            break;
-        }
-    }
-    if (desc_id < 0) {
-        desc_id = static_cast<int32_t>(descs_.size());
+    const auto [it, inserted] =
+        desc_index_.try_emplace(key, static_cast<int32_t>(descs_.size()));
+    if (inserted)
         descs_.push_back(desc);
-        desc_index_.emplace_back(key, desc_id);
-    }
+    return it->second;
+}
 
+OpGraph::NodeId
+OpGraph::addCompute(int16_t device, int32_t micro_batch, int32_t desc_id)
+{
+    VTRAIN_CHECK(desc_id >= 0 &&
+                     desc_id < static_cast<int32_t>(descs_.size()),
+                 "unknown descriptor id");
     OpNode node;
     node.type = OpNodeType::Compute;
     node.stream = StreamKind::Compute;
@@ -30,14 +31,13 @@ OpGraph::addCompute(int16_t device, int32_t micro_batch, const OpDesc &desc)
     node.micro_batch = micro_batch;
     node.desc_id = desc_id;
     nodes_.push_back(node);
-    children_.emplace_back();
     return static_cast<NodeId>(nodes_.size() - 1);
 }
 
 OpGraph::NodeId
 OpGraph::addComm(int16_t device, int32_t micro_batch, CommKind kind,
                  double latency, int32_t workers, CommScope scope,
-                 int32_t concurrent_groups, StreamKind stream)
+                 int32_t concurrent_groups, StreamKind stream, double bytes)
 {
     OpNode node;
     node.type = OpNodeType::Comm;
@@ -46,11 +46,11 @@ OpGraph::addComm(int16_t device, int32_t micro_batch, CommKind kind,
     node.micro_batch = micro_batch;
     node.comm_kind = kind;
     node.comm_latency = latency;
+    node.comm_bytes = bytes;
     node.comm_workers = workers;
     node.comm_scope = scope;
     node.comm_concurrent_groups = concurrent_groups;
     nodes_.push_back(node);
-    children_.emplace_back();
     return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -62,8 +62,24 @@ OpGraph::addEdge(NodeId from, NodeId to)
                      to < static_cast<NodeId>(nodes_.size()),
                  "edge endpoints out of range");
     VTRAIN_CHECK(from != to, "self edges are not allowed");
-    children_[from].push_back(to);
-    ++num_edges_;
+    edges_.emplace_back(from, to);
+    finalized_ = false;
+}
+
+void
+OpGraph::reserve(size_t nodes, size_t edges)
+{
+    nodes_.reserve(nodes);
+    edges_.reserve(edges);
+}
+
+void
+OpGraph::finalize()
+{
+    if (finalized_)
+        return;
+    buildCsr(nodes_.size(), edges_, child_offsets_, child_list_);
+    finalized_ = true;
 }
 
 const OpDesc &
@@ -78,10 +94,13 @@ bool
 OpGraph::isAcyclic() const
 {
     // Kahn's algorithm: the graph is acyclic iff every node is popped.
+    // Works off the raw edge list so it never requires finalize().
     std::vector<int32_t> in_degree(nodes_.size(), 0);
-    for (const auto &childs : children_)
-        for (NodeId c : childs)
-            ++in_degree[c];
+    std::vector<std::vector<NodeId>> children(nodes_.size());
+    for (const auto &[u, v] : edges_) {
+        children[u].push_back(v);
+        ++in_degree[v];
+    }
 
     std::vector<NodeId> queue;
     queue.reserve(nodes_.size());
@@ -92,7 +111,7 @@ OpGraph::isAcyclic() const
     size_t popped = 0;
     while (popped < queue.size()) {
         const NodeId u = queue[popped++];
-        for (NodeId c : children_[u])
+        for (NodeId c : children[u])
             if (--in_degree[c] == 0)
                 queue.push_back(c);
     }

@@ -7,11 +7,20 @@
  * operator-to-task lookup table, while honouring all inter-operator
  * dependencies; communication operators become single tasks carrying
  * their modelled latency.
+ *
+ * Storage is split by volatility: task *durations* (the only values
+ * that change when kernels are re-profiled or comm parameters move)
+ * live in a per-instance array, while the structural remainder —
+ * per-task device/stream/tag metadata and the CSR dependency arrays —
+ * lives in an immutable, shared Topology.  Re-timing a cached graph
+ * template (graph/template.h) therefore allocates one double per task
+ * and shares everything else.
  */
 #ifndef VTRAIN_GRAPH_TASK_GRAPH_H
 #define VTRAIN_GRAPH_TASK_GRAPH_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/op_graph.h"
@@ -28,14 +37,6 @@ enum class TaskTag : uint8_t {
 };
 
 constexpr int kNumTaskTags = 4;
-
-/** One schedulable unit: a CUDA kernel or a communication launch. */
-struct Task {
-    double duration = 0.0; //!< seconds
-    int32_t device = 0;
-    StreamKind stream = StreamKind::Compute;
-    TaskTag tag = TaskTag::Compute;
-};
 
 /**
  * Duration-perturbation hook.
@@ -77,6 +78,50 @@ struct ExpandOptions {
 class TaskGraph
 {
   public:
+    /** Structural (duration-independent) attributes of one task. */
+    struct TaskMeta {
+        int32_t device = 0;
+        StreamKind stream = StreamKind::Compute;
+        TaskTag tag = TaskTag::Compute;
+    };
+
+    /**
+     * The immutable structural part of a task graph: per-task
+     * metadata plus the CSR dependency arrays.  Shared (never copied)
+     * between a graph and the template it was captured into, and
+     * between every re-timed instance of that template.
+     */
+    struct Topology {
+        std::vector<TaskMeta> meta;
+        std::vector<int32_t> child_offsets{0}; //!< size numTasks()+1
+        std::vector<int32_t> child_list;
+        std::vector<int32_t> in_degree;
+        int num_devices = 1;
+    };
+
+    /**
+     * Structural provenance recorded during expansion: which operator
+     * (and, transitively, which interned descriptor or communication
+     * payload) produced each task span.  Consumed by GraphTemplate to
+     * re-time the topology without rebuilding it.
+     */
+    struct Provenance {
+        /** Per-op source: a descriptor id for compute ops, or the
+         *  communication kind + per-GPU payload for comm ops. */
+        struct OpSource {
+            int32_t desc_id = -1; //!< -1 for communication ops
+            CommKind comm_kind = CommKind::TpAllReduce;
+            double comm_bytes = 0.0;
+        };
+
+        std::vector<int32_t> first_task; //!< size numOps()+1
+        std::vector<OpSource> ops;
+        std::vector<OpDesc> descs; //!< interned descriptors, by id
+        std::vector<int32_t> kernels_per_desc;
+    };
+
+    TaskGraph() : topo_(emptyTopology()) {}
+
     /** Incremental construction of arbitrary task DAGs (tests and
      *  custom frontends; the vTrain pipeline uses expand()). */
     class Builder
@@ -94,38 +139,59 @@ class TaskGraph
         TaskGraph build(int num_devices) &&;
 
       private:
-        std::vector<Task> tasks_;
+        std::vector<double> durations_;
+        std::vector<TaskMeta> metas_;
         std::vector<std::pair<int32_t, int32_t>> edges_;
     };
 
-    /** Expands an operator graph via the lookup table. */
+    /**
+     * Expands a finalized operator graph via the lookup table.  When
+     * `provenance` is non-null it receives the structural record the
+     * graph-template cache needs to re-time this topology later.
+     */
     static TaskGraph expand(const OpGraph &ops, OperatorToTaskTable &table,
-                            const ExpandOptions &options = {});
+                            const ExpandOptions &options = {},
+                            Provenance *provenance = nullptr);
 
-    const std::vector<Task> &tasks() const { return tasks_; }
-    size_t numTasks() const { return tasks_.size(); }
-    size_t numEdges() const { return child_list_.size(); }
-    int numDevices() const { return num_devices_; }
+    /** Assembles a graph from a duration array and a shared topology
+     *  (the template re-timing fast path). */
+    static TaskGraph fromParts(std::vector<double> durations,
+                               std::shared_ptr<const Topology> topology);
+
+    const std::vector<double> &durations() const { return durations_; }
+    const std::vector<TaskMeta> &metas() const { return topo_->meta; }
+
+    size_t numTasks() const { return durations_.size(); }
+    size_t numEdges() const { return topo_->child_list.size(); }
+    int numDevices() const { return topo_->num_devices; }
 
     /** Children of task u, as a CSR slice. */
     const int32_t *childBegin(int32_t u) const
     {
-        return child_list_.data() + child_offsets_[u];
+        return topo_->child_list.data() + topo_->child_offsets[u];
     }
     const int32_t *childEnd(int32_t u) const
     {
-        return child_list_.data() + child_offsets_[u + 1];
+        return topo_->child_list.data() + topo_->child_offsets[u + 1];
     }
 
     /** Initial dependency (reference) count of each task. */
-    const std::vector<int32_t> &inDegree() const { return in_degree_; }
+    const std::vector<int32_t> &inDegree() const
+    {
+        return topo_->in_degree;
+    }
+
+    /** The shared structural part (see Topology). */
+    const std::shared_ptr<const Topology> &topology() const
+    {
+        return topo_;
+    }
 
   private:
-    std::vector<Task> tasks_;
-    std::vector<int32_t> child_offsets_;
-    std::vector<int32_t> child_list_;
-    std::vector<int32_t> in_degree_;
-    int num_devices_ = 1;
+    static const std::shared_ptr<const Topology> &emptyTopology();
+
+    std::vector<double> durations_;
+    std::shared_ptr<const Topology> topo_;
 };
 
 } // namespace vtrain

@@ -33,6 +33,9 @@ class OperatorToTaskTable
     /** @return the kernel sequence for the operator (cached). */
     const KernelSequence &lookup(const OpDesc &desc);
 
+    /** @return whether lookups are memoized (see constructor). */
+    bool memoized() const { return memoize_; }
+
     /** @return number of distinct operators profiled so far. */
     size_t numEntries() const { return table_.size(); }
 

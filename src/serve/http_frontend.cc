@@ -37,8 +37,10 @@ jsonResponse(std::string body)
     return response;
 }
 
+/** Serializes CacheStats and TemplateCacheStats (same shape). */
+template <typename Stats>
 json::Value
-cacheStatsToJson(const CacheStats &cache)
+cacheStatsToJson(const Stats &cache)
 {
     json::Value v = json::Value::object();
     v.set("hits", static_cast<int64_t>(cache.hits));
@@ -203,6 +205,8 @@ HttpFrontend::handleStatz() const
     service.set("batch_dedups",
                 static_cast<int64_t>(stats.service.batch_dedups));
     service.set("cache", cacheStatsToJson(stats.service.cache));
+    service.set("template_cache",
+                cacheStatsToJson(stats.service.graph_templates));
 
     json::Value http = json::Value::object();
     http.set("connections_accepted",

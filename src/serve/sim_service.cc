@@ -8,6 +8,8 @@ namespace vtrain {
 
 SimService::SimService(Options options)
     : options_(std::move(options)), cache_(options_.cache),
+      templates_(std::make_shared<GraphTemplateCache>(
+          options_.template_cache)),
       pool_(options_.n_threads)
 {
 }
@@ -17,7 +19,9 @@ SimService::compute(const SimRequest &request) const
 {
     if (options_.evaluator)
         return options_.evaluator(request);
-    Simulator sim(request.cluster, request.options);
+    // Per-request Simulator, shared template cache: a result-cache
+    // miss that matches a seen topology re-times instead of rebuilds.
+    Simulator sim(request.cluster, request.options, templates_);
     return sim.simulateIteration(request.model, request.parallel);
 }
 
@@ -237,6 +241,7 @@ SimService::stats() const
         stats.batch_dedups = batch_dedups_;
     }
     stats.cache = cache_.stats();
+    stats.graph_templates = templates_->stats();
     return stats;
 }
 

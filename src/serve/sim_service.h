@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "graph/template.h"
 #include "serve/result_cache.h"
 #include "serve/sim_request.h"
 #include "util/thread_pool.h"
@@ -48,6 +49,11 @@ struct ServiceStats {
     uint64_t batch_dedups = 0;   //!< duplicates collapsed inside one
                                  //!< evaluateBatch() call
     CacheStats cache;
+
+    /** Graph-template cache shared by every computed request: even a
+     *  result-cache *miss* usually re-times a cached topology instead
+     *  of rebuilding its graphs (see graph/template.h). */
+    TemplateCacheStats graph_templates;
 };
 
 /** Thread-safe, memoizing façade over the vTrain simulator. */
@@ -66,6 +72,9 @@ class SimService
         size_t n_threads = 0;
 
         ResultCache::Options cache;
+
+        /** Budget of the shared graph-template cache. */
+        GraphTemplateCache::Options template_cache;
 
         /** Compute override; leave empty for the real simulator. */
         Evaluator evaluator;
@@ -103,6 +112,13 @@ class SimService
 
     ResultCache &cache() { return cache_; }
     const ResultCache &cache() const { return cache_; }
+
+    /** The graph-template cache shared by every computed request. */
+    GraphTemplateCache &templateCache() { return *templates_; }
+    const GraphTemplateCache &templateCache() const
+    {
+        return *templates_;
+    }
 
     ServiceStats stats() const;
 
@@ -152,6 +168,7 @@ class SimService
 
     Options options_;
     ResultCache cache_;
+    std::shared_ptr<GraphTemplateCache> templates_;
 
     mutable std::mutex inflight_mutex_;
     std::unordered_map<uint64_t, std::shared_future<SimulationResult>>

@@ -6,22 +6,39 @@
 
 namespace vtrain {
 
+namespace {
+
+/**
+ * Algorithm 1 core, compiled separately with and without tracing so
+ * the per-task branch never runs in the (hot) untraced replay.
+ */
+template <bool kTrace>
 EngineResult
-runSimulation(const TaskGraph &graph, std::vector<TaskSpan> *trace)
+runSimulationImpl(const TaskGraph &graph, std::vector<TaskSpan> *trace)
 {
-    if (trace)
-        trace->assign(graph.numTasks(), TaskSpan{});
-    const auto &tasks = graph.tasks();
-    const size_t n = tasks.size();
+    const double *const durations = graph.durations().data();
+    const TaskGraph::TaskMeta *const metas = graph.metas().data();
+    const size_t n = graph.numTasks();
     const int n_devices = graph.numDevices();
+
+    // Hoist the CSR arrays out of the shared topology so the loop
+    // below never chases the shared_ptr indirection per task.
+    const TaskGraph::Topology &topo = *graph.topology();
+    const int32_t *const child_offsets = topo.child_offsets.data();
+    const int32_t *const child_list = topo.child_list.data();
 
     EngineResult result;
     result.busy_compute.assign(n_devices, 0.0);
     result.busy_comm.assign(n_devices, 0.0);
+    double *const busy_compute = result.busy_compute.data();
+    double *const busy_comm = result.busy_comm.data();
+    std::array<double, kNumTaskTags> time_by_tag{};
 
     // Earliest data-ready time of each task (max over parents' ends).
-    std::vector<double> ready(n, 0.0);
-    std::vector<int32_t> ref = graph.inDegree();
+    std::vector<double> ready_vec(n, 0.0);
+    std::vector<int32_t> ref_vec = topo.in_degree;
+    double *const ready = ready_vec.data();
+    int32_t *const ref = ref_vec.data();
 
     // Per-(device, stream) timeline T (Algorithm 1 line 1, refined by
     // stream so bucketed All-Reduce overlaps backward compute).
@@ -41,31 +58,33 @@ runSimulation(const TaskGraph &graph, std::vector<TaskSpan> *trace)
     double makespan = 0.0;
     while (head < queue.size()) {
         const int32_t u = queue[head++]; // fetch in FIFO order
-        const Task &task = tasks[u];
-        const size_t lane = static_cast<size_t>(task.device) *
+        const double duration = durations[u];
+        const TaskGraph::TaskMeta meta = metas[u];
+        const size_t lane = static_cast<size_t>(meta.device) *
                                 kNumStreams +
-                            static_cast<size_t>(task.stream);
+                            static_cast<size_t>(meta.stream);
 
         const double start = std::max(ready[u], timeline[lane]);
-        const double end = start + task.duration;
+        const double end = start + duration;
         timeline[lane] = end; // proceed the timeline (line 12)
         makespan = std::max(makespan, end);
-        if (trace)
+        if constexpr (kTrace)
             (*trace)[u] = TaskSpan{start, end};
 
-        if (task.stream == StreamKind::Compute)
-            result.busy_compute[task.device] += task.duration;
+        if (meta.stream == StreamKind::Compute)
+            busy_compute[meta.device] += duration;
         else
-            result.busy_comm[task.device] += task.duration;
-        result.time_by_tag[static_cast<size_t>(task.tag)] +=
-            task.duration;
+            busy_comm[meta.device] += duration;
+        time_by_tag[static_cast<size_t>(meta.tag)] += duration;
 
         // Update child tasks (lines 13-19).
-        for (const int32_t *c = graph.childBegin(u);
-             c != graph.childEnd(u); ++c) {
-            ready[*c] = std::max(ready[*c], end);
-            if (--ref[*c] == 0)
-                queue.push_back(*c);
+        for (const int32_t *c = child_list + child_offsets[u],
+                           *const c_end = child_list + child_offsets[u + 1];
+             c != c_end; ++c) {
+            const int32_t v = *c;
+            ready[v] = std::max(ready[v], end);
+            if (--ref[v] == 0)
+                queue.push_back(v);
         }
     }
 
@@ -74,7 +93,20 @@ runSimulation(const TaskGraph &graph, std::vector<TaskSpan> *trace)
                  "simulation deadlock: executed ", result.executed,
                  " of ", n, " tasks (cyclic dependency?)");
     result.makespan = makespan;
+    result.time_by_tag = time_by_tag;
     return result;
+}
+
+} // namespace
+
+EngineResult
+runSimulation(const TaskGraph &graph, std::vector<TaskSpan> *trace)
+{
+    if (trace) {
+        trace->assign(graph.numTasks(), TaskSpan{});
+        return runSimulationImpl<true>(graph, trace);
+    }
+    return runSimulationImpl<false>(graph, nullptr);
 }
 
 } // namespace vtrain

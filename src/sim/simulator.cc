@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "graph/template.h"
 #include "profiling/synthetic_profiler.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -31,31 +32,67 @@ hashValue(const SimOptions &options)
 }
 
 Simulator::Simulator(ClusterSpec cluster, SimOptions options)
-    : cluster_(std::move(cluster)), options_(options), comm_(cluster_)
+    : Simulator(std::move(cluster), options,
+                std::make_shared<GraphTemplateCache>())
+{
+}
+
+Simulator::Simulator(ClusterSpec cluster, SimOptions options,
+                     std::shared_ptr<GraphTemplateCache> templates)
+    : cluster_(std::move(cluster)), options_(options), comm_(cluster_),
+      templates_(std::move(templates))
 {
 }
 
 Simulator::RunOutcome
 Simulator::runOnce(const ModelConfig &model, const ParallelConfig &parallel,
-                   int n_micro) const
+                   int n_micro, OperatorToTaskTable &table) const
 {
-    SyntheticProfiler profiler(cluster_.node.gpu, parallel.precision,
-                               options_.attention);
-    OperatorToTaskTable table(profiler, options_.memoize_profiles);
-
-    GraphBuilder builder(model, parallel, cluster_, comm_);
-    BuildOptions build_options;
-    build_options.n_micro_override = n_micro;
-    const OpGraph ops = builder.build(build_options);
-
     ExpandOptions expand_options;
     expand_options.collapse_operators = options_.collapse_operators;
     expand_options.perturber = options_.perturber;
-    const TaskGraph tasks = TaskGraph::expand(ops, table, expand_options);
+
+    // The template path requires determinism (no perturber) and the
+    // memoized table (the non-memoized ablation deliberately pays for
+    // re-profiling every node, which re-timing would skip).
+    const bool use_templates = templates_ != nullptr &&
+                               options_.memoize_profiles &&
+                               options_.perturber == nullptr;
+
+    TaskGraph tasks;
+    size_t num_operators = 0;
+    bool have_tasks = false;
+    uint64_t fingerprint = 0;
+    if (use_templates) {
+        fingerprint = structuralFingerprint(model, parallel, n_micro,
+                                            options_.collapse_operators,
+                                            options_.attention);
+        if (const auto tmpl = templates_->get(fingerprint)) {
+            if (tmpl->retime(table, parallel, cluster_, comm_, &tasks)) {
+                num_operators = tmpl->numOperators();
+                have_tasks = true;
+            }
+        }
+    }
+    if (!have_tasks) {
+        GraphBuilder builder(model, parallel, cluster_, comm_);
+        BuildOptions build_options;
+        build_options.n_micro_override = n_micro;
+        const OpGraph ops = builder.build(build_options);
+        num_operators = ops.numNodes();
+        if (use_templates) {
+            templates_->put(
+                fingerprint,
+                GraphTemplate::capture(ops, table, expand_options,
+                                       &tasks));
+        } else {
+            tasks = TaskGraph::expand(ops, table, expand_options);
+        }
+    }
 
     RunOutcome outcome;
     outcome.engine = runSimulation(tasks);
-    outcome.num_operators = ops.numNodes();
+    outcome.num_operators = num_operators;
     outcome.num_tasks = tasks.numTasks();
     outcome.distinct_profiled = table.numEntries();
     outcome.profiler_calls = table.numProfilerCalls();
@@ -70,6 +107,10 @@ Simulator::simulateIteration(const ModelConfig &model,
     model.validate();
     parallel.validate(model, cluster_);
 
+    SyntheticProfiler profiler(cluster_.node.gpu, parallel.precision,
+                               options_.attention);
+    OperatorToTaskTable table(profiler, options_.memoize_profiles);
+
     const int n_micro = parallel.numMicroBatches();
     // Simulating 2p+2 micro-batches covers warmup, at least one full
     // steady-state period per stage, and drain for both schedules.
@@ -79,8 +120,8 @@ Simulator::simulateIteration(const ModelConfig &model,
     result.total_micro_batches = n_micro;
 
     if (options_.fast_mode && n_micro > cap + 1) {
-        const RunOutcome base = runOnce(model, parallel, cap);
-        const RunOutcome next = runOnce(model, parallel, cap + 1);
+        const RunOutcome base = runOnce(model, parallel, cap, table);
+        const RunOutcome next = runOnce(model, parallel, cap + 1, table);
         const double slope =
             next.engine.makespan - base.engine.makespan;
         VTRAIN_CHECK(slope >= 0.0,
@@ -101,7 +142,7 @@ Simulator::simulateIteration(const ModelConfig &model,
         result.bubble_fraction =
             1.0 - busiest / base.engine.makespan;
     } else {
-        const RunOutcome run = runOnce(model, parallel, n_micro);
+        const RunOutcome run = runOnce(model, parallel, n_micro, table);
         result.iteration_seconds = run.engine.makespan;
         result.extrapolated = false;
         result.simulated_micro_batches = n_micro;

@@ -15,9 +15,20 @@
  * counts (2p+2 and 2p+3) exactly and extrapolates the affine tail;
  * exact and fast mode agree to floating-point tolerance (covered by
  * tests), while design-space sweeps run orders of magnitude faster.
+ *
+ * Build-once / retime-many: graph construction and task expansion are
+ * ~97% of a cold simulation, yet the resulting topology depends only
+ * on structural inputs (see graph/template.h).  The simulator keys an
+ * LRU template cache by structural fingerprint; on a hit it re-times
+ * the cached topology in O(tasks) instead of rebuilding it, with
+ * bit-identical results.  The cache can be shared across Simulator
+ * instances (the serve layer passes one cache to every request) and
+ * is skipped for perturbed or non-memoized (ablation) runs.
  */
 #ifndef VTRAIN_SIM_SIMULATOR_H
 #define VTRAIN_SIM_SIMULATOR_H
+
+#include <memory>
 
 #include "comm/comm_model.h"
 #include "graph/builder.h"
@@ -52,6 +63,8 @@ struct SimOptions {
 };
 
 class Hash64;
+class GraphTemplateCache;
+class OperatorToTaskTable;
 
 /**
  * Folds the options into a fingerprint stream.  The perturber is
@@ -77,7 +90,18 @@ struct TrainingProjection {
 class Simulator
 {
   public:
+    /** Simulator with a private graph-template cache. */
     explicit Simulator(ClusterSpec cluster, SimOptions options = {});
+
+    /**
+     * Simulator sharing `templates` with other instances (the serve
+     * layer passes one cache to every per-request Simulator).  A null
+     * cache disables the template path entirely: every simulation
+     * builds its graphs from scratch (golden tests use this to check
+     * the two paths bit-identical).
+     */
+    Simulator(ClusterSpec cluster, SimOptions options,
+              std::shared_ptr<GraphTemplateCache> templates);
 
     /** Predicts the single-iteration training time of a plan. */
     SimulationResult simulateIteration(const ModelConfig &model,
@@ -96,6 +120,12 @@ class Simulator
     const CommModel &commModel() const { return comm_; }
     const SimOptions &options() const { return options_; }
 
+    /** The graph-template cache (may be null; see constructors). */
+    const std::shared_ptr<GraphTemplateCache> &templateCache() const
+    {
+        return templates_;
+    }
+
   private:
     struct RunOutcome {
         EngineResult engine;
@@ -105,13 +135,19 @@ class Simulator
         size_t profiler_calls = 0;
     };
 
-    /** Builds and simulates one iteration with n_micro micro-batches. */
+    /**
+     * Builds (or re-times) and simulates one iteration with n_micro
+     * micro-batches.  The lookup table is owned by the caller so fast
+     * mode's two capped runs profile each distinct operator once.
+     */
     RunOutcome runOnce(const ModelConfig &model,
-                       const ParallelConfig &parallel, int n_micro) const;
+                       const ParallelConfig &parallel, int n_micro,
+                       OperatorToTaskTable &table) const;
 
     ClusterSpec cluster_;
     SimOptions options_;
     CommModel comm_;
+    std::shared_ptr<GraphTemplateCache> templates_;
 };
 
 } // namespace vtrain

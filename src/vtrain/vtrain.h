@@ -38,6 +38,7 @@
 #include "graph/builder.h"
 #include "graph/op_graph.h"
 #include "graph/task_graph.h"
+#include "graph/template.h"
 #include "hw/cluster_spec.h"
 #include "hw/gpu_spec.h"
 #include "hw/node_spec.h"

@@ -167,6 +167,33 @@ TEST(HttpFrontendTest, EvaluateMatchesDirectCallAndRepeatHitsCache)
     EXPECT_EQ(cache->find("entries")->asInt64(), 1);
 }
 
+TEST(HttpFrontendTest, StatzExposesTemplateCacheCounters)
+{
+    Loopback loop; // the real simulator: templates actually capture
+    HttpClient client = loop.client();
+
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.post("/v1/evaluate", toJson(tinyRequest()),
+                            &response, &error))
+        << error;
+    ASSERT_EQ(response.status, 200) << response.body;
+
+    const json::Value statz = loop.statz();
+    const json::Value *service = statz.find("service");
+    ASSERT_NE(service, nullptr);
+    const json::Value *templates = service->find("template_cache");
+    ASSERT_NE(templates, nullptr);
+    for (const char *key : {"hits", "misses", "insertions", "updates",
+                            "evictions", "entries", "bytes"}) {
+        ASSERT_NE(templates->find(key), nullptr) << key;
+        EXPECT_GE(templates->find(key)->asInt64(), 0) << key;
+    }
+    EXPECT_GE(templates->find("insertions")->asInt64(), 1);
+    EXPECT_GE(templates->find("misses")->asInt64(), 1);
+    ASSERT_NE(templates->find("hit_rate"), nullptr);
+}
+
 TEST(HttpFrontendTest, BatchPreservesOrderAndDedups)
 {
     std::atomic<int> computed{0};

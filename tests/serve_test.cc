@@ -516,6 +516,30 @@ TEST(ServeService, DefaultEvaluatorMatchesSimulator)
     EXPECT_EQ(served.num_tasks, direct.num_tasks);
 }
 
+TEST(ServeService, TemplateCacheSharedAcrossComputedRequests)
+{
+    // Two structurally identical plans that differ in DP degree and
+    // cluster: distinct result-cache fingerprints (both compute), one
+    // graph template (the second request re-times the first's).
+    SimService service;
+    SimRequest narrow = tinyRequest();
+    SimRequest wide = tinyRequest();
+    wide.parallel.data = 4;
+    wide.parallel.global_batch_size = 16; // same micro-batch count
+    wide.cluster = makeCluster(16);
+
+    (void)service.evaluate(narrow);
+    const TemplateCacheStats primed = service.stats().graph_templates;
+    EXPECT_GT(primed.insertions, 0u);
+
+    (void)service.evaluate(wide);
+    const TemplateCacheStats after = service.stats().graph_templates;
+    EXPECT_GT(after.hits, primed.hits);
+    EXPECT_EQ(after.entries, primed.entries)
+        << "the wider plan must reuse the narrow plan's topology";
+    EXPECT_EQ(service.stats().computed, 2u);
+}
+
 TEST(ServeService, StressMixedEntryPointsUnderSmallCache)
 {
     std::atomic<int> computed{0};

@@ -116,8 +116,8 @@ TEST(TaskGraphExpand, DurationsPositive)
     const OpGraph ops = f.ops();
     OperatorToTaskTable table(f.profiler);
     const TaskGraph tg = TaskGraph::expand(ops, table);
-    for (const auto &task : tg.tasks())
-        EXPECT_GT(task.duration, 0.0);
+    for (const double duration : tg.durations())
+        EXPECT_GT(duration, 0.0);
 }
 
 /** Scales every duration by a constant. */
