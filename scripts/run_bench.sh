@@ -5,7 +5,9 @@
 #   bench/perf_serve     -> BENCH_serve.json     (serve layer, cold/warm)
 #   bench/perf_http      -> BENCH_http.json      (HTTP frontend loopback)
 #
-# Usage: scripts/run_bench.sh [simulator|serve|http|all] [output.json]
+# Usage: scripts/run_bench.sh [--repeat N] [simulator|serve|http|all] [output.json]
+#   --repeat N      forward --benchmark_repetitions=N (bench_diff.py
+#                   averages the repetitions, damping steady-state noise)
 #   bench name      which baseline to regenerate (default: all)
 #   output.json     output path, only with a single bench name
 #                   (default <repo>/BENCH_<name>.json)
@@ -14,6 +16,17 @@
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+REPEAT=""
+if [[ "${1:-}" == "--repeat" ]]; then
+    REPEAT="${2:?--repeat needs a count}"
+    case "${REPEAT}" in
+        ''|*[!0-9]*)
+            echo "error: --repeat needs a positive integer" >&2
+            exit 2
+            ;;
+    esac
+    shift 2
+fi
 WHICH="${1:-all}"
 OUT_DIR="${OUT_DIR:-${ROOT}}"
 BUILD_DIR="${BUILD_DIR:-${ROOT}/build-release}"
@@ -22,7 +35,8 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 case "${WHICH}" in
     simulator|serve|http|all) ;;
     *)
-        echo "usage: $0 [simulator|serve|http|all] [output.json]" >&2
+        echo "usage: $0 [--repeat N] [simulator|serve|http|all]" \
+             "[output.json]" >&2
         exit 2
         ;;
 esac
@@ -42,10 +56,15 @@ run_bench() {
         echo "error: ${bin} was not built (is libbenchmark-dev installed?)" >&2
         exit 1
     fi
+    local extra=()
+    if [[ -n "${REPEAT}" ]]; then
+        extra+=("--benchmark_repetitions=${REPEAT}")
+    fi
     "${bin}" \
         --benchmark_out="${out}" \
         --benchmark_out_format=json \
-        --benchmark_min_time=0.1
+        --benchmark_min_time=0.1 \
+        "${extra[@]}"
     # Fail loudly if the baseline is not valid JSON.
     python3 -m json.tool "${out}" > /dev/null
     echo "perf baseline written to ${out}"

@@ -24,6 +24,10 @@ Explorer::sweep(const ModelConfig &model,
         requests[i].cluster = cluster_;
         requests[i].options = options_;
     }
+    // evaluateBatch dedups repeated plans, answers seen points from
+    // the cache, and groups structurally identical new points into
+    // batched schedule replays (one template + one K-wide engine
+    // pass per group).
     std::vector<SimulationResult> sims =
         service_->evaluateBatch(requests);
 

@@ -11,6 +11,11 @@
  * every simulated point lands in the service's result cache, so
  * overlapping or repeated sweeps (iterative DSE, Chinchilla planning,
  * throughput profiling) only pay for points they have not seen before.
+ * Within one sweep the service groups structurally identical plans
+ * (same task-graph topology, different durations — e.g. a sweep over
+ * the data-parallel degree or the cluster interconnect) into a single
+ * batched schedule replay, so a K-point group costs one graph
+ * template plus one K-wide engine pass instead of K simulations.
  */
 #ifndef VTRAIN_EXPLORE_EXPLORER_H
 #define VTRAIN_EXPLORE_EXPLORER_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Precomputed execution-order replay schedule.
+ *
+ * The simulation engine's FIFO ready queue (sim/engine.h, Algorithm 1)
+ * pops tasks in insertion order, and tasks are inserted exactly when
+ * their reference count reaches zero — both pure functions of the
+ * dependency structure.  Durations therefore never change the pop
+ * sequence: every run of the queue engine over one topology visits
+ * tasks in the same order.  A ReplaySchedule captures that order once
+ * and re-arranges everything the engine touches per task into flat
+ * arrays laid out in execution order, so a replay (engine.h
+ * replaySimulation / replayBatch) is a single linear pass with no
+ * queue, no reference counting and no per-task stream branch.
+ *
+ * Layout (all arrays indexed by schedule position, SoA):
+ *   order[i]      the original task id executed i-th — used to gather
+ *                 durations and scatter trace spans;
+ *   lane[i]       timeline slot, device * kNumStreams + stream;
+ *   busy_lane[i]  busy-accounting slot, device * 2 + (stream != Compute),
+ *                 kept separate from lane[] so the compute/comm split
+ *                 accumulates in exactly the queue engine's order
+ *                 (bit-identical floating-point sums);
+ *   tag[i]        TaskTag index for time_by_tag accounting;
+ *   child_offsets / child_list
+ *                 the CSR child arrays permuted to schedule positions:
+ *                 children of the task at position i are the
+ *                 *positions* child_list[child_offsets[i] ..
+ *                 child_offsets[i+1]).
+ *
+ * Replays over a schedule are bit-identical to the queue engine: the
+ * visit order is the queue's pop order, so every floating-point
+ * accumulation (ready-time maxes, busy sums, tag sums) happens in the
+ * same sequence on the same values.
+ */
+#ifndef VTRAIN_GRAPH_SCHEDULE_H
+#define VTRAIN_GRAPH_SCHEDULE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/task_graph.h"
+
+namespace vtrain {
+
+/** Execution-order view of one TaskGraph::Topology (see file doc). */
+struct ReplaySchedule {
+    std::vector<int32_t> order;
+    std::vector<int32_t> lane;
+    std::vector<int32_t> busy_lane;
+    std::vector<uint8_t> tag;
+    std::vector<int32_t> child_offsets{0};
+    std::vector<int32_t> child_list;
+    int num_devices = 1;
+
+    size_t numTasks() const { return order.size(); }
+    size_t numEdges() const { return child_list.size(); }
+
+    /** Approximate resident size, for cache byte budgets. */
+    size_t approxBytes() const;
+
+    /** What build() will allocate for `topo`, without building (the
+     *  template cache budgets schedules before they exist). */
+    static size_t predictBytes(const TaskGraph::Topology &topo);
+
+    /**
+     * Derives the schedule of `topo` by running the queue algorithm
+     * once without timing.  Fails (throws) on a cyclic topology, the
+     * same condition the engine reports as a deadlock.
+     */
+    static std::shared_ptr<const ReplaySchedule>
+    build(const TaskGraph::Topology &topo);
+};
+
+} // namespace vtrain
+
+#endif // VTRAIN_GRAPH_SCHEDULE_H

@@ -77,8 +77,17 @@ GraphTemplate::capture(const OpGraph &ops, OperatorToTaskTable &table,
          p.kernels_per_desc.size()) *
             sizeof(int32_t) +
         p.ops.size() * sizeof(TaskGraph::Provenance::OpSource) +
-        p.descs.size() * sizeof(OpDesc);
+        p.descs.size() * sizeof(OpDesc) +
+        ReplaySchedule::predictBytes(topo);
     return tmpl;
+}
+
+const ReplaySchedule &
+GraphTemplate::schedule() const
+{
+    std::call_once(schedule_once_,
+                   [this] { schedule_ = ReplaySchedule::build(*topo_); });
+    return *schedule_;
 }
 
 bool
@@ -86,6 +95,20 @@ GraphTemplate::retime(OperatorToTaskTable &table,
                       const ParallelConfig &parallel,
                       const ClusterSpec &cluster, const CommModel &comm,
                       TaskGraph *out) const
+{
+    std::vector<double> durations;
+    if (!retimeDurations(table, parallel, cluster, comm, &durations))
+        return false;
+    *out = TaskGraph::fromParts(std::move(durations), topo_);
+    return true;
+}
+
+bool
+GraphTemplate::retimeDurations(OperatorToTaskTable &table,
+                               const ParallelConfig &parallel,
+                               const ClusterSpec &cluster,
+                               const CommModel &comm,
+                               std::vector<double> *out) const
 {
     // One table lookup per interned descriptor, verified against the
     // captured kernel counts: a disagreeing decomposition (fingerprint
@@ -144,7 +167,8 @@ GraphTemplate::retime(OperatorToTaskTable &table,
         return latency;
     };
 
-    std::vector<double> durations(topo_->meta.size());
+    std::vector<double> &durations = *out;
+    durations.resize(topo_->meta.size());
     const size_t n_ops = prov_.ops.size();
     const TaskGraph::Provenance::OpSource *const ops = prov_.ops.data();
     const int32_t *const first_task = prov_.first_task.data();
@@ -161,8 +185,6 @@ GraphTemplate::retime(OperatorToTaskTable &table,
                         durations.data() + first);
         }
     }
-
-    *out = TaskGraph::fromParts(std::move(durations), topo_);
     return true;
 }
 

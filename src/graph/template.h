@@ -29,6 +29,12 @@
  * whose lookup table disagrees with the recorded kernel counts (a
  * fingerprint collision, or a profiler whose decomposition changed)
  * fails gracefully and the caller rebuilds from scratch.
+ *
+ * A template also carries the topology's execution-order replay
+ * schedule (graph/schedule.h), built lazily on first use: warm
+ * simulations pair retimeDurations() with the engine's
+ * replaySimulation()/replayBatch() linear passes instead of
+ * re-running the ready queue.
  */
 #ifndef VTRAIN_GRAPH_TEMPLATE_H
 #define VTRAIN_GRAPH_TEMPLATE_H
@@ -42,6 +48,7 @@
 #include <vector>
 
 #include "comm/comm_model.h"
+#include "graph/schedule.h"
 #include "graph/task_graph.h"
 #include "hw/cluster_spec.h"
 #include "model/model_config.h"
@@ -92,10 +99,33 @@ class GraphTemplate
                 const ClusterSpec &cluster, const CommModel &comm,
                 TaskGraph *out) const;
 
+    /**
+     * The durations-only variant of retime(): fills `*out` with the
+     * per-task durations (in task id order) the retimed graph would
+     * carry, without assembling a TaskGraph.  The schedule-replay
+     * engine consumes exactly this (engine.h replaySimulation), and
+     * the batched sweep path collects one such vector per point.
+     */
+    bool retimeDurations(OperatorToTaskTable &table,
+                         const ParallelConfig &parallel,
+                         const ClusterSpec &cluster,
+                         const CommModel &comm,
+                         std::vector<double> *out) const;
+
+    /**
+     * The execution-order replay schedule of the captured topology,
+     * built on first use (capture stays cheap; the one-time queue
+     * pass lands on the first replay) and shared by every subsequent
+     * replay of this template, across threads.
+     */
+    const ReplaySchedule &schedule() const;
+
     size_t numOperators() const { return prov_.ops.size(); }
     size_t numTasks() const { return topo_->meta.size(); }
 
-    /** Approximate resident size, for the cache's byte budget. */
+    /** Approximate resident size, for the cache's byte budget.
+     *  Includes the (lazily built) replay schedule up front, so cache
+     *  accounting does not shift when the schedule materializes. */
     size_t approxBytes() const { return bytes_; }
 
   private:
@@ -105,6 +135,9 @@ class GraphTemplate
     TaskGraph::Provenance prov_;
     bool collapse_ = false;
     size_t bytes_ = 0;
+
+    mutable std::once_flag schedule_once_;
+    mutable std::shared_ptr<const ReplaySchedule> schedule_;
 };
 
 /**

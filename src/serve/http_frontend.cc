@@ -167,13 +167,15 @@ HttpFrontend::handleEvaluateBatch(const HttpRequest &request)
     }
 
     // This handler is itself a pool task, so it must not block on
-    // work queued to the same pool (evaluateBatch would): answer the
-    // items inline instead.  evaluate() computes on this thread and
-    // publishes to the cache, so duplicates inside the batch and
+    // work queued to the same pool (evaluateBatch would): the inline
+    // variant computes on this thread with the same dedup, grouping
+    // and batched-replay routing, publishing to the shared cache so
     // identical requests from other connections still collapse.
+    std::vector<SimulationResult> answers =
+        service_.evaluateBatchInline(batch);
     json::Value results = json::Value::array();
-    for (const SimRequest &sim_request : batch)
-        results.push(toJsonValue(service_.evaluate(sim_request)));
+    for (const SimulationResult &answer : answers)
+        results.push(toJsonValue(answer));
 
     json::Value body = json::Value::object();
     body.set("version", kBatchWireVersion);
@@ -207,6 +209,16 @@ HttpFrontend::handleStatz() const
     service.set("cache", cacheStatsToJson(stats.service.cache));
     service.set("template_cache",
                 cacheStatsToJson(stats.service.graph_templates));
+
+    json::Value engine = json::Value::object();
+    engine.set("replay_runs",
+               static_cast<int64_t>(stats.service.engine.replay_runs));
+    engine.set("queue_runs",
+               static_cast<int64_t>(stats.service.engine.queue_runs));
+    engine.set(
+        "batched_points",
+        static_cast<int64_t>(stats.service.engine.batched_points));
+    service.set("engine", std::move(engine));
 
     json::Value http = json::Value::object();
     http.set("connections_accepted",

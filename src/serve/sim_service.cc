@@ -10,6 +10,7 @@ SimService::SimService(Options options)
     : options_(std::move(options)), cache_(options_.cache),
       templates_(std::make_shared<GraphTemplateCache>(
           options_.template_cache)),
+      engine_counters_(std::make_shared<EngineCounters>()),
       pool_(options_.n_threads)
 {
 }
@@ -21,7 +22,8 @@ SimService::compute(const SimRequest &request) const
         return options_.evaluator(request);
     // Per-request Simulator, shared template cache: a result-cache
     // miss that matches a seen topology re-times instead of rebuilds.
-    Simulator sim(request.cluster, request.options, templates_);
+    Simulator sim(request.cluster, request.options, templates_,
+                  engine_counters_);
     return sim.simulateIteration(request.model, request.parallel);
 }
 
@@ -191,14 +193,40 @@ SimService::evaluateAsyncWithFp(const SimRequest &request, uint64_t fp)
 std::vector<SimulationResult>
 SimService::evaluateBatch(const std::vector<SimRequest> &requests)
 {
-    // Collapse duplicates up front so each distinct point is submitted
+    return evaluateBatchImpl(requests, /*inline_compute=*/false);
+}
+
+std::vector<SimulationResult>
+SimService::evaluateBatchInline(const std::vector<SimRequest> &requests)
+{
+    return evaluateBatchImpl(requests, /*inline_compute=*/true);
+}
+
+std::vector<SimulationResult>
+SimService::evaluateBatchImpl(const std::vector<SimRequest> &requests,
+                              bool inline_compute)
+{
+    // Collapse duplicates up front so each distinct point is claimed
     // (and simulated) once, then fan the shared answers back out in
-    // request order.
+    // request order.  Distinct points this thread claims are grouped
+    // by structural batch key: a group shares one graph template and
+    // one batched engine pass (Simulator::simulateIterationBatch)
+    // instead of simulating its members independently.
     std::vector<std::shared_future<SimulationResult>> futures;
     futures.reserve(requests.size());
     std::vector<size_t> future_of(requests.size());
     std::unordered_map<uint64_t, size_t> first_with_fp;
     uint64_t dedups = 0;
+
+    // One claimed-but-uncomputed point (owned promise + request).
+    struct Claimed {
+        SimRequest request;
+        uint64_t fp = 0;
+        std::shared_ptr<std::promise<SimulationResult>> promise;
+    };
+    // Batch groups keyed by batchGroupKey(); 0 = never grouped.
+    std::unordered_map<uint64_t, std::vector<Claimed>> groups;
+    std::vector<Claimed> singles;
 
     for (size_t i = 0; i < requests.size(); ++i) {
         const SimRequest &request = requests[i];
@@ -212,15 +240,180 @@ SimService::evaluateBatch(const std::vector<SimRequest> &requests)
                 ++dedups;
                 continue;
             }
+
+            SimulationResult cached;
+            if (cache_.get(fp, &cached)) {
+                std::promise<SimulationResult> ready;
+                ready.set_value(std::move(cached));
+                future_of[i] = futures.size();
+                futures.push_back(ready.get_future().share());
+                continue;
+            }
+
+            auto promise =
+                std::make_shared<std::promise<SimulationResult>>();
+            bool joined = false;
+            auto future = claimInflight(fp, promise, &joined);
+            future_of[i] = futures.size();
+            futures.push_back(std::move(future));
+            if (joined) {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++inflight_joins_;
+                continue;
+            }
+
+            Claimed claimed{request, fp, std::move(promise)};
+            // A pluggable evaluator is a black box: only the real
+            // simulator can share work across a group.
+            const uint64_t key =
+                options_.evaluator
+                    ? 0
+                    : batchGroupKey(request.model, request.parallel,
+                                    request.cluster, request.options);
+            if (key != 0)
+                groups[key].push_back(std::move(claimed));
+            else
+                singles.push_back(std::move(claimed));
+            continue;
         }
+
+        // Non-cacheable requests cannot dedupe, group, or publish.
         future_of[i] = futures.size();
-        futures.push_back(evaluateAsyncWithFp(request, fp));
+        if (inline_compute) {
+            std::promise<SimulationResult> ready;
+            try {
+                const SimulationResult result = compute(request);
+                {
+                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    ++computed_;
+                }
+                ready.set_value(result);
+            } catch (...) {
+                ready.set_exception(std::current_exception());
+            }
+            futures.push_back(ready.get_future().share());
+        } else {
+            futures.push_back(evaluateAsyncWithFp(request, 0));
+        }
     }
 
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        requests_ += dedups; // evaluateAsync counted the unique ones
+        // Inline mode handles every request here; the pooled mode
+        // routed non-cacheable ones through evaluateAsyncWithFp,
+        // which already counted them.
+        requests_ += inline_compute
+                         ? requests.size()
+                         : dedups + first_with_fp.size();
         batch_dedups_ += dedups;
+    }
+
+    // Computes and publishes the members of one group.  Groups of one
+    // take the plain path; larger groups try the batched replay and
+    // degrade to per-member computation when members turn out not to
+    // share (model, cluster, options) after all (a group-key
+    // collision) or the batched call throws.
+    const auto run_group = [this](std::vector<Claimed> members) {
+        bool batched = false;
+        if (members.size() > 1 && !options_.evaluator) {
+            const SimRequest &head = members.front().request;
+            bool uniform = true;
+            for (size_t m = 1; uniform && m < members.size(); ++m) {
+                const SimRequest &r = members[m].request;
+                uniform = r.model == head.model &&
+                          r.cluster == head.cluster &&
+                          r.options == head.options;
+            }
+            if (uniform) {
+                std::vector<ParallelConfig> plans;
+                plans.reserve(members.size());
+                for (const Claimed &member : members)
+                    plans.push_back(member.request.parallel);
+                std::vector<SimulationResult> results;
+                try {
+                    Simulator sim(head.cluster, head.options,
+                                  templates_, engine_counters_);
+                    results =
+                        sim.simulateIterationBatch(head.model, plans);
+                    batched = true;
+                } catch (...) {
+                    // Fall through: per-member isolation below.  The
+                    // compute is all-or-nothing, so nothing has been
+                    // published yet.
+                }
+                if (batched) {
+                    {
+                        std::lock_guard<std::mutex> lock(stats_mutex_);
+                        computed_ += members.size();
+                    }
+                    for (size_t m = 0; m < members.size(); ++m) {
+                        try {
+                            publish(members[m].request, members[m].fp,
+                                    members[m].promise, results[m]);
+                        } catch (...) {
+                            // A failed publish (e.g. bad_alloc while
+                            // storing the value) must not poison the
+                            // other members or escape the worker.
+                            publishFailure(members[m].fp,
+                                           members[m].promise);
+                        }
+                    }
+                }
+            }
+        }
+        if (batched)
+            return;
+        for (const Claimed &member : members) {
+            try {
+                const SimulationResult result =
+                    compute(member.request);
+                {
+                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    ++computed_;
+                }
+                publish(member.request, member.fp, member.promise,
+                        result);
+            } catch (...) {
+                publishFailure(member.fp, member.promise);
+            }
+        }
+    };
+
+    // One pool task per unit.  In pooled mode, groups are sliced so a
+    // single huge group still spreads across the workers (each slice
+    // re-times against the same cached template, so slicing costs
+    // only the per-slice profiler table).  Inline mode runs on one
+    // thread regardless, so the whole group stays one unit and shares
+    // a single table and template fetch.
+    constexpr size_t kMaxGroupPerTask = 64;
+    std::vector<std::vector<Claimed>> units;
+    units.reserve(groups.size() + singles.size());
+    for (auto &[key, members] : groups) {
+        if (inline_compute) {
+            units.push_back(std::move(members));
+            continue;
+        }
+        for (size_t begin = 0; begin < members.size();
+             begin += kMaxGroupPerTask) {
+            const size_t end = std::min(begin + kMaxGroupPerTask,
+                                        members.size());
+            units.emplace_back(
+                std::make_move_iterator(members.begin() + begin),
+                std::make_move_iterator(members.begin() + end));
+        }
+    }
+    for (Claimed &claimed : singles) {
+        units.emplace_back();
+        units.back().push_back(std::move(claimed));
+    }
+    for (auto &unit : units) {
+        if (inline_compute)
+            run_group(std::move(unit));
+        else
+            pool_.submit(
+                [run_group, unit = std::move(unit)]() mutable {
+                    run_group(std::move(unit));
+                });
     }
 
     std::vector<SimulationResult> results(requests.size());
@@ -242,6 +435,7 @@ SimService::stats() const
     }
     stats.cache = cache_.stats();
     stats.graph_templates = templates_->stats();
+    stats.engine = snapshot(*engine_counters_);
     return stats;
 }
 

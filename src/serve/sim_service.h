@@ -54,6 +54,12 @@ struct ServiceStats {
      *  result-cache *miss* usually re-times a cached topology instead
      *  of rebuilding its graphs (see graph/template.h). */
     TemplateCacheStats graph_templates;
+
+    /** Engine-mode counters shared by every computed request: how
+     *  often the engine replayed a captured schedule vs ran the queue
+     *  fallback, and how many sweep points went through the batched
+     *  replay (see sim/engine.h). */
+    EngineStats engine;
 };
 
 /** Thread-safe, memoizing façade over the vTrain simulator. */
@@ -104,11 +110,24 @@ class SimService
     /**
      * Evaluates a batch, preserving order: result[i] answers
      * requests[i].  Duplicate requests inside the batch are computed
-     * once and fanned back out; distinct requests run concurrently on
-     * the pool.
+     * once and fanned back out.  Requests that share a structural
+     * batch group (sim/simulator.h batchGroupKey: same topology and
+     * simulated micro-batch counts, different durations) are routed
+     * through one batched replay — one template build/fetch plus a
+     * single K-wide engine pass — instead of K independent
+     * simulations; remaining requests run concurrently on the pool.
      */
     std::vector<SimulationResult>
     evaluateBatch(const std::vector<SimRequest> &requests);
+
+    /**
+     * evaluateBatch() computing on the calling thread instead of the
+     * worker pool (grouping and dedup included).  For callers that
+     * are themselves pool tasks — the HTTP frontend's batch handler —
+     * where blocking on work queued to the same pool could deadlock.
+     */
+    std::vector<SimulationResult>
+    evaluateBatchInline(const std::vector<SimRequest> &requests);
 
     ResultCache &cache() { return cache_; }
     const ResultCache &cache() const { return cache_; }
@@ -166,9 +185,15 @@ class SimService
     std::shared_future<SimulationResult>
     evaluateAsyncWithFp(const SimRequest &request, uint64_t fp);
 
+    /** Shared body of evaluateBatch / evaluateBatchInline. */
+    std::vector<SimulationResult>
+    evaluateBatchImpl(const std::vector<SimRequest> &requests,
+                      bool inline_compute);
+
     Options options_;
     ResultCache cache_;
     std::shared_ptr<GraphTemplateCache> templates_;
+    std::shared_ptr<EngineCounters> engine_counters_;
 
     mutable std::mutex inflight_mutex_;
     std::unordered_map<uint64_t, std::shared_future<SimulationResult>>

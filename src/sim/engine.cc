@@ -109,4 +109,239 @@ runSimulation(const TaskGraph &graph, std::vector<TaskSpan> *trace)
     return runSimulationImpl<false>(graph, nullptr);
 }
 
+namespace {
+
+/**
+ * Linear-pass replay core (see engine.h).  Visits positions in the
+ * queue engine's pop order, so the per-lane timeline evolution and
+ * every floating-point accumulation are bit-identical to
+ * runSimulationImpl over the same topology.
+ */
+template <bool kTrace>
+EngineResult
+replayImpl(const ReplaySchedule &schedule, const double *const durations,
+           std::vector<TaskSpan> *trace)
+{
+    const size_t n = schedule.numTasks();
+    const int n_devices = schedule.num_devices;
+    const int32_t *const order = schedule.order.data();
+    const int32_t *const lane = schedule.lane.data();
+    const int32_t *const busy_lane = schedule.busy_lane.data();
+    const uint8_t *const tag = schedule.tag.data();
+    const int32_t *const child_offsets = schedule.child_offsets.data();
+    const int32_t *const child_list = schedule.child_list.data();
+
+    // busy_compute and busy_comm interleaved per device (the
+    // busy_lane encoding), split apart once at the end.
+    std::vector<double> busy(static_cast<size_t>(n_devices) * 2, 0.0);
+    std::array<double, kNumTaskTags> time_by_tag{};
+    std::vector<double> ready_vec(n, 0.0);
+    std::vector<double> timeline(
+        static_cast<size_t>(n_devices) * kNumStreams, 0.0);
+    double *const ready = ready_vec.data();
+
+    double makespan = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double duration = durations[order[i]];
+        const int32_t l = lane[i];
+        const double start = std::max(ready[i], timeline[l]);
+        const double end = start + duration;
+        timeline[l] = end;
+        makespan = std::max(makespan, end);
+        busy[busy_lane[i]] += duration;
+        time_by_tag[tag[i]] += duration;
+        if constexpr (kTrace)
+            (*trace)[order[i]] = TaskSpan{start, end};
+
+        for (const int32_t *c = child_list + child_offsets[i],
+                           *const c_end =
+                               child_list + child_offsets[i + 1];
+             c != c_end; ++c)
+            ready[*c] = std::max(ready[*c], end);
+    }
+
+    EngineResult result;
+    result.busy_compute.resize(n_devices);
+    result.busy_comm.resize(n_devices);
+    for (int d = 0; d < n_devices; ++d) {
+        result.busy_compute[d] = busy[static_cast<size_t>(d) * 2];
+        result.busy_comm[d] = busy[static_cast<size_t>(d) * 2 + 1];
+    }
+    result.time_by_tag = time_by_tag;
+    result.makespan = makespan;
+    result.executed = n;
+    return result;
+}
+
+/**
+ * Widest lockstep lane count of replayBatch.  Four doubles (half a
+ * cache line) measured fastest on the baseline machine: narrower
+ * chunks amortize the schedule stream less, while wider ones (8-16)
+ * push the randomly-accessed K-wide ready array past L2 and lose more
+ * on the child updates than they save on streaming.  Every width
+ * produces bit-identical results; this constant is purely a
+ * throughput knob.
+ */
+constexpr size_t kMaxReplayWidth = 4;
+
+/**
+ * One K-wide lockstep pass over the schedule (see replayBatch).  K is
+ * a compile-time constant so the per-position loops fully unroll, and
+ * the working arrays are __restrict: they never alias each other or
+ * the inputs, which lets the compiler keep the K ends and the K
+ * running makespans in registers.
+ */
+template <size_t K>
+void
+replayChunk(const ReplaySchedule &schedule,
+            const double *const *set_ptrs,
+            std::vector<double> &ready_vec, EngineResult *results)
+{
+    const size_t n = schedule.numTasks();
+    const int n_devices = schedule.num_devices;
+    const int32_t *const order = schedule.order.data();
+    const int32_t *const lane = schedule.lane.data();
+    const int32_t *const busy_lane = schedule.busy_lane.data();
+    const uint8_t *const tag = schedule.tag.data();
+    const int32_t *const child_offsets = schedule.child_offsets.data();
+    const int32_t *const child_list = schedule.child_list.data();
+
+    // Durations are read straight out of the input vectors (the K
+    // loads per position all share one index, order[i]); gathering
+    // them into a schedule-order arena first would only add a full
+    // extra write + read of n*K doubles of memory traffic.
+    const double *__restrict set_ptr[K];
+    for (size_t j = 0; j < K; ++j)
+        set_ptr[j] = set_ptrs[j];
+
+    ready_vec.assign(n * K, 0.0);
+    double *__restrict const ready = ready_vec.data();
+    std::vector<double> timeline_vec(
+        static_cast<size_t>(n_devices) * kNumStreams * K, 0.0);
+    std::vector<double> busy_vec(
+        static_cast<size_t>(n_devices) * 2 * K, 0.0);
+    std::vector<double> tags_vec(
+        static_cast<size_t>(kNumTaskTags) * K, 0.0);
+    double *__restrict const timeline = timeline_vec.data();
+    double *__restrict const busy = busy_vec.data();
+    double *__restrict const tags = tags_vec.data();
+    double makespan[K] = {};
+
+    for (size_t i = 0; i < n; ++i) {
+        const size_t base = i * K;
+        const int32_t u = order[i];
+        double *__restrict const lane_base = timeline + lane[i] * K;
+        double *__restrict const busy_base = busy + busy_lane[i] * K;
+        double *__restrict const tag_base = tags + tag[i] * K;
+        double end[K];
+        for (size_t j = 0; j < K; ++j) {
+            const double duration = set_ptr[j][u];
+            const double start =
+                std::max(ready[base + j], lane_base[j]);
+            end[j] = start + duration;
+            lane_base[j] = end[j];
+            busy_base[j] += duration;
+            tag_base[j] += duration;
+            makespan[j] = std::max(makespan[j], end[j]);
+        }
+        for (const int32_t *c = child_list + child_offsets[i],
+                           *const c_end =
+                               child_list + child_offsets[i + 1];
+             c != c_end; ++c) {
+            double *__restrict const child_ready =
+                ready + static_cast<size_t>(*c) * K;
+            for (size_t j = 0; j < K; ++j)
+                child_ready[j] = std::max(child_ready[j], end[j]);
+        }
+    }
+
+    for (size_t j = 0; j < K; ++j) {
+        EngineResult &result = results[j];
+        result.makespan = makespan[j];
+        result.executed = n;
+        result.busy_compute.resize(n_devices);
+        result.busy_comm.resize(n_devices);
+        for (int d = 0; d < n_devices; ++d) {
+            result.busy_compute[d] =
+                busy[(static_cast<size_t>(d) * 2) * K + j];
+            result.busy_comm[d] =
+                busy[(static_cast<size_t>(d) * 2 + 1) * K + j];
+        }
+        for (int t = 0; t < kNumTaskTags; ++t)
+            result.time_by_tag[t] = tags[static_cast<size_t>(t) * K + j];
+    }
+}
+
+} // namespace
+
+EngineResult
+replaySimulation(const ReplaySchedule &schedule,
+                 const std::vector<double> &durations,
+                 std::vector<TaskSpan> *trace)
+{
+    VTRAIN_CHECK(durations.size() == schedule.numTasks(),
+                 "replay durations (", durations.size(),
+                 ") do not match the schedule (", schedule.numTasks(),
+                 " tasks)");
+    if (trace) {
+        trace->assign(schedule.numTasks(), TaskSpan{});
+        return replayImpl<true>(schedule, durations.data(), trace);
+    }
+    return replayImpl<false>(schedule, durations.data(), nullptr);
+}
+
+std::vector<EngineResult>
+replayBatch(const ReplaySchedule &schedule,
+            const std::vector<std::vector<double>> &duration_sets)
+{
+    const size_t n = schedule.numTasks();
+    for (const std::vector<double> &set : duration_sets)
+        VTRAIN_CHECK(set.size() == n,
+                     "replay durations (", set.size(),
+                     ") do not match the schedule (", n, " tasks)");
+
+    std::vector<EngineResult> results(duration_sets.size());
+    std::vector<const double *> set_ptrs(duration_sets.size());
+    for (size_t j = 0; j < duration_sets.size(); ++j)
+        set_ptrs[j] = duration_sets[j].data();
+
+    // Greedy fixed-width dispatch: full-width chunks, then one
+    // narrower chunk per remaining power of two.  Results do not
+    // depend on the split — every point is bit-identical to its own
+    // replaySimulation() run at any width.
+    std::vector<double> ready;
+    size_t begin = 0;
+    const size_t total = duration_sets.size();
+    static_assert(kMaxReplayWidth == 4,
+                  "update the dispatch below with the width table");
+    while (total - begin >= 4) {
+        replayChunk<4>(schedule, set_ptrs.data() + begin, ready,
+                       results.data() + begin);
+        begin += 4;
+    }
+    if (total - begin >= 2) {
+        replayChunk<2>(schedule, set_ptrs.data() + begin, ready,
+                       results.data() + begin);
+        begin += 2;
+    }
+    if (total - begin == 1) {
+        replayChunk<1>(schedule, set_ptrs.data() + begin, ready,
+                       results.data() + begin);
+    }
+    return results;
+}
+
+EngineStats
+snapshot(const EngineCounters &counters)
+{
+    EngineStats stats;
+    stats.replay_runs =
+        counters.replay_runs.load(std::memory_order_relaxed);
+    stats.queue_runs =
+        counters.queue_runs.load(std::memory_order_relaxed);
+    stats.batched_points =
+        counters.batched_points.load(std::memory_order_relaxed);
+    return stats;
+}
+
 } // namespace vtrain

@@ -7,13 +7,33 @@
  * parents have finished *and* its stream is free, mirroring lines
  * 9-20 of Algorithm 1 with the computation/communication-overlap
  * refinement the paper describes for gradient bucketing (Fig. 5).
+ *
+ * Two execution modes share that semantics:
+ *
+ *   - runSimulation(): the queue engine.  Works on any TaskGraph,
+ *     detects cycles, and serves as the cold path (no captured
+ *     template) and as the golden reference the replay modes are
+ *     tested bit-identical against.
+ *   - replaySimulation() / replayBatch(): schedule replay.  The FIFO
+ *     pop order is a pure function of the topology (tasks enter the
+ *     queue when their reference count hits zero and leave in
+ *     insertion order — durations cannot reorder a FIFO), so a
+ *     ReplaySchedule captured once per topology turns every
+ *     subsequent run into a single linear pass: no queue, no
+ *     reference counting, no per-task stream branch.  replayBatch()
+ *     additionally simulates K duration vectors over one shared
+ *     schedule in a cache-friendly K-wide pass, the engine side of
+ *     batched design-space sweeps.
  */
 #ifndef VTRAIN_SIM_ENGINE_H
 #define VTRAIN_SIM_ENGINE_H
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
+#include "graph/schedule.h"
 #include "graph/task_graph.h"
 
 namespace vtrain {
@@ -52,6 +72,58 @@ struct TaskSpan {
  */
 EngineResult runSimulation(const TaskGraph &graph,
                            std::vector<TaskSpan> *trace = nullptr);
+
+/**
+ * Replays a precomputed schedule with the given durations: one linear
+ * pass, bit-identical to runSimulation() over the same topology (the
+ * visit order is the queue engine's pop order, so every accumulation
+ * happens in the same sequence).
+ *
+ * @param schedule  execution order of the topology (ReplaySchedule).
+ * @param durations per-task durations in *original task id* order
+ *                  (the order TaskGraph::durations() uses), one per
+ *                  scheduled task.
+ * @param trace     like runSimulation(): spans indexed by task id.
+ */
+EngineResult replaySimulation(const ReplaySchedule &schedule,
+                              const std::vector<double> &durations,
+                              std::vector<TaskSpan> *trace = nullptr);
+
+/**
+ * Simulates K duration vectors over one shared schedule in a single
+ * cache-friendly pass.  The K points advance in lockstep through the
+ * schedule: per position the K-wide inner loops (contiguous, branch
+ * free) autovectorize, and the schedule's metadata and child arrays
+ * are read once per position instead of once per point.  Results are
+ * bit-identical to K independent replaySimulation() calls.
+ *
+ * @param duration_sets K vectors, each in original task id order.
+ * @return one EngineResult per input vector, in order.
+ */
+std::vector<EngineResult>
+replayBatch(const ReplaySchedule &schedule,
+            const std::vector<std::vector<double>> &duration_sets);
+
+/**
+ * Engine-mode counters.  The simulator ticks them as it chooses an
+ * execution mode per run; the serve layer aggregates one shared
+ * instance across requests and reports it on GET /statz.
+ */
+struct EngineCounters {
+    std::atomic<uint64_t> replay_runs{0};  //!< replaySimulation() runs
+    std::atomic<uint64_t> queue_runs{0};   //!< runSimulation() runs
+    std::atomic<uint64_t> batched_points{0}; //!< vectors via replayBatch()
+};
+
+/** A point-in-time snapshot of EngineCounters. */
+struct EngineStats {
+    uint64_t replay_runs = 0;
+    uint64_t queue_runs = 0;
+    uint64_t batched_points = 0;
+};
+
+/** @return a consistent-enough snapshot (relaxed loads). */
+EngineStats snapshot(const EngineCounters &counters);
 
 } // namespace vtrain
 

@@ -38,10 +38,13 @@ Simulator::Simulator(ClusterSpec cluster, SimOptions options)
 }
 
 Simulator::Simulator(ClusterSpec cluster, SimOptions options,
-                     std::shared_ptr<GraphTemplateCache> templates)
+                     std::shared_ptr<GraphTemplateCache> templates,
+                     std::shared_ptr<EngineCounters> counters)
     : cluster_(std::move(cluster)), options_(options), comm_(cluster_),
-      templates_(std::move(templates))
+      templates_(std::move(templates)), counters_(std::move(counters))
 {
+    if (!counters_)
+        counters_ = std::make_shared<EngineCounters>();
 }
 
 Simulator::RunOutcome
@@ -59,44 +62,101 @@ Simulator::runOnce(const ModelConfig &model, const ParallelConfig &parallel,
                                options_.memoize_profiles &&
                                options_.perturber == nullptr;
 
-    TaskGraph tasks;
-    size_t num_operators = 0;
-    bool have_tasks = false;
+    RunOutcome outcome;
+    std::shared_ptr<const GraphTemplate> tmpl;
     uint64_t fingerprint = 0;
     if (use_templates) {
         fingerprint = structuralFingerprint(model, parallel, n_micro,
                                             options_.collapse_operators,
                                             options_.attention);
-        if (const auto tmpl = templates_->get(fingerprint)) {
-            if (tmpl->retime(table, parallel, cluster_, comm_, &tasks)) {
-                num_operators = tmpl->numOperators();
-                have_tasks = true;
+        tmpl = templates_->get(fingerprint);
+        if (tmpl) {
+            // Warm path: durations-only retime + schedule replay, no
+            // graph assembly and no queue.
+            std::vector<double> durations;
+            if (tmpl->retimeDurations(table, parallel, cluster_, comm_,
+                                      &durations)) {
+                outcome.engine =
+                    replaySimulation(tmpl->schedule(), durations);
+                counters_->replay_runs.fetch_add(
+                    1, std::memory_order_relaxed);
+                outcome.num_operators = tmpl->numOperators();
+                outcome.num_tasks = durations.size();
+                outcome.distinct_profiled = table.numEntries();
+                outcome.profiler_calls = table.numProfilerCalls();
+                return outcome;
             }
-        }
-    }
-    if (!have_tasks) {
-        GraphBuilder builder(model, parallel, cluster_, comm_);
-        BuildOptions build_options;
-        build_options.n_micro_override = n_micro;
-        const OpGraph ops = builder.build(build_options);
-        num_operators = ops.numNodes();
-        if (use_templates) {
-            templates_->put(
-                fingerprint,
-                GraphTemplate::capture(ops, table, expand_options,
-                                       &tasks));
-        } else {
-            tasks = TaskGraph::expand(ops, table, expand_options);
+            tmpl = nullptr; // disagreeing table: rebuild from scratch
         }
     }
 
-    RunOutcome outcome;
+    GraphBuilder builder(model, parallel, cluster_, comm_);
+    BuildOptions build_options;
+    build_options.n_micro_override = n_micro;
+    const OpGraph ops = builder.build(build_options);
+    TaskGraph tasks;
+    if (use_templates) {
+        templates_->put(fingerprint,
+                        GraphTemplate::capture(ops, table,
+                                               expand_options, &tasks));
+    } else {
+        tasks = TaskGraph::expand(ops, table, expand_options);
+    }
+    // Cold path (capture or template-less): the queue engine.  The
+    // replay schedule is built lazily on a template's first *reuse* —
+    // a sweep that thrashes the template cache with single-use
+    // topologies must not pay a schedule build per capture.
     outcome.engine = runSimulation(tasks);
-    outcome.num_operators = num_operators;
+    counters_->queue_runs.fetch_add(1, std::memory_order_relaxed);
+    outcome.num_operators = ops.numNodes();
     outcome.num_tasks = tasks.numTasks();
     outcome.distinct_profiled = table.numEntries();
     outcome.profiler_calls = table.numProfilerCalls();
     return outcome;
+}
+
+SimulationResult
+Simulator::assembleResult(const ModelConfig &model,
+                          const ParallelConfig &parallel,
+                          const RunOutcome &base, const RunOutcome *next,
+                          int n_micro, int cap) const
+{
+    SimulationResult result;
+    result.total_micro_batches = n_micro;
+
+    if (next) {
+        const double slope =
+            next->engine.makespan - base.engine.makespan;
+        VTRAIN_CHECK(slope >= 0.0,
+                     "iteration time must grow with micro-batches");
+        result.iteration_seconds =
+            base.engine.makespan +
+            slope * static_cast<double>(n_micro - cap);
+        result.extrapolated = true;
+        result.simulated_micro_batches = cap;
+    } else {
+        result.iteration_seconds = base.engine.makespan;
+        result.extrapolated = false;
+        result.simulated_micro_batches = n_micro;
+    }
+    result.num_operators = base.num_operators;
+    result.num_tasks = base.num_tasks;
+    result.distinct_operators_profiled = base.distinct_profiled;
+    result.profiler_calls = base.profiler_calls;
+    result.time_by_tag = base.engine.time_by_tag;
+    const double busiest =
+        *std::max_element(base.engine.busy_compute.begin(),
+                          base.engine.busy_compute.end());
+    result.bubble_fraction = 1.0 - busiest / base.engine.makespan;
+
+    result.model_flops =
+        model.modelFlops(parallel.tokensPerIteration(model));
+    const double peak =
+        static_cast<double>(parallel.totalGpus()) *
+        cluster_.node.gpu.peakFlops(parallel.precision);
+    result.utilization =
+        result.model_flops / (result.iteration_seconds * peak);
+    return result;
 }
 
 SimulationResult
@@ -117,60 +177,207 @@ Simulator::simulateIteration(const ModelConfig &model,
     const int cap = std::max(2 * parallel.pipeline + 2, 4);
 
     SimulationResult result;
-    result.total_micro_batches = n_micro;
-
     if (options_.fast_mode && n_micro > cap + 1) {
         const RunOutcome base = runOnce(model, parallel, cap, table);
         const RunOutcome next = runOnce(model, parallel, cap + 1, table);
-        const double slope =
-            next.engine.makespan - base.engine.makespan;
-        VTRAIN_CHECK(slope >= 0.0,
-                     "iteration time must grow with micro-batches");
-        result.iteration_seconds =
-            base.engine.makespan +
-            slope * static_cast<double>(n_micro - cap);
-        result.extrapolated = true;
-        result.simulated_micro_batches = cap;
-        result.num_operators = base.num_operators;
-        result.num_tasks = base.num_tasks;
-        result.distinct_operators_profiled = base.distinct_profiled;
-        result.profiler_calls = base.profiler_calls;
-        result.time_by_tag = base.engine.time_by_tag;
-        const double busiest =
-            *std::max_element(base.engine.busy_compute.begin(),
-                              base.engine.busy_compute.end());
-        result.bubble_fraction =
-            1.0 - busiest / base.engine.makespan;
+        result = assembleResult(model, parallel, base, &next, n_micro,
+                                cap);
     } else {
         const RunOutcome run = runOnce(model, parallel, n_micro, table);
-        result.iteration_seconds = run.engine.makespan;
-        result.extrapolated = false;
-        result.simulated_micro_batches = n_micro;
-        result.num_operators = run.num_operators;
-        result.num_tasks = run.num_tasks;
-        result.distinct_operators_profiled = run.distinct_profiled;
-        result.profiler_calls = run.profiler_calls;
-        result.time_by_tag = run.engine.time_by_tag;
-        const double busiest =
-            *std::max_element(run.engine.busy_compute.begin(),
-                              run.engine.busy_compute.end());
-        result.bubble_fraction =
-            1.0 - busiest / run.engine.makespan;
+        result =
+            assembleResult(model, parallel, run, nullptr, n_micro, cap);
     }
-
-    result.model_flops =
-        model.modelFlops(parallel.tokensPerIteration(model));
-    const double peak =
-        static_cast<double>(parallel.totalGpus()) *
-        cluster_.node.gpu.peakFlops(parallel.precision);
-    result.utilization =
-        result.model_flops / (result.iteration_seconds * peak);
 
     result.sim_wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
     return result;
+}
+
+uint64_t
+batchGroupKey(const ModelConfig &model, const ParallelConfig &parallel,
+              const ClusterSpec &cluster, const SimOptions &options)
+{
+    // The batched path needs determinism (no perturber) and the
+    // memoized table (mirroring the simulator's template gate), and a
+    // well-formed enough plan to derive the micro-batch count.
+    if (!options.memoize_profiles || options.perturber != nullptr)
+        return 0;
+    if (parallel.data <= 0 || parallel.micro_batch_size <= 0 ||
+        parallel.pipeline <= 0)
+        return 0;
+    const int n_micro = parallel.numMicroBatches();
+    const int cap = std::max(2 * parallel.pipeline + 2, 4);
+    const bool fast = options.fast_mode && n_micro > cap + 1;
+    // Fast-mode points simulate the capped prefix regardless of their
+    // own n_micro, so any fast point of a structure groups; exact
+    // points must agree on the simulated count itself.
+    const int n_sim = fast ? cap : n_micro;
+
+    Hash64 h;
+    h.mix(std::string_view("vtrain.batch-group.v1"));
+    hashAppend(h, options);
+    hashAppend(h, cluster);
+    hashAppend(h, model);
+    // Precision selects the profiler, which the group shares; it is
+    // deliberately absent from the structural fingerprint.
+    h.mix(static_cast<int64_t>(parallel.precision));
+    h.mix(fast).mix(int64_t{n_sim});
+    h.mix(structuralFingerprint(model, parallel, n_sim,
+                                options.collapse_operators,
+                                options.attention));
+    return h.digest();
+}
+
+std::vector<SimulationResult>
+Simulator::simulateIterationBatch(const ModelConfig &model,
+                                  const std::vector<ParallelConfig> &plans)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+    const size_t n_plans = plans.size();
+    std::vector<SimulationResult> results(n_plans);
+    if (n_plans == 0)
+        return results;
+
+    // The group must be uniform: one key, shared by every plan.  A
+    // mixed or unbatchable group transparently degrades to the
+    // per-plan path (identical results, no shared work).
+    const uint64_t key =
+        batchGroupKey(model, plans[0], cluster_, options_);
+    bool batchable = key != 0 && templates_ != nullptr;
+    for (size_t i = 1; batchable && i < n_plans; ++i)
+        batchable =
+            batchGroupKey(model, plans[i], cluster_, options_) == key;
+    if (!batchable) {
+        for (size_t i = 0; i < n_plans; ++i)
+            results[i] = simulateIteration(model, plans[i]);
+        return results;
+    }
+
+    model.validate();
+    for (const ParallelConfig &plan : plans)
+        plan.validate(model, cluster_);
+
+    // One profiler table for the whole group: every plan re-times the
+    // same interned descriptors, so each distinct operator is
+    // profiled once for all K points.
+    SyntheticProfiler profiler(cluster_.node.gpu, plans[0].precision,
+                               options_.attention);
+    OperatorToTaskTable table(profiler, options_.memoize_profiles);
+
+    const int n_micro0 = plans[0].numMicroBatches();
+    const int cap = std::max(2 * plans[0].pipeline + 2, 4);
+    const bool fast = options_.fast_mode && n_micro0 > cap + 1;
+    const int n_passes = fast ? 2 : 1;
+
+    // Bounds the number of duration vectors alive at once, so a
+    // 512-point sweep over a 400k-task topology does not hold
+    // 512 * 400k doubles.
+    constexpr size_t kPlanChunk = 32;
+
+    std::vector<char> fell_back(n_plans, 0);
+    std::vector<RunOutcome> base(n_plans);
+    std::vector<RunOutcome> next(fast ? n_plans : 0);
+    for (int pass = 0; pass < n_passes; ++pass) {
+        const int n_micro = pass == 0 ? (fast ? cap : n_micro0)
+                                      : cap + 1;
+        const uint64_t fp = structuralFingerprint(
+            model, plans[0], n_micro, options_.collapse_operators,
+            options_.attention);
+        std::shared_ptr<const GraphTemplate> tmpl =
+            templates_->get(fp);
+        if (!tmpl) {
+            GraphBuilder builder(model, plans[0], cluster_, comm_);
+            BuildOptions build_options;
+            build_options.n_micro_override = n_micro;
+            const OpGraph ops = builder.build(build_options);
+            ExpandOptions expand_options;
+            expand_options.collapse_operators =
+                options_.collapse_operators;
+            TaskGraph expanded;
+            auto captured = GraphTemplate::capture(
+                ops, table, expand_options, &expanded);
+            templates_->put(fp, captured);
+            tmpl = std::move(captured);
+        }
+
+        std::vector<RunOutcome> &out = pass == 0 ? base : next;
+        // Duration buffers are reused across chunks (and passes):
+        // retimeDurations resizes in place, so the steady state
+        // re-times without allocating.
+        std::vector<std::vector<double>> sets;
+        std::vector<size_t> owner;
+        for (size_t begin = 0; begin < n_plans; begin += kPlanChunk) {
+            const size_t end = std::min(begin + kPlanChunk, n_plans);
+            owner.clear();
+            size_t count = 0;
+            for (size_t j = begin; j < end; ++j) {
+                if (fell_back[j])
+                    continue;
+                if (count == sets.size())
+                    sets.emplace_back();
+                if (!tmpl->retimeDurations(table, plans[j], cluster_,
+                                           comm_, &sets[count])) {
+                    // Foreign profiler or fingerprint collision: this
+                    // plan rebuilds from scratch below.
+                    fell_back[j] = 1;
+                    continue;
+                }
+                owner.push_back(j);
+                ++count;
+            }
+            if (count == 0)
+                continue;
+            sets.resize(count); // shrinks only at the tail chunk
+            std::vector<EngineResult> engines =
+                replayBatch(tmpl->schedule(), sets);
+            counters_->batched_points.fetch_add(
+                count, std::memory_order_relaxed);
+            for (size_t s = 0; s < owner.size(); ++s)
+                out[owner[s]].engine = std::move(engines[s]);
+        }
+
+        // Table statistics snapshot, taken where the per-plan path
+        // takes it: after this pass's (re)timing work.
+        for (size_t j = 0; j < n_plans; ++j) {
+            if (fell_back[j])
+                continue;
+            out[j].num_operators = tmpl->numOperators();
+            out[j].num_tasks = tmpl->numTasks();
+            out[j].distinct_profiled = table.numEntries();
+            out[j].profiler_calls = table.numProfilerCalls();
+        }
+    }
+
+    // The batched points share one wall clock; snapshot it before the
+    // fallback loop (whose plans measure their own simulations) and
+    // report the amortized per-point cost so numbers stay comparable
+    // across entry points.
+    const double batched_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    size_t batched = 0;
+    for (size_t j = 0; j < n_plans; ++j) {
+        if (fell_back[j]) {
+            results[j] = simulateIteration(model, plans[j]);
+            continue;
+        }
+        results[j] = assembleResult(model, plans[j], base[j],
+                                    fast ? &next[j] : nullptr,
+                                    plans[j].numMicroBatches(), cap);
+        ++batched;
+    }
+    if (batched > 0) {
+        const double amortized =
+            batched_wall / static_cast<double>(batched);
+        for (size_t j = 0; j < n_plans; ++j)
+            if (!fell_back[j])
+                results[j].sim_wall_seconds = amortized;
+    }
+    return results;
 }
 
 TrainingProjection

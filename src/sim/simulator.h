@@ -24,6 +24,14 @@
  * bit-identical results.  The cache can be shared across Simulator
  * instances (the serve layer passes one cache to every request) and
  * is skipped for perturbed or non-memoized (ablation) runs.
+ *
+ * Schedule replay: on a template hit the engine also skips its ready
+ * queue — the template's execution order (built lazily on first
+ * reuse) turns each run into one linear pass (sim/engine.h), and
+ * structurally identical sweep points batch through
+ * simulateIterationBatch(), which times K plans in lockstep over one
+ * shared schedule.  The queue engine stays as the cold path (first
+ * build *and* capture) and the golden reference.
  */
 #ifndef VTRAIN_SIM_SIMULATOR_H
 #define VTRAIN_SIM_SIMULATOR_H
@@ -97,15 +105,40 @@ class Simulator
      * Simulator sharing `templates` with other instances (the serve
      * layer passes one cache to every per-request Simulator).  A null
      * cache disables the template path entirely: every simulation
-     * builds its graphs from scratch (golden tests use this to check
-     * the two paths bit-identical).
+     * builds its graphs from scratch and replays them through the
+     * queue engine (golden tests use this to check the template +
+     * schedule-replay path bit-identical to it).  A non-null
+     * `counters` shares engine-mode counters the same way (the serve
+     * layer reports them on /statz); null keeps private counters.
      */
     Simulator(ClusterSpec cluster, SimOptions options,
-              std::shared_ptr<GraphTemplateCache> templates);
+              std::shared_ptr<GraphTemplateCache> templates,
+              std::shared_ptr<EngineCounters> counters = nullptr);
 
     /** Predicts the single-iteration training time of a plan. */
     SimulationResult simulateIteration(const ModelConfig &model,
                                        const ParallelConfig &parallel);
+
+    /**
+     * Evaluates a structurally uniform group of plans in one batched
+     * pass: the task-graph topology is captured (or fetched) once per
+     * simulated micro-batch count, each plan contributes only a
+     * re-timed duration vector, and the engine simulates all plans in
+     * lockstep over the shared schedule (engine.h replayBatch).  One
+     * shared lookup table profiles each distinct operator once for
+     * the whole group.
+     *
+     * Results are identical (modulo sim_wall_seconds) to calling
+     * simulateIteration() per plan.  Plans must share this
+     * simulator's cluster and options; when the group is not
+     * batchable — mixed batchGroupKey()s, templates disabled, a
+     * perturber, the non-memoized ablation, or a retime rejection —
+     * the affected plans transparently fall back to the per-plan
+     * path.
+     */
+    std::vector<SimulationResult>
+    simulateIterationBatch(const ModelConfig &model,
+                           const std::vector<ParallelConfig> &plans);
 
     /**
      * Projects end-to-end wall-clock training time: iteration time
@@ -126,6 +159,12 @@ class Simulator
         return templates_;
     }
 
+    /** The engine-mode counters (never null; see constructors). */
+    const std::shared_ptr<EngineCounters> &engineCounters() const
+    {
+        return counters_;
+    }
+
   private:
     struct RunOutcome {
         EngineResult engine;
@@ -144,11 +183,38 @@ class Simulator
                        const ParallelConfig &parallel, int n_micro,
                        OperatorToTaskTable &table) const;
 
+    /**
+     * The shared post-processing of simulateIteration() and the
+     * batched path: extrapolates fast mode's affine tail when `next`
+     * is non-null, then fills utilization and the projection fields.
+     * Never touches sim_wall_seconds.
+     */
+    SimulationResult assembleResult(const ModelConfig &model,
+                                    const ParallelConfig &parallel,
+                                    const RunOutcome &base,
+                                    const RunOutcome *next, int n_micro,
+                                    int cap) const;
+
     ClusterSpec cluster_;
     SimOptions options_;
     CommModel comm_;
     std::shared_ptr<GraphTemplateCache> templates_;
+    std::shared_ptr<EngineCounters> counters_;
 };
+
+/**
+ * @return the key under which a (model, plan, cluster, options) point
+ * may share one batched replay group (Simulator::simulateIterationBatch):
+ * two points with equal keys simulate the same micro-batch counts over
+ * the same task-graph topology with one shared profiler table, and
+ * differ only in their re-timed durations.  Returns 0 when the point
+ * is not batchable (perturbed, or the non-memoized ablation).  The
+ * serve layer groups evaluateBatch() requests by this key.
+ */
+uint64_t batchGroupKey(const ModelConfig &model,
+                       const ParallelConfig &parallel,
+                       const ClusterSpec &cluster,
+                       const SimOptions &options);
 
 } // namespace vtrain
 

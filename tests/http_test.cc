@@ -194,6 +194,57 @@ TEST(HttpFrontendTest, StatzExposesTemplateCacheCounters)
     ASSERT_NE(templates->find("hit_rate"), nullptr);
 }
 
+TEST(HttpFrontendTest, StatzExposesEngineCounters)
+{
+    Loopback loop; // the real simulator: engine modes actually run
+    HttpClient client = loop.client();
+
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.post("/v1/evaluate", toJson(tinyRequest()),
+                            &response, &error))
+        << error;
+    ASSERT_EQ(response.status, 200) << response.body;
+
+    // Two structurally identical fast-mode points: the batch handler
+    // routes them through one batched replay.
+    json::Value requests = json::Value::array();
+    requests.push(toJsonValue(requestVariant(1)));
+    requests.push(toJsonValue(requestVariant(2)));
+    json::Value body = json::Value::object();
+    body.set("version", int64_t{1});
+    body.set("requests", std::move(requests));
+    ASSERT_TRUE(client.post("/v1/evaluate_batch", body.dump(),
+                            &response, &error))
+        << error;
+    ASSERT_EQ(response.status, 200) << response.body;
+
+    // A third, distinct point that reuses the batch's captured
+    // topologies: its two capped runs go through schedule replay.
+    ASSERT_TRUE(client.post("/v1/evaluate", toJson(requestVariant(3)),
+                            &response, &error))
+        << error;
+    ASSERT_EQ(response.status, 200) << response.body;
+
+    const json::Value statz = loop.statz();
+    const json::Value *service = statz.find("service");
+    ASSERT_NE(service, nullptr);
+    const json::Value *engine = service->find("engine");
+    ASSERT_NE(engine, nullptr);
+    for (const char *key :
+         {"replay_runs", "queue_runs", "batched_points"}) {
+        ASSERT_NE(engine->find(key), nullptr) << key;
+        EXPECT_GE(engine->find(key)->asInt64(), 0) << key;
+    }
+    // The first evaluate captured its template cold (queue engine);
+    // the batch simulated 2 points x 2 micro-batch counts in batched
+    // passes; the last evaluate re-timed the batch's templates via
+    // two schedule replays.
+    EXPECT_EQ(engine->find("queue_runs")->asInt64(), 1);
+    EXPECT_EQ(engine->find("batched_points")->asInt64(), 4);
+    EXPECT_EQ(engine->find("replay_runs")->asInt64(), 2);
+}
+
 TEST(HttpFrontendTest, BatchPreservesOrderAndDedups)
 {
     std::atomic<int> computed{0};

@@ -417,6 +417,80 @@ TEST(ServeService, WarmBatchIsServedFromCache)
     EXPECT_GE(service.stats().cache.hits, 8u);
 }
 
+TEST(ServeService, BatchRoutesStructuralGroupsThroughBatchedReplay)
+{
+    // Four real-simulator requests that differ only in global batch
+    // size (fast mode simulates the same capped prefix) form one
+    // structural group: one template fetch per micro-batch count plus
+    // one batched engine pass, with per-request results identical to
+    // the per-request entry point.
+    SimService service;
+    std::vector<SimRequest> requests;
+    for (int i = 1; i <= 4; ++i)
+        requests.push_back(requestVariant(i));
+
+    const std::vector<SimulationResult> batched =
+        service.evaluateBatch(requests);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, 4u);
+    EXPECT_EQ(stats.computed, 4u);
+    // 4 points x fast mode's two simulated micro-batch counts.
+    EXPECT_EQ(stats.engine.batched_points, 8u);
+    EXPECT_EQ(stats.engine.queue_runs, 0u);
+
+    SimService individual;
+    for (size_t i = 0; i < requests.size(); ++i) {
+        SimulationResult want = individual.evaluate(requests[i]);
+        SimulationResult got = batched[i];
+        want.sim_wall_seconds = 0.0;
+        got.sim_wall_seconds = 0.0;
+        EXPECT_EQ(want, got) << "batch slot " << i;
+    }
+}
+
+TEST(ServeService, BatchInlineMatchesPooledBatch)
+{
+    // The inline variant (the HTTP handler's entry point) computes on
+    // the calling thread but must produce the same results, counters
+    // and cache state as the pooled variant.
+    std::vector<SimRequest> requests;
+    for (int i = 1; i <= 3; ++i)
+        requests.push_back(requestVariant(i));
+    requests.push_back(requestVariant(1)); // in-batch duplicate
+
+    SimService pooled;
+    const std::vector<SimulationResult> via_pool =
+        pooled.evaluateBatch(requests);
+    SimService inline_service;
+    const std::vector<SimulationResult> via_inline =
+        inline_service.evaluateBatchInline(requests);
+
+    ASSERT_EQ(via_pool.size(), via_inline.size());
+    for (size_t i = 0; i < via_pool.size(); ++i) {
+        SimulationResult a = via_pool[i];
+        SimulationResult b = via_inline[i];
+        a.sim_wall_seconds = 0.0;
+        b.sim_wall_seconds = 0.0;
+        EXPECT_EQ(a, b) << "batch slot " << i;
+    }
+
+    const ServiceStats p = pooled.stats();
+    const ServiceStats q = inline_service.stats();
+    EXPECT_EQ(p.requests, 4u);
+    EXPECT_EQ(q.requests, 4u);
+    EXPECT_EQ(p.batch_dedups, 1u);
+    EXPECT_EQ(q.batch_dedups, 1u);
+    EXPECT_EQ(p.computed, 3u);
+    EXPECT_EQ(q.computed, 3u);
+    EXPECT_EQ(p.engine.batched_points, q.engine.batched_points);
+
+    // Both variants published to their result caches: a repeat batch
+    // answers without computing.
+    (void)inline_service.evaluateBatchInline(requests);
+    EXPECT_EQ(inline_service.stats().computed, 3u);
+}
+
 TEST(ServeService, PerturbedRequestsBypassTheCache)
 {
     std::atomic<int> computed{0};

@@ -172,6 +172,113 @@ TEST(TemplateGolden, ReuseAcrossClustersIsExact)
               got);
 }
 
+TEST(TemplateGolden, BatchedReplayMatchesPerPlanPath)
+{
+    // A DP-degree sweep shares one structural group: the batched path
+    // captures (or fetches) one template per simulated micro-batch
+    // count and replays every plan over the shared schedule.  Each
+    // point must equal its own per-plan simulateIteration bit for bit
+    // (modulo the wall clock).
+    const ModelConfig model = tinyModel();
+    const ClusterSpec cluster = makeCluster(64);
+    const SimOptions options; // fast mode on
+
+    std::vector<ParallelConfig> plans;
+    for (const int d : {2, 4, 8}) {
+        ParallelConfig plan;
+        plan.tensor = 2;
+        plan.data = d;
+        plan.pipeline = 2;
+        plan.micro_batch_size = 1;
+        plan.global_batch_size = 16 * d; // fast: n_micro = 16 > cap+1
+        plans.push_back(plan);
+    }
+
+    Simulator batch(cluster, options);
+    const std::vector<SimulationResult> got =
+        batch.simulateIterationBatch(model, plans);
+    EXPECT_GT(batch.engineCounters()->batched_points.load(), 0u)
+        << "the batched engine pass must actually engage";
+
+    ASSERT_EQ(got.size(), plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+        Simulator individual(cluster, options);
+        EXPECT_EQ(
+            timeless(individual.simulateIteration(model, plans[i])),
+            timeless(got[i]))
+            << "plan " << i;
+    }
+}
+
+TEST(TemplateGolden, BatchedReplayExactModeAndMixedGroupFallBack)
+{
+    // Exact mode (fast off) batches plans that agree on the simulated
+    // micro-batch count; a structurally different straggler (bucketing
+    // off) makes the group non-uniform, and the whole call must
+    // transparently degrade to per-plan results.
+    const ModelConfig model = tinyModel();
+    const ClusterSpec cluster = makeCluster(64);
+    SimOptions options;
+    options.fast_mode = false;
+
+    std::vector<ParallelConfig> plans;
+    for (const int d : {2, 4}) {
+        ParallelConfig plan;
+        plan.tensor = 2;
+        plan.data = d;
+        plan.pipeline = 2;
+        plan.micro_batch_size = 1;
+        plan.global_batch_size = 4 * d; // exact: n_micro = 4
+        plans.push_back(plan);
+    }
+    ParallelConfig straggler = plans[0];
+    straggler.gradient_bucketing = false;
+    plans.push_back(straggler);
+
+    Simulator batch(cluster, options);
+    const std::vector<SimulationResult> got =
+        batch.simulateIterationBatch(model, plans);
+    ASSERT_EQ(got.size(), plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+        Simulator individual(cluster, options);
+        EXPECT_EQ(
+            timeless(individual.simulateIteration(model, plans[i])),
+            timeless(got[i]))
+            << "plan " << i;
+    }
+}
+
+TEST(TemplateGolden, BatchedReplayTracksEngineCounters)
+{
+    // The uniform batch goes through batched_points; the mixed one
+    // degrades to per-plan replay runs; nothing here touches the
+    // queue engine.
+    const ModelConfig model = tinyModel();
+    const ClusterSpec cluster = makeCluster(64);
+    ParallelConfig a;
+    a.tensor = 2;
+    a.data = 2;
+    a.pipeline = 2;
+    a.micro_batch_size = 1;
+    a.global_batch_size = 32;
+    ParallelConfig b = a;
+    b.data = 4;
+    b.global_batch_size = 64;
+
+    Simulator sim(cluster, SimOptions{});
+    (void)sim.simulateIterationBatch(model, {a, b});
+    const auto &counters = *sim.engineCounters();
+    // Fast mode: two simulated micro-batch counts x two plans.
+    EXPECT_EQ(counters.batched_points.load(), 4u);
+    EXPECT_EQ(counters.queue_runs.load(), 0u);
+
+    Simulator scratch(cluster, SimOptions{}, nullptr);
+    (void)scratch.simulateIteration(model, a);
+    EXPECT_EQ(scratch.engineCounters()->queue_runs.load(), 2u)
+        << "the template-less path stays on the queue engine";
+    EXPECT_EQ(scratch.engineCounters()->replay_runs.load(), 0u);
+}
+
 TEST(TemplateFingerprint, StructuralFieldsAllChangeTheDigest)
 {
     const ModelConfig model = tinyModel();
