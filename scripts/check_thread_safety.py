@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Proves the clang thread-safety gate is live.
+
+Two syntax-only clang compiles over the proof TUs in
+tests/static_analysis/:
+
+  thread_safety_positive.cc   every annotation idiom the tree uses;
+                              MUST compile clean
+  thread_safety_violation.cc  three deliberate lock-discipline bugs;
+                              MUST fail to compile
+
+Passing both directions proves the analysis is on AND catching real
+violations -- a gate that was silently disabled (flags dropped, macros
+no-op'd under clang) would let the violation TU through, and this
+script would fail loudly.
+
+Exits 0 on proof, 1 on a broken gate, 0 with a skip notice when no
+clang is installed (pass --require in CI, where clang is mandatory).
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+FLAGS = ["-fsyntax-only", "-std=c++20",
+         "-Wthread-safety", "-Wthread-safety-beta", "-Werror"]
+
+
+def compile_tu(clang, root, tu):
+    path = os.path.join(root, "tests", "static_analysis", tu)
+    proc = subprocess.run(
+        [clang] + FLAGS + ["-I", os.path.join(root, "src"), path],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    return proc.returncode, proc.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang", default="clang++",
+                        help="clang driver to use")
+    parser.add_argument("--require", action="store_true",
+                        help="fail instead of skipping when clang is "
+                             "not installed")
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    clang = shutil.which(args.clang)
+    if clang is None:
+        if args.require:
+            sys.exit("error: %s not found and --require given"
+                     % args.clang)
+        print("check_thread_safety.py: %s not installed; skipping "
+              "(the CI static-analysis job enforces this proof)"
+              % args.clang)
+        return 0
+
+    ok = True
+
+    rc, out = compile_tu(clang, root, "thread_safety_positive.cc")
+    if rc == 0:
+        print("PASS thread_safety_positive.cc compiles clean under "
+              "-Wthread-safety{,-beta} -Werror")
+    else:
+        ok = False
+        print("FAIL thread_safety_positive.cc should compile but "
+              "did not:\n%s" % out, file=sys.stderr)
+
+    rc, out = compile_tu(clang, root, "thread_safety_violation.cc")
+    if rc != 0 and "thread-safety" in out:
+        print("PASS thread_safety_violation.cc is rejected "
+              "(the analysis is live and catching violations)")
+    elif rc != 0:
+        ok = False
+        print("FAIL thread_safety_violation.cc failed for a reason "
+              "other than thread-safety diagnostics:\n%s" % out,
+              file=sys.stderr)
+    else:
+        ok = False
+        print("FAIL thread_safety_violation.cc COMPILED -- the "
+              "thread-safety gate is dead (flags or annotations "
+              "silently disabled)", file=sys.stderr)
+
+    if not ok:
+        return 1
+    print("check_thread_safety.py: gate proven live in both directions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,423 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules for the vtrain tree.
+
+Four rules, each targeting a defect class the compilers cannot (or do
+not) catch:
+
+  naked-mutex         std::mutex / std::lock_guard / std::unique_lock /
+                      std::condition_variable outside src/util/.  Naked
+                      std primitives carry no thread-safety annotations,
+                      so everything they guard is invisible to clang's
+                      -Wthread-safety analysis.  Use util::Mutex /
+                      util::MutexLock / util::CondVar (util/mutex.h).
+                      std::once_flag / std::call_once stay legal: they
+                      need no annotations.
+
+  missing-annotation  A util::Mutex member none of whose neighbours say
+                      GUARDED_BY/REQUIRES/ACQUIRE on it (a lock that
+                      provably protects nothing is either dead weight or
+                      unannotated discipline), and `...Locked()` method
+                      declarations without a REQUIRES(...) clause.
+
+  pool-blocking       Calls that block on work queued to the
+                      SimService's own ThreadPool from code that itself
+                      runs *on* that pool (the evaluateBatchInline
+                      self-deadlock class fixed by hand in PR 5).
+                      Checked in the files listed in POOL_CONTEXT_FILES;
+                      extend the list when new handlers run on the pool.
+
+  file-naming         tests/*.cc must be <suite>_test.cc; bench sources
+                      must be fig<N>_*/table<N>_*/perf_*/ablation_*/
+                      *_common so CI's bench-smoke globs keep matching
+                      every binary.
+
+Usage:
+  scripts/lint.py [--root DIR]   lint the tree (exit 1 on findings)
+  scripts/lint.py --self-test    run the seeded-violation fixtures
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Files whose handlers execute on the SimService ThreadPool: blocking
+# on work queued to that same pool from here can self-deadlock once the
+# pool is saturated.
+POOL_CONTEXT_FILES = [
+    os.path.join("src", "serve", "http_frontend.cc"),
+    os.path.join("src", "serve", "http_frontend.h"),
+]
+
+# Blocking-on-the-pool patterns banned inside pool-context files.  The
+# non-blocking spellings (evaluateBatchInline, evaluate) stay legal:
+# they compute on the calling thread.
+POOL_BLOCKING_PATTERNS = [
+    (re.compile(r"\bevaluateBatch\s*\("),
+     "evaluateBatch() blocks on pool tasks; use evaluateBatchInline() "
+     "from code already running on the service pool"),
+    (re.compile(r"\bevaluateAsync\s*\("),
+     "evaluateAsync() queues to the pool; joining its future from a "
+     "pool task can self-deadlock -- compute inline instead"),
+    (re.compile(r"\bpool\s*\(\s*\)\s*\.\s*wait\s*\(|\bpool_\s*\.\s*wait\s*\("),
+     "ThreadPool::wait() from a pool task deadlocks a saturated pool"),
+]
+
+NAKED_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b")
+
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:util::)?Mutex\s+(\w+)\s*;", re.MULTILINE)
+
+LOCKED_METHOD_RE = re.compile(r"\b(\w+Locked)\s*\(")
+
+TEST_NAME_RE = re.compile(r"^[a-z0-9_]+_test\.cc$")
+BENCH_CC_RE = re.compile(
+    r"^(fig\d+_[a-z0-9_]+|table\d+_[a-z0-9_]+|perf_[a-z0-9_]+|"
+    r"ablation_[a-z0-9_]+|[a-z0-9_]+_common)\.cc$")
+BENCH_H_RE = re.compile(r"^[a-z0-9_]+_common\.h$")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def strip_comments(text):
+    """Blanks out // and /* */ comments and string/char literals,
+    preserving line structure so reported line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def iter_source_files(root, subdir, exts):
+    base = os.path.join(root, subdir)
+    for dirpath, dirnames, filenames in os.walk(base):
+        dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+        for name in sorted(filenames):
+            if os.path.splitext(name)[1] in exts:
+                yield os.path.join(dirpath, name)
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root)
+
+
+def check_naked_mutex(root, findings):
+    util_dir = os.path.join(root, "src", "util")
+    for path in iter_source_files(root, "src", {".h", ".cc"}):
+        if os.path.commonpath([util_dir, path]) == util_dir:
+            continue  # the wrappers themselves live here
+        code = strip_comments(read_text(path))
+        for m in NAKED_MUTEX_RE.finditer(code):
+            findings.append(Finding(
+                relpath(root, path), line_of(code, m.start()),
+                "naked-mutex",
+                "std::%s is invisible to thread-safety analysis; use "
+                "the annotated util:: wrappers from util/mutex.h"
+                % m.group(1)))
+
+
+def check_missing_annotation(root, findings):
+    annotation_re_cache = {}
+    for path in iter_source_files(root, "src", {".h"}):
+        code = strip_comments(read_text(path))
+        for m in MUTEX_MEMBER_RE.finditer(code):
+            name = m.group(1)
+            if name not in annotation_re_cache:
+                annotation_re_cache[name] = re.compile(
+                    r"(GUARDED_BY|PT_GUARDED_BY)\(\s*%s\s*\)|"
+                    r"(REQUIRES|REQUIRES_SHARED|ACQUIRE|RELEASE|"
+                    r"TRY_ACQUIRE|EXCLUDES|ASSERT_CAPABILITY|"
+                    r"RETURN_CAPABILITY)\([^)]*\b%s\b"
+                    % (re.escape(name), re.escape(name)))
+            if not annotation_re_cache[name].search(code):
+                findings.append(Finding(
+                    relpath(root, path), line_of(code, m.start()),
+                    "missing-annotation",
+                    "mutex member '%s' guards nothing: no GUARDED_BY/"
+                    "REQUIRES/EXCLUDES in this header names it" % name))
+        for m in LOCKED_METHOD_RE.finditer(code):
+            # A declaration runs to the next ';' or '{'; it must carry
+            # REQUIRES so callers are checked.  (.cc definitions do not
+            # repeat attributes, hence headers only.)
+            end_semi = code.find(";", m.end())
+            end_brace = code.find("{", m.end())
+            ends = [e for e in (end_semi, end_brace) if e != -1]
+            decl = code[m.start():min(ends)] if ends else code[m.start():]
+            if "REQUIRES" not in decl:
+                findings.append(Finding(
+                    relpath(root, path), line_of(code, m.start()),
+                    "missing-annotation",
+                    "'%s()' assumes a held lock by convention but has "
+                    "no REQUIRES(...) annotation" % m.group(1)))
+
+
+def check_pool_blocking(root, findings):
+    for rel in POOL_CONTEXT_FILES:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        code = strip_comments(read_text(path))
+        for pattern, message in POOL_BLOCKING_PATTERNS:
+            for m in pattern.finditer(code):
+                findings.append(Finding(
+                    rel, line_of(code, m.start()), "pool-blocking",
+                    message))
+
+
+def check_file_naming(root, findings):
+    tests_dir = os.path.join(root, "tests")
+    if os.path.isdir(tests_dir):
+        for name in sorted(os.listdir(tests_dir)):
+            if name.endswith(".cc") and not TEST_NAME_RE.match(name):
+                findings.append(Finding(
+                    os.path.join("tests", name), 1, "file-naming",
+                    "test sources must be named <suite>_test.cc"))
+    bench_dir = os.path.join(root, "bench")
+    if os.path.isdir(bench_dir):
+        for name in sorted(os.listdir(bench_dir)):
+            if name.endswith(".cc") and not BENCH_CC_RE.match(name):
+                findings.append(Finding(
+                    os.path.join("bench", name), 1, "file-naming",
+                    "bench sources must be fig<N>_*/table<N>_*/perf_*/"
+                    "ablation_*/*_common .cc"))
+            if name.endswith(".h") and not BENCH_H_RE.match(name):
+                findings.append(Finding(
+                    os.path.join("bench", name), 1, "file-naming",
+                    "bench headers must be named *_common.h"))
+
+
+def read_text(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        return f.read()
+
+
+def run_all(root):
+    findings = []
+    check_naked_mutex(root, findings)
+    check_missing_annotation(root, findings)
+    check_pool_blocking(root, findings)
+    check_file_naming(root, findings)
+    return findings
+
+
+# --------------------------------------------------------------- self-test
+
+FIXTURE_NAKED = """\
+#include <mutex>
+static std::mutex g_mu;
+void f() { std::lock_guard<std::mutex> lock(g_mu); }
+// std::mutex in a comment must NOT fire
+static const char *s = "std::lock_guard in a string must NOT fire";
+"""
+
+FIXTURE_UNANNOTATED_H = """\
+#include "util/mutex.h"
+class Unannotated {
+  public:
+    void drainLocked();     // assumes mu_ held, says nothing
+  private:
+    util::Mutex mu_;        // guards nothing visibly
+    int counter_ = 0;
+};
+"""
+
+FIXTURE_ANNOTATED_H = """\
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+class Annotated {
+  public:
+    void drainLocked() REQUIRES(mu_);
+  private:
+    util::Mutex mu_;
+    int counter_ GUARDED_BY(mu_) = 0;
+};
+"""
+
+FIXTURE_POOL_BLOCKING = """\
+void Frontend::handleBatch() {
+    auto answers = service_.evaluateBatch(batch);   // queues + blocks
+    auto future = service_.evaluateAsync(one);      // queues
+    service_.pool().wait();                         // waits on itself
+    auto ok = service_.evaluateBatchInline(batch);  // legal
+    auto also_ok = service_.evaluate(one);          // legal
+}
+"""
+
+
+def expect(cond, what, failures):
+    if not cond:
+        failures.append(what)
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="vtrain-lint-") as root:
+        for rel, content in [
+            (os.path.join("src", "foo", "naked.cc"), FIXTURE_NAKED),
+            (os.path.join("src", "foo", "unannotated.h"),
+             FIXTURE_UNANNOTATED_H),
+            (os.path.join("src", "foo", "annotated.h"),
+             FIXTURE_ANNOTATED_H),
+            (os.path.join("src", "util", "exempt.cc"),
+             "#include <mutex>\nstd::mutex ok_here;\n"),
+            (os.path.join("src", "serve", "http_frontend.cc"),
+             FIXTURE_POOL_BLOCKING),
+            (os.path.join("tests", "util_test.cc"), "// ok\n"),
+            (os.path.join("tests", "BadName.cc"), "// bad\n"),
+            (os.path.join("bench", "perf_widget.cc"), "// ok\n"),
+            (os.path.join("bench", "scratch.cc"), "// bad\n"),
+            (os.path.join("bench", "bench_common.h"), "// ok\n"),
+        ]:
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+
+        findings = run_all(root)
+        by_rule = {}
+        for f in findings:
+            by_rule.setdefault(f.rule, []).append(f)
+
+        naked = by_rule.get("naked-mutex", [])
+        # Line 3 fires twice: std::lock_guard and its std::mutex
+        # template argument are each a banned token.
+        expect(len(naked) == 3 and
+               all(f.path.endswith("naked.cc") for f in naked),
+               "naked-mutex: expected exactly the 3 seeded hits, got "
+               "%s" % [str(f) for f in naked], failures)
+        expect(naked and naked[0].line == 2,
+               "naked-mutex: wrong line number", failures)
+
+        missing = by_rule.get("missing-annotation", [])
+        expect(len(missing) == 2 and
+               all(f.path.endswith("unannotated.h") for f in missing),
+               "missing-annotation: expected the 2 seeded hits "
+               "(unannotated mutex + Locked method), got %s"
+               % [str(f) for f in missing], failures)
+
+        blocking = by_rule.get("pool-blocking", [])
+        expect(len(blocking) == 3,
+               "pool-blocking: expected the 3 seeded hits "
+               "(evaluateBatch, evaluateAsync, pool().wait), got %s"
+               % [str(f) for f in blocking], failures)
+
+        naming = by_rule.get("file-naming", [])
+        expect(sorted(f.path for f in naming) ==
+               [os.path.join("bench", "scratch.cc"),
+                os.path.join("tests", "BadName.cc")],
+               "file-naming: expected BadName.cc + scratch.cc, got %s"
+               % [str(f) for f in naming], failures)
+
+    # A second, violation-free tree must come back clean.
+    with tempfile.TemporaryDirectory(prefix="vtrain-lint-") as root:
+        path = os.path.join(root, "src", "foo", "annotated.h")
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(FIXTURE_ANNOTATED_H)
+        clean = run_all(root)
+        expect(not clean, "clean tree produced findings: %s"
+               % [str(f) for f in clean], failures)
+
+    if failures:
+        for failure in failures:
+            print("SELF-TEST FAIL:", failure, file=sys.stderr)
+        return 1
+    print("lint.py self-test: all rules fire on seeded violations, "
+          "clean tree stays clean")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: the checkout "
+                             "containing this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the seeded-violation fixtures")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    findings = run_all(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print("\nlint.py: %d finding(s); see scripts/lint.py --help "
+              "for the rules' rationale" % len(findings),
+              file=sys.stderr)
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

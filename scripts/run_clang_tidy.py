@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Cached, parallel clang-tidy runner for the vtrain tree.
+
+Drives clang-tidy off the compile_commands.json that every CMake
+configure exports, over the src/ translation units only (tests and
+benches get their coverage through the headers they include, via
+HeaderFilterRegex in .clang-tidy).
+
+Results are cached ccache-style: a file is re-checked only when its
+content, its compile command, the .clang-tidy config, the clang-tidy
+version, or any header under src/ changes.  The cache directory is
+safe to persist across CI runs (key it on compile_commands.json).
+
+Exits 0 when every file is clean (or when clang-tidy is absent and
+--require was not given -- the container used for local development
+has no clang; the CI static-analysis job passes --require).
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+
+
+def sha256(*chunks):
+    h = hashlib.sha256()
+    for chunk in chunks:
+        if isinstance(chunk, str):
+            chunk = chunk.encode("utf-8", "replace")
+        h.update(chunk)
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def hash_tree_headers(src_dir):
+    """One digest over every header in src/: any header edit invalidates
+    every TU, which is coarse but always correct (no include scanning)."""
+    h = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(src_dir):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(".h"):
+                path = os.path.join(dirpath, name)
+                h.update(path.encode())
+                with open(path, "rb") as f:
+                    h.update(f.read())
+                h.update(b"\x00")
+    return h.hexdigest()
+
+
+def load_compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        sys.exit("error: %s not found; configure CMake first "
+                 "(CMAKE_EXPORT_COMPILE_COMMANDS is already ON)" % path)
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def entry_command(entry):
+    if "command" in entry:
+        return entry["command"]
+    return " ".join(shlex.quote(a) for a in entry.get("arguments", []))
+
+
+def check_file(tidy, build_dir, path):
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-release",
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy executable to use")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: "
+                             "<build-dir>/clang-tidy-cache)")
+    parser.add_argument("--jobs", type=int,
+                        default=os.cpu_count() or 2)
+    parser.add_argument("--report", default=None,
+                        help="write full diagnostics to this file on "
+                             "failure (CI uploads it as an artifact)")
+    parser.add_argument("--require", action="store_true",
+                        help="fail instead of skipping when clang-tidy "
+                             "is not installed")
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        if args.require:
+            sys.exit("error: %s not found and --require given"
+                     % args.clang_tidy)
+        print("run_clang_tidy.py: %s not installed; skipping "
+              "(the CI static-analysis job enforces this gate)"
+              % args.clang_tidy)
+        return 0
+
+    build_dir = os.path.abspath(args.build_dir)
+    entries = load_compile_commands(build_dir)
+    src_dir = os.path.join(root, "src")
+    files = sorted({
+        os.path.abspath(os.path.join(e.get("directory", "."), e["file"]))
+        for e in entries})
+    by_file = {}
+    for e in entries:
+        by_file[os.path.abspath(
+            os.path.join(e.get("directory", "."), e["file"]))] = e
+    files = [f for f in files
+             if os.path.commonpath([src_dir, f]) == src_dir]
+    if not files:
+        sys.exit("error: no src/ entries in compile_commands.json")
+
+    version = subprocess.run([tidy, "--version"], stdout=subprocess.PIPE,
+                             text=True).stdout
+    with open(os.path.join(root, ".clang-tidy"), encoding="utf-8") as f:
+        config = f.read()
+    headers_digest = hash_tree_headers(src_dir)
+
+    cache_dir = args.cache_dir or os.path.join(build_dir,
+                                               "clang-tidy-cache")
+    os.makedirs(cache_dir, exist_ok=True)
+
+    work = []          # (path, key) pairs that missed the cache
+    cached = 0
+    for path in files:
+        with open(path, "rb") as f:
+            content = f.read()
+        key = sha256(version, config, headers_digest,
+                     entry_command(by_file[path]), content)
+        if os.path.exists(os.path.join(cache_dir, key)):
+            cached += 1
+        else:
+            work.append((path, key))
+
+    print("run_clang_tidy.py: %d file(s), %d cached, %d to check"
+          % (len(files), cached, len(work)))
+
+    failures = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = {pool.submit(check_file, tidy, build_dir, path):
+                   (path, key) for path, key in work}
+        for future in concurrent.futures.as_completed(futures):
+            path, key = futures[future]
+            rc, out, err = future.result()
+            rel = os.path.relpath(path, root)
+            if rc == 0 and "warning:" not in out and "error:" not in out:
+                # Record the clean result; an empty marker file is the
+                # whole cache entry.
+                with open(os.path.join(cache_dir, key), "w"):
+                    pass
+                print("  OK   %s" % rel)
+            else:
+                failures.append((rel, out + err))
+                print("  FAIL %s" % rel)
+
+    if failures:
+        report_lines = []
+        for rel, text in sorted(failures):
+            report_lines.append("==== %s ====\n%s\n" % (rel, text))
+        report = "\n".join(report_lines)
+        print(report)
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as f:
+                f.write(report)
+            print("diagnostics written to %s" % args.report)
+        print("run_clang_tidy.py: %d file(s) with diagnostics"
+              % len(failures), file=sys.stderr)
+        return 1
+
+    print("run_clang_tidy.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -195,7 +195,7 @@ GraphTemplateCache::GraphTemplateCache(Options options) : options_(options)
 std::shared_ptr<const GraphTemplate>
 GraphTemplateCache::get(uint64_t fingerprint)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = index_.find(fingerprint);
     if (it == index_.end()) {
         ++misses_;
@@ -211,7 +211,7 @@ GraphTemplateCache::put(uint64_t fingerprint,
                         std::shared_ptr<const GraphTemplate> tmpl)
 {
     VTRAIN_CHECK(tmpl != nullptr, "cannot cache a null template");
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = index_.find(fingerprint);
     if (it != index_.end()) {
         bytes_ -= it->second->second->approxBytes();
@@ -247,7 +247,7 @@ GraphTemplateCache::shrinkLocked()
 void
 GraphTemplateCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     lru_.clear();
     index_.clear();
     bytes_ = 0;
@@ -256,7 +256,7 @@ GraphTemplateCache::clear()
 TemplateCacheStats
 GraphTemplateCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     TemplateCacheStats stats;
     stats.hits = hits_;
     stats.misses = misses_;

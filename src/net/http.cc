@@ -181,7 +181,11 @@ appendJsonEscaped(std::string_view s, std::string *out)
           default:
             if (static_cast<unsigned char>(c) < 0x20) {
                 char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                // %x consumes an unsigned int; a raw char is signed on
+                // most ABIs and would be a format-type mismatch.
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
                 *out += buf;
             } else {
                 *out += c;

@@ -79,13 +79,13 @@ HttpServer::stop()
     // Handlers still running on the executor hold `this`; wait them
     // out before tearing down the descriptors they wake.
     {
-        std::unique_lock<std::mutex> lock(inflight_mutex_);
-        inflight_cv_.wait(lock,
-                          [this] { return inflight_handlers_ == 0; });
+        util::MutexLock lock(inflight_mutex_);
+        while (inflight_handlers_ != 0)
+            inflight_cv_.wait(inflight_mutex_);
     }
     stopFds();
     {
-        std::lock_guard<std::mutex> lock(completions_mutex_);
+        util::MutexLock lock(completions_mutex_);
         completions_.clear();
     }
 }
@@ -284,7 +284,7 @@ HttpServer::dispatch(Conn *conn, HttpRequest request)
     conn->in_flight = true;
     const bool keep_alive = request.keep_alive && !conn->read_closed;
     {
-        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        util::MutexLock lock(inflight_mutex_);
         ++inflight_handlers_;
     }
     auto task = [this, id = conn->id, keep_alive,
@@ -311,7 +311,7 @@ HttpServer::complete(uint64_t conn_id, std::string bytes,
                      bool keep_alive)
 {
     {
-        std::lock_guard<std::mutex> lock(completions_mutex_);
+        util::MutexLock lock(completions_mutex_);
         completions_.push_back(
             Completion{conn_id, std::move(bytes), keep_alive});
     }
@@ -321,9 +321,9 @@ HttpServer::complete(uint64_t conn_id, std::string bytes,
     // itself, so the notify must happen under the mutex (a waiter
     // cannot re-check the predicate and return until we release it).
     {
-        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        util::MutexLock lock(inflight_mutex_);
         --inflight_handlers_;
-        inflight_cv_.notify_all();
+        inflight_cv_.notifyAll();
     }
 }
 
@@ -332,7 +332,7 @@ HttpServer::drainCompletions()
 {
     std::deque<Completion> batch;
     {
-        std::lock_guard<std::mutex> lock(completions_mutex_);
+        util::MutexLock lock(completions_mutex_);
         batch.swap(completions_);
     }
     for (Completion &completion : batch) {

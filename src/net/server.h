@@ -23,18 +23,18 @@
 #define VTRAIN_NET_SERVER_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
 #include "net/http.h"
 #include "net/socket.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vtrain {
 namespace net {
@@ -134,7 +134,7 @@ class HttpServer
     void flushConn(Conn *conn);
     void queueResponse(Conn *conn, const HttpResponse &response,
                        bool keep_alive);
-    void drainCompletions();
+    void drainCompletions() EXCLUDES(completions_mutex_);
     void closeConn(Conn *conn);
     /** Erases `id` from the table once its connection is defunct. */
     void reap(uint64_t id);
@@ -143,8 +143,8 @@ class HttpServer
     void stopFds();
 
     /** Called from executor threads when a handler finishes. */
-    void complete(uint64_t conn_id, std::string bytes,
-                  bool keep_alive);
+    void complete(uint64_t conn_id, std::string bytes, bool keep_alive)
+        EXCLUDES(completions_mutex_, inflight_mutex_);
 
     Options options_;
     Handler handler_;
@@ -163,14 +163,14 @@ class HttpServer
     std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
     uint64_t next_conn_id_ = 1;
 
-    std::mutex completions_mutex_;
-    std::deque<Completion> completions_;
+    util::Mutex completions_mutex_;
+    std::deque<Completion> completions_ GUARDED_BY(completions_mutex_);
 
     // Handlers running (or queued) on the executor; the destructor
     // waits for zero so tasks never outlive the server they call into.
-    std::mutex inflight_mutex_;
-    std::condition_variable inflight_cv_;
-    size_t inflight_handlers_ = 0;
+    util::Mutex inflight_mutex_;
+    util::CondVar inflight_cv_;
+    size_t inflight_handlers_ GUARDED_BY(inflight_mutex_) = 0;
 
     std::atomic<uint64_t> accepted_{0};
     std::atomic<uint64_t> open_{0};

@@ -127,7 +127,11 @@ dumpString(const std::string &s, std::string &out)
           default:
             if (static_cast<unsigned char>(c) < 0x20) {
                 char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                // %x consumes an unsigned int; a raw char is signed on
+                // most ABIs and would be a format-type mismatch.
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
                 out += buf;
             } else {
                 out += c;
@@ -151,8 +155,8 @@ dumpNumber(double d, std::string &out)
 void
 dumpValue(const Value &v, std::string &out, int depth)
 {
-    const std::string pad(2 * (depth + 1), ' ');
-    const std::string close_pad(2 * depth, ' ');
+    // Indentation strings live inside the container cases: building
+    // them up front would allocate twice per scalar leaf dumped.
     switch (v.type()) {
       case Value::Type::Null:
         out += "null";
@@ -172,13 +176,16 @@ dumpValue(const Value &v, std::string &out, int depth)
             out += "[]";
             break;
         }
+        const std::string pad(2 * (depth + 1), ' ');
         out += "[";
         for (size_t i = 0; i < items.size(); ++i) {
             out += i == 0 ? "\n" : ",\n";
             out += pad;
             dumpValue(items[i], out, depth + 1);
         }
-        out += "\n" + close_pad + "]";
+        out += '\n';
+        out.append(2 * depth, ' ');
+        out += ']';
         break;
       }
       case Value::Type::Object: {
@@ -187,6 +194,7 @@ dumpValue(const Value &v, std::string &out, int depth)
             out += "{}";
             break;
         }
+        const std::string pad(2 * (depth + 1), ' ');
         out += "{";
         for (size_t i = 0; i < members.size(); ++i) {
             out += i == 0 ? "\n" : ",\n";
@@ -195,7 +203,9 @@ dumpValue(const Value &v, std::string &out, int depth)
             out += ": ";
             dumpValue(members[i].second, out, depth + 1);
         }
-        out += "\n" + close_pad + "}";
+        out += '\n';
+        out.append(2 * depth, ' ');
+        out += '}';
         break;
       }
     }

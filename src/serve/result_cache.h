@@ -16,11 +16,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/result.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vtrain {
 
@@ -97,14 +98,16 @@ class ResultCache
 
     /** One lock's worth of the key space, with its own LRU order. */
     struct Shard {
-        mutable std::mutex mutex;
-        std::list<Entry> lru; // front = most recently used
-        std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
-        uint64_t hits = 0;
-        uint64_t misses = 0;
-        uint64_t insertions = 0;
-        uint64_t updates = 0;
-        uint64_t evictions = 0;
+        mutable util::Mutex mutex;
+        /** front = most recently used */
+        std::list<Entry> lru GUARDED_BY(mutex);
+        std::unordered_map<uint64_t, std::list<Entry>::iterator>
+            index GUARDED_BY(mutex);
+        uint64_t hits GUARDED_BY(mutex) = 0;
+        uint64_t misses GUARDED_BY(mutex) = 0;
+        uint64_t insertions GUARDED_BY(mutex) = 0;
+        uint64_t updates GUARDED_BY(mutex) = 0;
+        uint64_t evictions GUARDED_BY(mutex) = 0;
     };
 
     Shard &shardFor(uint64_t key)
@@ -115,7 +118,7 @@ class ResultCache
     }
 
     /** Evicts from the back of `shard` until it fits its budgets. */
-    void enforceBudget(Shard &shard);
+    void enforceBudgetLocked(Shard &shard) REQUIRES(shard.mutex);
 
     Options options_;
     size_t max_entries_per_shard_ = 0; // 0 = unlimited

@@ -33,7 +33,7 @@ SimService::claimInflight(
     const std::shared_ptr<std::promise<SimulationResult>> &promise,
     bool *joined)
 {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    util::MutexLock lock(inflight_mutex_);
     auto it = inflight_.find(fp);
     if (it != inflight_.end()) {
         *joined = true;
@@ -56,7 +56,7 @@ SimService::publish(
     if (request.cacheable())
         cache_.put(fp, result);
     {
-        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        util::MutexLock lock(inflight_mutex_);
         inflight_.erase(fp);
     }
     promise->set_value(result);
@@ -71,7 +71,7 @@ SimService::publishFailure(
     // in-flight entry so the next identical request recomputes, and
     // hand the exception to everyone already joined on the future.
     {
-        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        util::MutexLock lock(inflight_mutex_);
         inflight_.erase(fp);
     }
     promise->set_exception(std::current_exception());
@@ -81,12 +81,12 @@ SimulationResult
 SimService::evaluate(const SimRequest &request)
 {
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         ++requests_;
     }
     if (!request.cacheable()) {
         const SimulationResult result = compute(request);
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         ++computed_;
         return result;
     }
@@ -101,7 +101,7 @@ SimService::evaluate(const SimRequest &request)
     auto future = claimInflight(fp, promise, &joined);
     if (joined) {
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            util::MutexLock lock(stats_mutex_);
             ++inflight_joins_;
         }
         return future.get();
@@ -117,7 +117,7 @@ SimService::evaluate(const SimRequest &request)
         throw;
     }
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         ++computed_;
     }
     publish(request, fp, promise, result);
@@ -135,7 +135,7 @@ std::shared_future<SimulationResult>
 SimService::evaluateAsyncWithFp(const SimRequest &request, uint64_t fp)
 {
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         ++requests_;
     }
     if (!request.cacheable()) {
@@ -148,7 +148,7 @@ SimService::evaluateAsyncWithFp(const SimRequest &request, uint64_t fp)
             try {
                 const SimulationResult result = compute(request);
                 {
-                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    util::MutexLock lock(stats_mutex_);
                     ++computed_;
                 }
                 promise->set_value(result);
@@ -170,7 +170,7 @@ SimService::evaluateAsyncWithFp(const SimRequest &request, uint64_t fp)
     bool joined = false;
     auto future = claimInflight(fp, promise, &joined);
     if (joined) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         ++inflight_joins_;
         return future;
     }
@@ -179,7 +179,7 @@ SimService::evaluateAsyncWithFp(const SimRequest &request, uint64_t fp)
         try {
             const SimulationResult result = compute(request);
             {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
+                util::MutexLock lock(stats_mutex_);
                 ++computed_;
             }
             publish(request, fp, promise, result);
@@ -257,7 +257,7 @@ SimService::evaluateBatchImpl(const std::vector<SimRequest> &requests,
             future_of[i] = futures.size();
             futures.push_back(std::move(future));
             if (joined) {
-                std::lock_guard<std::mutex> lock(stats_mutex_);
+                util::MutexLock lock(stats_mutex_);
                 ++inflight_joins_;
                 continue;
             }
@@ -284,7 +284,7 @@ SimService::evaluateBatchImpl(const std::vector<SimRequest> &requests,
             try {
                 const SimulationResult result = compute(request);
                 {
-                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    util::MutexLock lock(stats_mutex_);
                     ++computed_;
                 }
                 ready.set_value(result);
@@ -298,7 +298,7 @@ SimService::evaluateBatchImpl(const std::vector<SimRequest> &requests,
     }
 
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         // Inline mode handles every request here; the pooled mode
         // routed non-cacheable ones through evaluateAsyncWithFp,
         // which already counted them.
@@ -343,7 +343,7 @@ SimService::evaluateBatchImpl(const std::vector<SimRequest> &requests,
                 }
                 if (batched) {
                     {
-                        std::lock_guard<std::mutex> lock(stats_mutex_);
+                        util::MutexLock lock(stats_mutex_);
                         computed_ += members.size();
                     }
                     for (size_t m = 0; m < members.size(); ++m) {
@@ -368,7 +368,7 @@ SimService::evaluateBatchImpl(const std::vector<SimRequest> &requests,
                 const SimulationResult result =
                     compute(member.request);
                 {
-                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    util::MutexLock lock(stats_mutex_);
                     ++computed_;
                 }
                 publish(member.request, member.fp, member.promise,
@@ -427,7 +427,7 @@ SimService::stats() const
 {
     ServiceStats stats;
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         stats.requests = requests_;
         stats.computed = computed_;
         stats.inflight_joins = inflight_joins_;

@@ -29,13 +29,14 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/template.h"
 #include "serve/result_cache.h"
 #include "serve/sim_request.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace vtrain {
@@ -164,13 +165,14 @@ class SimService
     claimInflight(uint64_t fp,
                   const std::shared_ptr<std::promise<SimulationResult>>
                       &promise,
-                  bool *joined);
+                  bool *joined) EXCLUDES(inflight_mutex_);
 
     /** Publishes a finished computation: cache, table, promise. */
     void publish(const SimRequest &request, uint64_t fp,
                  const std::shared_ptr<std::promise<SimulationResult>>
                      &promise,
-                 const SimulationResult &result);
+                 const SimulationResult &result)
+        EXCLUDES(inflight_mutex_);
 
     /**
      * Unwinds a failed computation (called from a catch block):
@@ -179,7 +181,8 @@ class SimService
      */
     void publishFailure(
         uint64_t fp,
-        const std::shared_ptr<std::promise<SimulationResult>> &promise);
+        const std::shared_ptr<std::promise<SimulationResult>> &promise)
+        EXCLUDES(inflight_mutex_);
 
     /** evaluateAsync() with the fingerprint already computed. */
     std::shared_future<SimulationResult>
@@ -195,15 +198,17 @@ class SimService
     std::shared_ptr<GraphTemplateCache> templates_;
     std::shared_ptr<EngineCounters> engine_counters_;
 
-    mutable std::mutex inflight_mutex_;
+    /** In-flight dedup: fingerprint -> the computation's future. */
+    mutable util::Mutex inflight_mutex_;
     std::unordered_map<uint64_t, std::shared_future<SimulationResult>>
-        inflight_;
+        inflight_ GUARDED_BY(inflight_mutex_);
 
-    mutable std::mutex stats_mutex_;
-    uint64_t requests_ = 0;
-    uint64_t computed_ = 0;
-    uint64_t inflight_joins_ = 0;
-    uint64_t batch_dedups_ = 0;
+    /** Service counters (ServiceStats snapshot source). */
+    mutable util::Mutex stats_mutex_;
+    uint64_t requests_ GUARDED_BY(stats_mutex_) = 0;
+    uint64_t computed_ GUARDED_BY(stats_mutex_) = 0;
+    uint64_t inflight_joins_ GUARDED_BY(stats_mutex_) = 0;
+    uint64_t batch_dedups_ GUARDED_BY(stats_mutex_) = 0;
 
     // Last member on purpose: the pool is destroyed (and its queued
     // tasks drained) first, while the cache, in-flight table, mutexes

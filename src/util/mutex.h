@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Annotated mutex / scoped-lock / condition-variable wrappers.
+ *
+ * Thin, zero-overhead wrappers over the std primitives that carry the
+ * Clang thread-safety capability annotations (thread_annotations.h),
+ * so a clang build proves lock discipline statically: every member
+ * declared GUARDED_BY(mu) is only reachable with `mu` held, every
+ * `...Locked()` helper declared REQUIRES(mu) is only callable under
+ * it, and a forgotten lock is a compile error rather than a tsan
+ * schedule away.
+ *
+ * Project policy (enforced by scripts/lint.py): all locking code
+ * outside src/util/ uses util::Mutex + util::MutexLock + util::CondVar
+ * instead of naked std::mutex / std::lock_guard /
+ * std::condition_variable, because the std types carry no annotations
+ * and make their guarded data invisible to the analysis.
+ *
+ * CondVar deliberately has no predicate-taking wait(): a predicate
+ * lambda is analyzed as a separate function with no lock context, so
+ * reading guarded state inside it would (correctly) fail the
+ * analysis.  Spell the loop out instead:
+ *
+ *     util::MutexLock lock(mu_);
+ *     while (!ready_)          // ready_ is GUARDED_BY(mu_): provable
+ *         cv_.wait(mu_);
+ */
+#ifndef VTRAIN_UTIL_MUTEX_H
+#define VTRAIN_UTIL_MUTEX_H
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace vtrain {
+namespace util {
+
+/** An annotated std::mutex: the analysis tracks it as a capability. */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+
+    void unlock() RELEASE() { mu_.unlock(); }
+
+    bool tryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex mu_;
+};
+
+/**
+ * RAII lock over a util::Mutex; the annotated replacement for
+ * std::lock_guard / std::unique_lock at every call site.
+ */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+
+    ~MutexLock() RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Condition variable over util::Mutex.  wait() REQUIRES the mutex, so
+ * the analysis checks the caller actually holds it (see the file
+ * comment for the canonical while-loop shape).
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /**
+     * Atomically releases `mu` and blocks until notified, then
+     * re-acquires `mu` before returning.  Spurious wakeups happen;
+     * always re-check the predicate in a loop.
+     */
+    void wait(Mutex &mu) REQUIRES(mu)
+    {
+        // Adopt the already-held native mutex for the duration of the
+        // wait, then release ownership back to the caller's scope so
+        // the unique_lock destructor does not unlock it a second time.
+        std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+        cv_.wait(native);
+        native.release();
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace util
+} // namespace vtrain
+
+#endif // VTRAIN_UTIL_MUTEX_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Portable Clang thread-safety-analysis annotation macros.
+ *
+ * Clang's `-Wthread-safety` analysis proves lock discipline at compile
+ * time: members declared GUARDED_BY(mu) may only be touched while `mu`
+ * is held, functions declared REQUIRES(mu) may only be called with
+ * `mu` held, and violations are build errors under the static-analysis
+ * CI gate (see README "Static analysis & sanitizers").  On compilers
+ * without the attribute (GCC, MSVC) every macro expands to nothing, so
+ * annotated code stays portable.
+ *
+ * The vocabulary follows the Clang documentation and the conventions
+ * large C++ serving stacks use (Abseil, the TensorFlow runtime):
+ *
+ *  - CAPABILITY / SCOPED_CAPABILITY mark lock types and RAII guards
+ *    (see util/mutex.h for the project's annotated wrappers);
+ *  - GUARDED_BY / PT_GUARDED_BY protect data members;
+ *  - REQUIRES / REQUIRES_SHARED precondition functions on held locks
+ *    (the project convention is a `...Locked()` name suffix);
+ *  - ACQUIRE / RELEASE / TRY_ACQUIRE annotate lock primitives;
+ *  - EXCLUDES declares a lock that must NOT be held on entry
+ *    (deadlock documentation; enforced under -Wthread-safety-negative);
+ *  - NO_THREAD_SAFETY_ANALYSIS opts a function out, as a last resort.
+ *
+ * New locking code must use util::Mutex / util::MutexLock rather than
+ * naked std::mutex so the analysis can see it (scripts/lint.py
+ * enforces this outside src/util/).
+ */
+#ifndef VTRAIN_UTIL_THREAD_ANNOTATIONS_H
+#define VTRAIN_UTIL_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__)
+#define VTRAIN_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define VTRAIN_THREAD_ANNOTATION__(x) // no-op off clang
+#endif
+
+#define CAPABILITY(x) VTRAIN_THREAD_ANNOTATION__(capability(x))
+
+#define SCOPED_CAPABILITY VTRAIN_THREAD_ANNOTATION__(scoped_lockable)
+
+#define GUARDED_BY(x) VTRAIN_THREAD_ANNOTATION__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) VTRAIN_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...)                                              \
+    VTRAIN_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...)                                               \
+    VTRAIN_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...)                                                     \
+    VTRAIN_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...)                                              \
+    VTRAIN_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...)                                                      \
+    VTRAIN_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...)                                               \
+    VTRAIN_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...)                                                      \
+    VTRAIN_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...)                                               \
+    VTRAIN_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...)                                                  \
+    VTRAIN_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) VTRAIN_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x)                                              \
+    VTRAIN_THREAD_ANNOTATION__(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) VTRAIN_THREAD_ANNOTATION__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS                                         \
+    VTRAIN_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif // VTRAIN_UTIL_THREAD_ANNOTATIONS_H

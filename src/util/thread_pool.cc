@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(size_t n_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         stop_ = true;
     }
-    cv_task_.notify_all();
+    cv_task_.notifyAll();
     for (auto &w : workers_)
         w.join();
 }
@@ -29,18 +29,19 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         tasks_.push(std::move(task));
         ++in_flight_;
     }
-    cv_task_.notify_one();
+    cv_task_.notifyOne();
 }
 
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+    util::MutexLock lock(mutex_);
+    while (in_flight_ != 0)
+        cv_done_.wait(mutex_);
 }
 
 void
@@ -57,22 +58,20 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-            if (tasks_.empty()) {
-                if (stop_)
-                    return;
-                continue;
-            }
+            util::MutexLock lock(mutex_);
+            while (!stop_ && tasks_.empty())
+                cv_task_.wait(mutex_);
+            if (tasks_.empty())
+                return; // stopped with an empty queue
             task = std::move(tasks_.front());
             tasks_.pop();
         }
         task();
         {
-            std::unique_lock<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             --in_flight_;
             if (in_flight_ == 0)
-                cv_done_.notify_all();
+                cv_done_.notifyAll();
         }
     }
 }

@@ -9,13 +9,14 @@
 #ifndef VTRAIN_UTIL_THREAD_POOL_H
 #define VTRAIN_UTIL_THREAD_POOL_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vtrain {
 
@@ -33,10 +34,10 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Enqueues a task for asynchronous execution. */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) EXCLUDES(mutex_);
 
     /** Blocks until every submitted task has finished. */
-    void wait();
+    void wait() EXCLUDES(mutex_);
 
     size_t numThreads() const { return workers_.size(); }
 
@@ -44,18 +45,19 @@ class ThreadPool
      * Runs fn(i) for i in [0, n) across the pool and waits for
      * completion.  fn must be safe to call concurrently.
      */
-    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn)
+        EXCLUDES(mutex_);
 
   private:
-    void workerLoop();
+    void workerLoop() EXCLUDES(mutex_);
 
-    std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
-    std::condition_variable cv_task_;
-    std::condition_variable cv_done_;
-    size_t in_flight_ = 0;
-    bool stop_ = false;
+    std::vector<std::thread> workers_; //!< written by ctor/dtor only
+    util::Mutex mutex_;
+    util::CondVar cv_task_;
+    util::CondVar cv_done_;
+    std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+    size_t in_flight_ GUARDED_BY(mutex_) = 0;
+    bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace vtrain

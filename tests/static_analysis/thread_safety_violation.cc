@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Thread-safety analysis proof, negative half.
+ *
+ * Three deliberate lock-discipline violations.  Under
+ *
+ *   clang++ -fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror
+ *
+ * this TU must FAIL to compile; scripts/check_thread_safety.py asserts
+ * that failure.  If it ever starts compiling, the gate is dead (flags
+ * dropped, macros compiled out under clang, analysis disabled) even if
+ * the positive TU still passes -- that is exactly the regression this
+ * file exists to catch.  Not part of any normal build.
+ */
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+using vtrain::util::Mutex;
+using vtrain::util::MutexLock;
+
+class Counter
+{
+  public:
+    // Violation 1: writes a GUARDED_BY member with no lock held.
+    void incrementRacy() { ++value_; }
+
+    // Violation 2: calls a REQUIRES'd helper without the lock.
+    int readRacy() { return valueLocked(); }
+
+    // Violation 3: EXCLUDES'd method re-entered with the lock held
+    // (double acquisition of a non-recursive capability).
+    void incrementTwice() EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        ++value_;
+        incrementSafe();
+    }
+
+    void incrementSafe() EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        ++value_;
+    }
+
+  private:
+    int valueLocked() REQUIRES(mutex_) { return value_; }
+
+    Mutex mutex_;
+    int value_ GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+violationEntryPoint()
+{
+    Counter counter;
+    counter.incrementRacy();
+    counter.incrementTwice();
+    return counter.readRacy();
+}
