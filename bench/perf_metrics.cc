@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the observability primitives:
+ * histogram record cost (the per-request hot path must stay under
+ * ~50 ns so instrumentation never shows up next to socket syscalls),
+ * counter increments, the labeled registry lookup the HTTP server
+ * pays once per response, trace spans with and without an installed
+ * capture, and the end-to-end instrumented simulator iteration (its
+ * guardrail lives in BM_SimulateIteration_MtNlg: the instrumented
+ * build must stay within ±5% of the PR 5 baseline).
+ */
+#include <benchmark/benchmark.h>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+#include "vtrain/vtrain.h"
+
+namespace {
+
+using namespace vtrain;
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    util::Histogram histogram;
+    double value = 1e-6;
+    for (auto _ : state) {
+        histogram.record(value);
+        // Walk the value so bucketIndex sees varying exponents, not
+        // one perfectly predicted branch pattern.
+        value = value < 1.0 ? value * 1.0009765625 : 1e-6;
+    }
+    benchmark::DoNotOptimize(histogram.snapshot().count);
+    state.SetItemsProcessed(state.iterations());
+}
+// ThreadRange shows the sharding payoff: 8 writers on one histogram
+// must scale, not serialize on a shared cache line.
+BENCHMARK(BM_HistogramRecord)->ThreadRange(1, 8)->UseRealTime();
+
+void
+BM_CounterInc(benchmark::State &state)
+{
+    util::Counter counter;
+    for (auto _ : state)
+        counter.inc();
+    benchmark::DoNotOptimize(counter.value());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterInc);
+
+void
+BM_RegistryLookup(benchmark::State &state)
+{
+    // The per-response cost in the HTTP server: resolve a labeled
+    // histogram series by (name, labels) under the registry mutex.
+    util::MetricRegistry registry;
+    (void)registry.histogram("vtrain_bench_lookup_seconds",
+                             {{"route", "/v1/evaluate"},
+                              {"status", "200"}});
+    for (auto _ : state) {
+        util::Histogram *h =
+            registry.histogram("vtrain_bench_lookup_seconds",
+                               {{"route", "/v1/evaluate"},
+                                {"status", "200"}});
+        benchmark::DoNotOptimize(h);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryLookup);
+
+void
+BM_HistogramSnapshot(benchmark::State &state)
+{
+    // The scrape-time cost: merge all shards of a populated
+    // histogram.  /metricsz pays this once per series per scrape.
+    util::Histogram histogram;
+    for (int i = 0; i < 100000; ++i)
+        histogram.record(1e-6 * (i % 1000 + 1));
+    for (auto _ : state) {
+        const util::HistogramSnapshot snap = histogram.snapshot();
+        benchmark::DoNotOptimize(snap.count);
+    }
+}
+BENCHMARK(BM_HistogramSnapshot);
+
+void
+BM_TraceSpanInactive(benchmark::State &state)
+{
+    // No capture installed: the span must be a near-free no-op (two
+    // thread-local reads), because every instrumented code path pays
+    // this on every untraced request.
+    for (auto _ : state) {
+        util::TraceSpan span("bench.inactive");
+        benchmark::DoNotOptimize(&span);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanInactive);
+
+void
+BM_TraceSpanActive(benchmark::State &state)
+{
+    // Capture installed: clock reads + an event append per span.
+    // Batched under one capture so the span cost dominates, sized
+    // under kMaxSpans so no iteration hits the drop path.
+    constexpr size_t kSpansPerCapture = 256;
+    static_assert(kSpansPerCapture <= util::TraceCapture::kMaxSpans,
+                  "must measure the record path, not the drop path");
+    for (auto _ : state) {
+        util::TraceCapture capture("bench");
+        for (size_t i = 0; i < kSpansPerCapture; ++i) {
+            util::TraceSpan span("bench.active");
+        }
+        const util::Trace trace = capture.finish();
+        benchmark::DoNotOptimize(trace.events.size());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<int64_t>(kSpansPerCapture));
+}
+BENCHMARK(BM_TraceSpanActive);
+
+void
+BM_RenderPrometheus(benchmark::State &state)
+{
+    // A realistically sized registry: a few counters/gauges plus
+    // labeled histogram series, all populated.
+    util::MetricRegistry registry;
+    for (int i = 0; i < 8; ++i) {
+        std::string route = "/route";
+        route += std::to_string(i);
+        registry
+            .counter("vtrain_bench_requests_total",
+                     {{"route", route}})
+            ->inc(100 + i);
+        util::Histogram *h =
+            registry.histogram("vtrain_bench_request_seconds",
+                               {{"route", route}});
+        for (int j = 0; j < 1000; ++j)
+            h->record(1e-4 * (j + 1));
+    }
+    registry.gauge("vtrain_bench_inflight")->set(3);
+    for (auto _ : state) {
+        const std::string text = registry.renderPrometheus();
+        benchmark::DoNotOptimize(text.size());
+    }
+}
+BENCHMARK(BM_RenderPrometheus)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SimulateIterationTraced_MtNlg(benchmark::State &state)
+{
+    // The fully traced warm request: same work as the untraced
+    // BM_SimulateIteration_MtNlg in perf_simulator, plus an active
+    // capture collecting the sim.* phase spans.  The delta between
+    // the two is the whole observability tax on a real evaluate.
+    setVerbose(false);
+    const ModelConfig model = zoo::mtNlg530b();
+    Simulator sim(makeCluster(3360));
+    ParallelConfig plan;
+    plan.tensor = 8;
+    plan.data = 8;
+    plan.pipeline = 35;
+    plan.micro_batch_size = 1;
+    plan.global_batch_size = 1920;
+    (void)sim.simulateIteration(model, plan); // prime the template
+    for (auto _ : state) {
+        util::TraceCapture capture("bench.simulate");
+        SimulationResult r = sim.simulateIteration(model, plan);
+        const util::Trace trace = capture.finish();
+        benchmark::DoNotOptimize(r.iteration_seconds);
+        benchmark::DoNotOptimize(trace.events.size());
+    }
+}
+BENCHMARK(BM_SimulateIterationTraced_MtNlg)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

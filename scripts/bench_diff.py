@@ -71,15 +71,24 @@ def main():
 
     before = load(args.before, args.metric)
     after = load(args.after, args.metric)
-    if not before or not after:
-        print("error: no comparable benchmarks found", file=sys.stderr)
+    if not after:
+        print("error: no comparable benchmarks in the candidate file",
+              file=sys.stderr)
         return 2
 
     shared = [name for name in before if name in after]
     if not shared:
-        print("error: the two files share no benchmark names",
-              file=sys.stderr)
-        return 2
+        # First run of a new bench suite: the baseline predates every
+        # candidate series.  Listing them as new and exiting 0 lets a
+        # fresh BENCH_<name>.json be adopted without hand-editing a
+        # bootstrap baseline.
+        width = max(len(name) for name in after)
+        for name in sorted(after):
+            print(f"{name.ljust(width)}  {'(new)':>10}  "
+                  f"{fmt_time(after[name]):>10}")
+        print("\n0 compared: the baseline has none of the candidate's "
+              "benchmark names (first run of a new suite?)")
+        return 0
 
     use_color = sys.stdout.isatty()
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint rules for the vtrain tree.
 
-Four rules, each targeting a defect class the compilers cannot (or do
+Five rules, each targeting a defect class the compilers cannot (or do
 not) catch:
 
   naked-mutex         std::mutex / std::lock_guard / std::unique_lock /
@@ -30,6 +30,14 @@ not) catch:
                       must be fig<N>_*/table<N>_*/perf_*/ablation_*/
                       *_common so CI's bench-smoke globs keep matching
                       every binary.
+
+  metric-naming       Metric names registered through MetricRegistry
+                      (counter/gauge/histogram and their declare*
+                      variants) must be vtrain_<subsystem>_<name>[_unit]
+                      in snake_case, and counters must end in _total.
+                      Prometheus cannot rename a series after the fact:
+                      a misnamed metric either breaks dashboards or
+                      lives forever.
 
 Usage:
   scripts/lint.py [--root DIR]   lint the tree (exit 1 on findings)
@@ -74,6 +82,13 @@ MUTEX_MEMBER_RE = re.compile(
 
 LOCKED_METHOD_RE = re.compile(r"\b(\w+Locked)\s*\(")
 
+# A MetricRegistry registration: method name, then a string-literal
+# metric name as the first argument.
+METRIC_CALL_RE = re.compile(
+    r"\b(counter|gauge|histogram|declareCounter|declareGauge|"
+    r"declareHistogram)\s*\(\s*\"([^\"]*)\"")
+METRIC_NAME_RE = re.compile(r"^vtrain_[a-z0-9]+(?:_[a-z0-9]+)+$")
+
 TEST_NAME_RE = re.compile(r"^[a-z0-9_]+_test\.cc$")
 BENCH_CC_RE = re.compile(
     r"^(fig\d+_[a-z0-9_]+|table\d+_[a-z0-9_]+|perf_[a-z0-9_]+|"
@@ -93,9 +108,10 @@ class Finding:
                                    self.message)
 
 
-def strip_comments(text):
-    """Blanks out // and /* */ comments and string/char literals,
-    preserving line structure so reported line numbers stay exact."""
+def strip_comments(text, keep_strings=False):
+    """Blanks out // and /* */ comments and (unless keep_strings)
+    string/char literals, preserving line structure so reported line
+    numbers stay exact."""
     out = []
     i, n = 0, len(text)
     state = "code"  # code | line | block | str | chr
@@ -115,12 +131,12 @@ def strip_comments(text):
                 continue
             if c == '"':
                 state = "str"
-                out.append(" ")
+                out.append(c if keep_strings else " ")
                 i += 1
                 continue
             if c == "'":
                 state = "chr"
-                out.append(" ")
+                out.append(c if keep_strings else " ")
                 i += 1
                 continue
             out.append(c)
@@ -140,12 +156,15 @@ def strip_comments(text):
         elif state in ("str", "chr"):
             quote = '"' if state == "str" else "'"
             if c == "\\":
-                out.append("  ")
+                out.append(text[i:i + 2] if keep_strings else "  ")
                 i += 2
                 continue
             if c == quote:
                 state = "code"
-            out.append(c if c == "\n" else " ")
+            if keep_strings:
+                out.append(c)
+            else:
+                out.append(c if c == "\n" else " ")
         i += 1
     return "".join(out)
 
@@ -252,6 +271,29 @@ def check_file_naming(root, findings):
                     "bench headers must be named *_common.h"))
 
 
+def check_metric_naming(root, findings):
+    for path in iter_source_files(root, "src", {".h", ".cc"}):
+        # Comments are stripped but string literals kept: the metric
+        # name IS a string literal.
+        code = strip_comments(read_text(path), keep_strings=True)
+        for m in METRIC_CALL_RE.finditer(code):
+            kind, name = m.group(1), m.group(2)
+            if not METRIC_NAME_RE.match(name):
+                findings.append(Finding(
+                    relpath(root, path), line_of(code, m.start()),
+                    "metric-naming",
+                    "metric name '%s' must match "
+                    "vtrain_<subsystem>_<name>[_unit] "
+                    "(snake_case, vtrain_ prefix)" % name))
+            elif (kind in ("counter", "declareCounter") and
+                  not name.endswith("_total")):
+                findings.append(Finding(
+                    relpath(root, path), line_of(code, m.start()),
+                    "metric-naming",
+                    "counter '%s' must end in _total (Prometheus "
+                    "counter convention)" % name))
+
+
 def read_text(path):
     with open(path, encoding="utf-8", errors="replace") as f:
         return f.read()
@@ -263,6 +305,7 @@ def run_all(root):
     check_missing_annotation(root, findings)
     check_pool_blocking(root, findings)
     check_file_naming(root, findings)
+    check_metric_naming(root, findings)
     return findings
 
 
@@ -299,6 +342,20 @@ class Annotated {
 };
 """
 
+FIXTURE_METRIC_NAMES = """\
+#include "util/metrics.h"
+void wire(vtrain::util::MetricRegistry &r) {
+    r.counter("vtrain_http_requests_total")->inc();   // ok
+    r.gauge("vtrain_pool_queue_depth")->set(0);       // ok
+    r.histogram("vtrain_sim_phase_seconds");          // ok
+    r.declareCounter("vtrain_service_drops_total");   // ok
+    r.counter("http_requests_total");    // bad: missing vtrain_ prefix
+    r.counter("vtrain_http_retries");    // bad: counter without _total
+    r.gauge("vtrain_Pool_depth");        // bad: not snake_case
+    // r.counter("BAD_in_comment") must NOT fire
+}
+"""
+
 FIXTURE_POOL_BLOCKING = """\
 void Frontend::handleBatch() {
     auto answers = service_.evaluateBatch(batch);   // queues + blocks
@@ -328,6 +385,8 @@ def self_test():
              "#include <mutex>\nstd::mutex ok_here;\n"),
             (os.path.join("src", "serve", "http_frontend.cc"),
              FIXTURE_POOL_BLOCKING),
+            (os.path.join("src", "foo", "metric_names.cc"),
+             FIXTURE_METRIC_NAMES),
             (os.path.join("tests", "util_test.cc"), "// ok\n"),
             (os.path.join("tests", "BadName.cc"), "// bad\n"),
             (os.path.join("bench", "perf_widget.cc"), "// ok\n"),
@@ -366,6 +425,16 @@ def self_test():
                "pool-blocking: expected the 3 seeded hits "
                "(evaluateBatch, evaluateAsync, pool().wait), got %s"
                % [str(f) for f in blocking], failures)
+
+        metric = by_rule.get("metric-naming", [])
+        expect(len(metric) == 3 and
+               all(f.path.endswith("metric_names.cc") for f in metric),
+               "metric-naming: expected the 3 seeded hits (no prefix, "
+               "counter sans _total, CamelCase), got %s"
+               % [str(f) for f in metric], failures)
+        expect(metric and metric[0].line == 7,
+               "metric-naming: wrong line number, got %s"
+               % [str(f) for f in metric], failures)
 
         naming = by_rule.get("file-naming", [])
         expect(sorted(f.path for f in naming) ==

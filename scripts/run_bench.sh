@@ -4,8 +4,9 @@
 #   bench/perf_simulator -> BENCH_simulator.json (simulator pipeline)
 #   bench/perf_serve     -> BENCH_serve.json     (serve layer, cold/warm)
 #   bench/perf_http      -> BENCH_http.json      (HTTP frontend loopback)
+#   bench/perf_metrics   -> BENCH_metrics.json   (observability primitives)
 #
-# Usage: scripts/run_bench.sh [--repeat N] [simulator|serve|http|all] [output.json]
+# Usage: scripts/run_bench.sh [--repeat N] [simulator|serve|http|metrics|all] [output.json]
 #   --repeat N      forward --benchmark_repetitions=N (bench_diff.py
 #                   averages the repetitions, damping steady-state noise)
 #   bench name      which baseline to regenerate (default: all)
@@ -33,9 +34,9 @@ BUILD_DIR="${BUILD_DIR:-${ROOT}/build-release}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 case "${WHICH}" in
-    simulator|serve|http|all) ;;
+    simulator|serve|http|metrics|all) ;;
     *)
-        echo "usage: $0 [--repeat N] [simulator|serve|http|all]" \
+        echo "usage: $0 [--repeat N] [simulator|serve|http|metrics|all]" \
              "[output.json]" >&2
         exit 2
         ;;
@@ -71,7 +72,7 @@ run_bench() {
 }
 
 if [[ "${WHICH}" == "all" ]]; then
-    for name in simulator serve http; do
+    for name in simulator serve http metrics; do
         run_bench "${name}" "${OUT_DIR}/BENCH_${name}.json"
     done
 else

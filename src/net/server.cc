@@ -28,6 +28,37 @@ HttpServer::HttpServer(Options options, Handler handler)
 {
     VTRAIN_CHECK(handler_ != nullptr,
                  "HttpServer needs a request handler");
+
+    metrics_ = options_.metrics ? options_.metrics
+                                : &util::MetricRegistry::global();
+    requests_total_ = metrics_->counter(
+        "vtrain_http_requests_total", {},
+        "Complete requests dispatched to a handler.");
+    responses_total_ = metrics_->counter(
+        "vtrain_http_responses_total", {},
+        "Responses fully written to the socket.");
+    parse_errors_total_ = metrics_->counter(
+        "vtrain_http_parse_errors_total", {},
+        "Malformed or oversized requests answered with an error.");
+    connections_accepted_total_ = metrics_->counter(
+        "vtrain_http_connections_accepted_total", {},
+        "Client connections accepted since start.");
+    bytes_read_total_ = metrics_->counter(
+        "vtrain_http_bytes_read_total", {},
+        "Bytes read from client sockets.");
+    bytes_written_total_ = metrics_->counter(
+        "vtrain_http_bytes_written_total", {},
+        "Bytes written to client sockets.");
+    connections_open_gauge_ = metrics_->gauge(
+        "vtrain_http_connections_open", {},
+        "Client connections currently open.");
+    inflight_requests_gauge_ = metrics_->gauge(
+        "vtrain_http_inflight_requests", {},
+        "Requests dispatched and not yet completed.");
+    metrics_->declareHistogram(
+        "vtrain_http_request_seconds",
+        "Handler latency (dispatch to completion, including executor "
+        "queueing) by route and status.");
 }
 
 HttpServer::~HttpServer()
@@ -167,6 +198,7 @@ HttpServer::runLoop()
         if (!conn->defunct) {
             conn->sock.close();
             open_.fetch_sub(1);
+            connections_open_gauge_->sub(1);
         }
     }
     conns_.clear();
@@ -193,6 +225,8 @@ HttpServer::acceptPending()
         conn->interest = EPOLLIN;
         accepted_.fetch_add(1);
         open_.fetch_add(1);
+        connections_accepted_total_->inc();
+        connections_open_gauge_->add(1);
         conns_.emplace(conn->id, std::move(conn));
     }
 }
@@ -230,6 +264,7 @@ HttpServer::readFromConn(Conn *conn)
             conn->sock.recvSome(buf, sizeof(buf), &n);
         if (status == IoStatus::Ok) {
             conn->in_buf.append(buf, n);
+            bytes_read_total_->inc(n);
             continue;
         }
         if (status == IoStatus::WouldBlock)
@@ -266,6 +301,7 @@ HttpServer::tryParse(Conn *conn)
             dispatch(conn, std::move(request));
         } else if (status == HttpRequestParser::Status::Error) {
             parse_errors_.fetch_add(1);
+            parse_errors_total_->inc();
             queueResponse(conn,
                           errorResponse(conn->parser.errorStatus(),
                                         conn->parser.errorMessage()),
@@ -281,13 +317,20 @@ void
 HttpServer::dispatch(Conn *conn, HttpRequest request)
 {
     requests_.fetch_add(1);
+    requests_total_->inc();
+    inflight_requests_gauge_->add(1);
     conn->in_flight = true;
     const bool keep_alive = request.keep_alive && !conn->read_closed;
+    std::string route = options_.route_label
+                            ? options_.route_label(request)
+                            : std::string("(all)");
     {
         util::MutexLock lock(inflight_mutex_);
         ++inflight_handlers_;
     }
     auto task = [this, id = conn->id, keep_alive,
+                 route = std::move(route),
+                 start_ns = util::monotonicNanos(),
                  req = std::move(request)]() mutable {
         HttpResponse response;
         try {
@@ -297,6 +340,15 @@ HttpServer::dispatch(Conn *conn, HttpRequest request)
         } catch (...) {
             response = errorResponse(500, "unknown handler failure");
         }
+        const double seconds =
+            static_cast<double>(util::monotonicNanos() - start_ns) *
+            1e-9;
+        metrics_
+            ->histogram("vtrain_http_request_seconds",
+                        {{"route", std::move(route)},
+                         {"status", std::to_string(response.status)}})
+            ->record(seconds);
+        inflight_requests_gauge_->sub(1);
         complete(id, serializeResponse(response, keep_alive),
                  keep_alive);
     };
@@ -373,6 +425,7 @@ HttpServer::flushConn(Conn *conn)
             conn->out_buf.size() - conn->out_off, &n);
         if (status == IoStatus::Ok) {
             conn->out_off += n;
+            bytes_written_total_->inc(n);
             continue;
         }
         if (status == IoStatus::WouldBlock)
@@ -383,6 +436,7 @@ HttpServer::flushConn(Conn *conn)
     if (conn->out_buf.empty())
         return;
     responses_.fetch_add(1);
+    responses_total_->inc();
     conn->out_buf.clear();
     conn->out_off = 0;
     if (conn->close_after_write || conn->read_closed) {
@@ -422,6 +476,7 @@ HttpServer::closeConn(Conn *conn)
     conn->sock.close();
     conn->defunct = true;
     open_.fetch_sub(1);
+    connections_open_gauge_->sub(1);
 }
 
 void

@@ -33,6 +33,7 @@
 
 #include "net/http.h"
 #include "net/socket.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -69,6 +70,17 @@ class HttpServer
 
         /** Where handlers run; empty = inline on the event loop. */
         Executor executor;
+
+        /**
+         * Maps a request to the `route` label of
+         * vtrain_http_request_seconds.  Return a value from a fixed
+         * set (e.g. known paths, "(unmatched)" otherwise) to bound
+         * series cardinality.  Empty = a single "(all)" label.
+         */
+        std::function<std::string(const HttpRequest &)> route_label;
+
+        /** Registry receiving server metrics; null = the global one. */
+        util::MetricRegistry *metrics = nullptr;
     };
 
     HttpServer(Options options, Handler handler);
@@ -177,6 +189,19 @@ class HttpServer
     std::atomic<uint64_t> requests_{0};
     std::atomic<uint64_t> responses_{0};
     std::atomic<uint64_t> parse_errors_{0};
+
+    // Registry-backed metrics (resolved once in the constructor; the
+    // labeled latency histogram is looked up per response because its
+    // series depends on route and status).
+    util::MetricRegistry *metrics_ = nullptr;
+    util::Counter *requests_total_ = nullptr;
+    util::Counter *responses_total_ = nullptr;
+    util::Counter *parse_errors_total_ = nullptr;
+    util::Counter *connections_accepted_total_ = nullptr;
+    util::Counter *bytes_read_total_ = nullptr;
+    util::Counter *bytes_written_total_ = nullptr;
+    util::Gauge *connections_open_gauge_ = nullptr;
+    util::Gauge *inflight_requests_gauge_ = nullptr;
 };
 
 } // namespace net

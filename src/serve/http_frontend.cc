@@ -1,8 +1,13 @@
 #include "serve/http_frontend.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "serve/json.h"
+#include "util/build_info.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace vtrain {
 
@@ -12,6 +17,23 @@ using net::HttpRequest;
 using net::HttpResponse;
 
 constexpr int64_t kBatchWireVersion = 1;
+
+/** Routes we serve; everything else shares one label so a client
+ *  probing random paths cannot mint unbounded metric series. */
+const char *const kKnownRoutes[] = {
+    "/healthz",     "/statz",   "/metricsz",
+    "/tracez",      "/v1/evaluate", "/v1/evaluate_batch",
+};
+
+std::string
+routeLabel(const HttpRequest &request)
+{
+    const std::string_view path = request.path();
+    for (const char *route : kKnownRoutes)
+        if (path == route)
+            return std::string(route);
+    return "(unmatched)";
+}
 
 net::HttpServer::Options
 serverOptions(const HttpFrontend::Options &options,
@@ -26,7 +48,59 @@ serverOptions(const HttpFrontend::Options &options,
     server.executor = [&service](std::function<void()> task) {
         service.pool().submit(std::move(task));
     };
+    server.route_label = routeLabel;
     return server;
+}
+
+/** The `key=value` query parameter, or `fallback` when absent/bad. */
+int64_t
+queryParam(const HttpRequest &request, std::string_view key,
+           int64_t fallback)
+{
+    const std::string_view target = request.target;
+    const size_t qpos = target.find('?');
+    if (qpos == std::string_view::npos)
+        return fallback;
+    std::string_view query = target.substr(qpos + 1);
+    while (!query.empty()) {
+        const size_t amp = query.find('&');
+        std::string_view pair = query.substr(0, amp);
+        query = amp == std::string_view::npos ? std::string_view()
+                                              : query.substr(amp + 1);
+        const size_t eq = pair.find('=');
+        if (eq == std::string_view::npos || pair.substr(0, eq) != key)
+            continue;
+        const std::string value(pair.substr(eq + 1));
+        char *end = nullptr;
+        const long long parsed = std::strtoll(value.c_str(), &end, 10);
+        if (end != value.c_str() && *end == '\0')
+            return parsed;
+        return fallback;
+    }
+    return fallback;
+}
+
+/** A finished capture's spans as a JSON object (inline trace flag). */
+json::Value
+traceToJson(const util::Trace &trace)
+{
+    json::Value spans = json::Value::array();
+    for (const util::TraceEvent &event : trace.events) {
+        json::Value span = json::Value::object();
+        span.set("name", event.name);
+        span.set("start_us", event.start_us);
+        span.set("dur_us", event.dur_us);
+        span.set("depth", static_cast<int64_t>(event.depth));
+        spans.push(std::move(span));
+    }
+    json::Value v = json::Value::object();
+    v.set("label", trace.label);
+    v.set("total_us", trace.total_us);
+    if (trace.dropped_spans > 0)
+        v.set("dropped_spans",
+              static_cast<int64_t>(trace.dropped_spans));
+    v.set("spans", std::move(spans));
+    return v;
 }
 
 HttpResponse
@@ -101,6 +175,16 @@ HttpFrontend::handle(const HttpRequest &request)
             return net::errorResponse(405, "use GET /statz");
         return handleStatz();
     }
+    if (path == "/metricsz") {
+        if (request.method != "GET")
+            return net::errorResponse(405, "use GET /metricsz");
+        return handleMetricz();
+    }
+    if (path == "/tracez") {
+        if (request.method != "GET")
+            return net::errorResponse(405, "use GET /tracez");
+        return handleTracez(request);
+    }
     if (path == "/v1/evaluate") {
         if (request.method != "POST")
             return net::errorResponse(405, "use POST /v1/evaluate");
@@ -119,15 +203,37 @@ HttpFrontend::handle(const HttpRequest &request)
 HttpResponse
 HttpFrontend::handleEvaluate(const HttpRequest &request)
 {
-    SimRequest sim_request;
+    json::Value root;
     std::string error;
-    if (!simRequestFromJson(request.body, &sim_request, &error))
+    if (!json::Value::parse(request.body, &root, &error))
+        return net::errorResponse(400,
+                                  "bad request payload: " + error);
+    // Optional wire flag, ignored by the request decoder: return this
+    // request's phase breakdown inline in the response.
+    const json::Value *trace_flag = root.find("trace");
+    const bool want_trace =
+        trace_flag && trace_flag->isBool() && trace_flag->asBool();
+
+    SimRequest sim_request;
+    if (!simRequestFromJsonValue(root, &sim_request, &error))
         return net::errorResponse(400,
                                   "bad request payload: " + error);
     std::string why;
     if (!sim_request.valid(&why))
         return net::errorResponse(422, "invalid plan: " + why);
-    return jsonResponse(toJson(service_.evaluate(sim_request)));
+
+    // Every evaluate is captured (spans are near-free) and retained
+    // in the global ring so /tracez can answer "what did the slow
+    // ones do" after the fact.
+    util::TraceCapture capture("POST /v1/evaluate");
+    const SimulationResult result = service_.evaluate(sim_request);
+    util::Trace trace = capture.finish();
+
+    json::Value body = toJsonValue(result);
+    if (want_trace)
+        body.set("trace", traceToJson(trace));
+    util::TraceRing::global().push(std::move(trace));
+    return jsonResponse(body.dump());
 }
 
 HttpResponse
@@ -171,8 +277,10 @@ HttpFrontend::handleEvaluateBatch(const HttpRequest &request)
     // variant computes on this thread with the same dedup, grouping
     // and batched-replay routing, publishing to the shared cache so
     // identical requests from other connections still collapse.
+    util::TraceCapture capture("POST /v1/evaluate_batch");
     std::vector<SimulationResult> answers =
         service_.evaluateBatchInline(batch);
+    util::TraceRing::global().push(capture.finish());
     json::Value results = json::Value::array();
     for (const SimulationResult &answer : answers)
         results.push(toJsonValue(answer));
@@ -186,9 +294,14 @@ HttpFrontend::handleEvaluateBatch(const HttpRequest &request)
 HttpResponse
 HttpFrontend::handleHealthz() const
 {
+    const util::BuildInfo &build = util::buildInfo();
     json::Value body = json::Value::object();
     body.set("status", "ok");
     body.set("threads", static_cast<int64_t>(service_.numThreads()));
+    body.set("uptime_s", util::processUptimeSeconds());
+    body.set("version", build.version);
+    body.set("git_describe", build.git_describe);
+    body.set("build_type", build.build_type);
     return jsonResponse(body.dump());
 }
 
@@ -230,11 +343,90 @@ HttpFrontend::handleStatz() const
     http.set("parse_errors",
              static_cast<int64_t>(stats.http.parse_errors));
 
+    // Percentile blocks for every histogram series with data, keyed
+    // "name{label=value,...}": the flat counters above say how much,
+    // these say how slow.
+    json::Value latency = json::Value::object();
+    for (const util::MetricRegistry::HistogramSeries &series :
+         util::MetricRegistry::global().histogramSeries()) {
+        if (series.snapshot.count == 0)
+            continue;
+        std::string key = series.name;
+        if (!series.labels.empty()) {
+            key += '{';
+            for (size_t i = 0; i < series.labels.size(); ++i) {
+                if (i)
+                    key += ',';
+                key += series.labels[i].first;
+                key += '=';
+                key += series.labels[i].second;
+            }
+            key += '}';
+        }
+        json::Value block = json::Value::object();
+        block.set("count",
+                  static_cast<int64_t>(series.snapshot.count));
+        block.set("mean", series.snapshot.mean());
+        block.set("p50", series.snapshot.percentile(50.0));
+        block.set("p90", series.snapshot.percentile(90.0));
+        block.set("p99", series.snapshot.percentile(99.0));
+        block.set("max", series.snapshot.max);
+        latency.set(std::move(key), std::move(block));
+    }
+
     json::Value body = json::Value::object();
     body.set("service", std::move(service));
     body.set("http", std::move(http));
+    body.set("latency", std::move(latency));
     body.set("threads", static_cast<int64_t>(service_.numThreads()));
     return jsonResponse(body.dump());
+}
+
+HttpResponse
+HttpFrontend::handleMetricz() const
+{
+    util::MetricRegistry &registry = util::MetricRegistry::global();
+
+    // Scrape-time gauges: cache occupancy is owned by the caches, so
+    // rather than pushing on every insert/evict, set it when asked.
+    const ServiceStats stats = service_.stats();
+    const std::string_view entries_help =
+        "Entries resident in the named cache.";
+    const std::string_view bytes_help =
+        "Approximate bytes held by the named cache.";
+    registry
+        .gauge("vtrain_cache_entries", {{"cache", "result"}},
+               entries_help)
+        ->set(static_cast<int64_t>(stats.cache.entries));
+    registry
+        .gauge("vtrain_cache_bytes", {{"cache", "result"}}, bytes_help)
+        ->set(static_cast<int64_t>(stats.cache.bytes));
+    registry
+        .gauge("vtrain_cache_entries", {{"cache", "template"}},
+               entries_help)
+        ->set(static_cast<int64_t>(stats.graph_templates.entries));
+    registry
+        .gauge("vtrain_cache_bytes", {{"cache", "template"}},
+               bytes_help)
+        ->set(static_cast<int64_t>(stats.graph_templates.bytes));
+
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4";
+    response.body = registry.renderPrometheus();
+    return response;
+}
+
+HttpResponse
+HttpFrontend::handleTracez(const HttpRequest &request) const
+{
+    constexpr int64_t kDefaultLimit = 16;
+    int64_t limit = queryParam(request, "limit", kDefaultLimit);
+    if (limit < 0)
+        limit = kDefaultLimit;
+    HttpResponse response;
+    response.body = util::chromeTraceJson(
+        util::TraceRing::global().slowest(static_cast<size_t>(limit)));
+    return response;
 }
 
 } // namespace vtrain

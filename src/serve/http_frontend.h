@@ -6,13 +6,20 @@
  * over a dependency-free epoll HTTP/1.1 server (net/server.h), so
  * requests can come from other processes and machines:
  *
- *   POST /v1/evaluate        one SimRequest payload -> one result
+ *   POST /v1/evaluate        one SimRequest payload -> one result; a
+ *                            top-level `"trace": true` adds a per-phase
+ *                            breakdown of this request to the response
  *   POST /v1/evaluate_batch  {"version":1,"requests":[...]} ->
  *                            {"version":1,"results":[...]} (order
  *                            preserved; duplicates answered from the
  *                            cache after the first computes)
- *   GET  /healthz            {"status":"ok"} liveness probe
- *   GET  /statz              service + cache + HTTP counters as JSON
+ *   GET  /healthz            liveness probe with uptime and build info
+ *   GET  /statz              service + cache + HTTP counters as JSON,
+ *                            plus latency percentile blocks
+ *   GET  /metricsz           Prometheus text exposition of the global
+ *                            metric registry (util/metrics.h)
+ *   GET  /tracez?limit=N     the N slowest recent request traces as
+ *                            Chrome trace_event JSON (Perfetto-ready)
  *
  * Handlers run on the SimService's own ThreadPool (the server's
  * executor), so the process keeps exactly one worker pool: the event
@@ -91,6 +98,8 @@ class HttpFrontend
     handleEvaluateBatch(const net::HttpRequest &request);
     net::HttpResponse handleHealthz() const;
     net::HttpResponse handleStatz() const;
+    net::HttpResponse handleMetricz() const;
+    net::HttpResponse handleTracez(const net::HttpRequest &request) const;
 
     SimService &service_;
     net::HttpServer server_;

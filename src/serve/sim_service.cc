@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/simulator.h"
+#include "util/trace.h"
 
 namespace vtrain {
 
@@ -13,11 +14,42 @@ SimService::SimService(Options options)
       engine_counters_(std::make_shared<EngineCounters>()),
       pool_(options_.n_threads)
 {
+    util::MetricRegistry &registry = util::MetricRegistry::global();
+    const std::string_view latency_help =
+        "evaluate() latency by fast-path outcome (result-cache hit, "
+        "joined an in-flight computation, or computed).";
+    evaluate_cache_hit_seconds_ =
+        registry.histogram("vtrain_service_evaluate_seconds",
+                           {{"outcome", "cache_hit"}}, latency_help);
+    evaluate_inflight_join_seconds_ =
+        registry.histogram("vtrain_service_evaluate_seconds",
+                           {{"outcome", "inflight_join"}}, latency_help);
+    evaluate_computed_seconds_ =
+        registry.histogram("vtrain_service_evaluate_seconds",
+                           {{"outcome", "computed"}}, latency_help);
+    batch_group_size_ = registry.histogram(
+        "vtrain_service_batch_group_size", {},
+        "Structural-group sizes inside evaluateBatch() calls (1 = "
+        "simulated alone, >1 = shared one batched engine pass).");
+    // Lazily-resolved families this service will feed once traffic
+    // arrives, declared now so the first /metricsz scrape already
+    // lists the full inventory.
+    registry.declareHistogram(
+        "vtrain_sim_phase_seconds",
+        "Simulator phase latency: graph assembly, template "
+        "capture/expand, durations-only retime, schedule replay, "
+        "and the event-queue engine.");
+    registry.declareGauge("vtrain_cache_entries",
+                          "Entries resident in the named cache.");
+    registry.declareGauge(
+        "vtrain_cache_bytes",
+        "Approximate bytes held by the named cache.");
 }
 
 SimulationResult
 SimService::compute(const SimRequest &request) const
 {
+    util::TraceSpan span("service.compute");
     if (options_.evaluator)
         return options_.evaluator(request);
     // Per-request Simulator, shared template cache: a result-cache
@@ -80,21 +112,31 @@ SimService::publishFailure(
 SimulationResult
 SimService::evaluate(const SimRequest &request)
 {
+    const uint64_t start_ns = util::monotonicNanos();
+    const auto elapsed = [start_ns] {
+        return static_cast<double>(util::monotonicNanos() - start_ns) *
+               1e-9;
+    };
     {
         util::MutexLock lock(stats_mutex_);
         ++requests_;
     }
     if (!request.cacheable()) {
         const SimulationResult result = compute(request);
-        util::MutexLock lock(stats_mutex_);
-        ++computed_;
+        {
+            util::MutexLock lock(stats_mutex_);
+            ++computed_;
+        }
+        evaluate_computed_seconds_->record(elapsed());
         return result;
     }
 
     const uint64_t fp = request.fingerprint();
     SimulationResult cached;
-    if (cache_.get(fp, &cached))
+    if (cache_.get(fp, &cached)) {
+        evaluate_cache_hit_seconds_->record(elapsed());
         return cached;
+    }
 
     auto promise = std::make_shared<std::promise<SimulationResult>>();
     bool joined = false;
@@ -104,7 +146,10 @@ SimService::evaluate(const SimRequest &request)
             util::MutexLock lock(stats_mutex_);
             ++inflight_joins_;
         }
-        return future.get();
+        util::TraceSpan span("service.inflight_wait");
+        const SimulationResult result = future.get();
+        evaluate_inflight_join_seconds_->record(elapsed());
+        return result;
     }
 
     // Compute on the calling thread: the synchronous path pays no
@@ -121,6 +166,7 @@ SimService::evaluate(const SimRequest &request)
         ++computed_;
     }
     publish(request, fp, promise, result);
+    evaluate_computed_seconds_->record(elapsed());
     return result;
 }
 
@@ -307,6 +353,11 @@ SimService::evaluateBatchImpl(const std::vector<SimRequest> &requests,
                          : dedups + first_with_fp.size();
         batch_dedups_ += dedups;
     }
+
+    for (const auto &[key, members] : groups)
+        batch_group_size_->record(static_cast<double>(members.size()));
+    for (size_t i = 0; i < singles.size(); ++i)
+        batch_group_size_->record(1.0);
 
     // Computes and publishes the members of one group.  Groups of one
     // take the plain path; larger groups try the batched replay and

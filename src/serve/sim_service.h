@@ -35,6 +35,7 @@
 #include "graph/template.h"
 #include "serve/result_cache.h"
 #include "serve/sim_request.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -202,6 +203,13 @@ class SimService
     mutable util::Mutex inflight_mutex_;
     std::unordered_map<uint64_t, std::shared_future<SimulationResult>>
         inflight_ GUARDED_BY(inflight_mutex_);
+
+    // Latency by fast-path outcome plus the batch group-size
+    // distribution; resolved once in the constructor.
+    util::Histogram *evaluate_cache_hit_seconds_ = nullptr;
+    util::Histogram *evaluate_inflight_join_seconds_ = nullptr;
+    util::Histogram *evaluate_computed_seconds_ = nullptr;
+    util::Histogram *batch_group_size_ = nullptr;
 
     /** Service counters (ServiceStats snapshot source). */
     mutable util::Mutex stats_mutex_;

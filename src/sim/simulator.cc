@@ -8,9 +8,55 @@
 #include "profiling/synthetic_profiler.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "util/units.h"
 
 namespace vtrain {
+
+namespace {
+
+/**
+ * Per-phase latency histograms, one series per phase label.  Resolved
+ * lazily on first use (never per Simulator -- benches construct
+ * thousands) and kept as raw pointers into the global registry.
+ */
+struct PhaseMetrics {
+    util::Histogram *graph_build;      //!< GraphBuilder::build
+    util::Histogram *template_capture; //!< capture / expand to tasks
+    util::Histogram *template_retime;  //!< durations-only retime
+    util::Histogram *replay;           //!< schedule replay engine
+    util::Histogram *queue_run;        //!< event-queue engine
+};
+
+const PhaseMetrics &
+phaseMetrics()
+{
+    static const PhaseMetrics *metrics = [] {
+        util::MetricRegistry &r = util::MetricRegistry::global();
+        const std::string_view help =
+            "Simulator phase latency: graph assembly, template "
+            "capture/expand, durations-only retime, schedule replay, "
+            "and the event-queue engine.";
+        auto *m = new PhaseMetrics;
+        m->graph_build = r.histogram("vtrain_sim_phase_seconds",
+                                     {{"phase", "graph_build"}}, help);
+        m->template_capture =
+            r.histogram("vtrain_sim_phase_seconds",
+                        {{"phase", "template_capture"}}, help);
+        m->template_retime =
+            r.histogram("vtrain_sim_phase_seconds",
+                        {{"phase", "template_retime"}}, help);
+        m->replay = r.histogram("vtrain_sim_phase_seconds",
+                                {{"phase", "replay"}}, help);
+        m->queue_run = r.histogram("vtrain_sim_phase_seconds",
+                                   {{"phase", "queue_run"}}, help);
+        return m;
+    }();
+    return *metrics;
+}
+
+} // namespace
 
 void
 hashAppend(Hash64 &h, const SimOptions &options)
@@ -74,10 +120,22 @@ Simulator::runOnce(const ModelConfig &model, const ParallelConfig &parallel,
             // Warm path: durations-only retime + schedule replay, no
             // graph assembly and no queue.
             std::vector<double> durations;
-            if (tmpl->retimeDurations(table, parallel, cluster_, comm_,
-                                      &durations)) {
-                outcome.engine =
-                    replaySimulation(tmpl->schedule(), durations);
+            bool retimed;
+            {
+                util::TraceSpan span("sim.template_retime");
+                util::ScopedLatency timer(
+                    phaseMetrics().template_retime);
+                retimed = tmpl->retimeDurations(table, parallel,
+                                                cluster_, comm_,
+                                                &durations);
+            }
+            if (retimed) {
+                {
+                    util::TraceSpan span("sim.replay");
+                    util::ScopedLatency timer(phaseMetrics().replay);
+                    outcome.engine =
+                        replaySimulation(tmpl->schedule(), durations);
+                }
                 counters_->replay_runs.fetch_add(
                     1, std::memory_order_relaxed);
                 outcome.num_operators = tmpl->numOperators();
@@ -93,20 +151,33 @@ Simulator::runOnce(const ModelConfig &model, const ParallelConfig &parallel,
     GraphBuilder builder(model, parallel, cluster_, comm_);
     BuildOptions build_options;
     build_options.n_micro_override = n_micro;
-    const OpGraph ops = builder.build(build_options);
+    OpGraph ops;
+    {
+        util::TraceSpan span("sim.graph_build");
+        util::ScopedLatency timer(phaseMetrics().graph_build);
+        ops = builder.build(build_options);
+    }
     TaskGraph tasks;
-    if (use_templates) {
-        templates_->put(fingerprint,
-                        GraphTemplate::capture(ops, table,
-                                               expand_options, &tasks));
-    } else {
-        tasks = TaskGraph::expand(ops, table, expand_options);
+    {
+        util::TraceSpan span("sim.template_capture");
+        util::ScopedLatency timer(phaseMetrics().template_capture);
+        if (use_templates) {
+            templates_->put(fingerprint,
+                            GraphTemplate::capture(
+                                ops, table, expand_options, &tasks));
+        } else {
+            tasks = TaskGraph::expand(ops, table, expand_options);
+        }
     }
     // Cold path (capture or template-less): the queue engine.  The
     // replay schedule is built lazily on a template's first *reuse* —
     // a sweep that thrashes the template cache with single-use
     // topologies must not pay a schedule build per capture.
-    outcome.engine = runSimulation(tasks);
+    {
+        util::TraceSpan span("sim.queue_run");
+        util::ScopedLatency timer(phaseMetrics().queue_run);
+        outcome.engine = runSimulation(tasks);
+    }
     counters_->queue_runs.fetch_add(1, std::memory_order_relaxed);
     outcome.num_operators = ops.numNodes();
     outcome.num_tasks = tasks.numTasks();
@@ -291,11 +362,19 @@ Simulator::simulateIterationBatch(const ModelConfig &model,
             GraphBuilder builder(model, plans[0], cluster_, comm_);
             BuildOptions build_options;
             build_options.n_micro_override = n_micro;
-            const OpGraph ops = builder.build(build_options);
+            OpGraph ops;
+            {
+                util::TraceSpan span("sim.graph_build");
+                util::ScopedLatency timer(phaseMetrics().graph_build);
+                ops = builder.build(build_options);
+            }
             ExpandOptions expand_options;
             expand_options.collapse_operators =
                 options_.collapse_operators;
             TaskGraph expanded;
+            util::TraceSpan span("sim.template_capture");
+            util::ScopedLatency timer(
+                phaseMetrics().template_capture);
             auto captured = GraphTemplate::capture(
                 ops, table, expand_options, &expanded);
             templates_->put(fp, captured);
@@ -312,26 +391,36 @@ Simulator::simulateIterationBatch(const ModelConfig &model,
             const size_t end = std::min(begin + kPlanChunk, n_plans);
             owner.clear();
             size_t count = 0;
-            for (size_t j = begin; j < end; ++j) {
-                if (fell_back[j])
-                    continue;
-                if (count == sets.size())
-                    sets.emplace_back();
-                if (!tmpl->retimeDurations(table, plans[j], cluster_,
-                                           comm_, &sets[count])) {
-                    // Foreign profiler or fingerprint collision: this
-                    // plan rebuilds from scratch below.
-                    fell_back[j] = 1;
-                    continue;
+            {
+                util::TraceSpan span("sim.template_retime");
+                util::ScopedLatency timer(
+                    phaseMetrics().template_retime);
+                for (size_t j = begin; j < end; ++j) {
+                    if (fell_back[j])
+                        continue;
+                    if (count == sets.size())
+                        sets.emplace_back();
+                    if (!tmpl->retimeDurations(table, plans[j],
+                                               cluster_, comm_,
+                                               &sets[count])) {
+                        // Foreign profiler or fingerprint collision:
+                        // this plan rebuilds from scratch below.
+                        fell_back[j] = 1;
+                        continue;
+                    }
+                    owner.push_back(j);
+                    ++count;
                 }
-                owner.push_back(j);
-                ++count;
             }
             if (count == 0)
                 continue;
             sets.resize(count); // shrinks only at the tail chunk
-            std::vector<EngineResult> engines =
-                replayBatch(tmpl->schedule(), sets);
+            std::vector<EngineResult> engines;
+            {
+                util::TraceSpan span("sim.replay");
+                util::ScopedLatency timer(phaseMetrics().replay);
+                engines = replayBatch(tmpl->schedule(), sets);
+            }
             counters_->batched_points.fetch_add(
                 count, std::memory_order_relaxed);
             for (size_t s = 0; s < owner.size(); ++s)

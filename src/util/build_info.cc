@@ -1,0 +1,45 @@
+#include "util/build_info.h"
+
+#include "util/metrics.h"
+
+#if defined(VTRAIN_HAVE_VERSION_HEADER)
+#include "vtrain_version.h"
+#endif
+
+#ifndef VTRAIN_VERSION
+#define VTRAIN_VERSION "unknown"
+#endif
+#ifndef VTRAIN_GIT_DESCRIBE
+#define VTRAIN_GIT_DESCRIBE "unknown"
+#endif
+#ifndef VTRAIN_BUILD_TYPE
+#define VTRAIN_BUILD_TYPE "unknown"
+#endif
+
+namespace vtrain {
+namespace util {
+
+namespace {
+
+/** Captured during static initialization, before main() runs. */
+const uint64_t g_process_start_ns = monotonicNanos();
+
+} // namespace
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info{VTRAIN_VERSION, VTRAIN_GIT_DESCRIBE,
+                                VTRAIN_BUILD_TYPE};
+    return info;
+}
+
+double
+processUptimeSeconds()
+{
+    return static_cast<double>(monotonicNanos() - g_process_start_ns) *
+           1e-9;
+}
+
+} // namespace util
+} // namespace vtrain

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Build identity and process uptime for /healthz: fleet probes diff
+ * the git describe string to detect a redeploy and watch uptime reset
+ * to detect a restart (groundwork for warm-state handoff).
+ */
+#ifndef VTRAIN_UTIL_BUILD_INFO_H
+#define VTRAIN_UTIL_BUILD_INFO_H
+
+namespace vtrain {
+namespace util {
+
+struct BuildInfo {
+    const char *version;      //!< project version, e.g. "0.1.0"
+    const char *git_describe; //!< `git describe --always --dirty --tags`
+                              //!< at configure time, or "unknown"
+    const char *build_type;   //!< CMAKE_BUILD_TYPE, or "unknown"
+};
+
+/** Compile-time build identity (from the CMake-generated header). */
+const BuildInfo &buildInfo();
+
+/**
+ * Seconds since the process started.  The epoch is captured on first
+ * call, so call this early (static initialization of the serve stack
+ * does) for the value to mean process lifetime.
+ */
+double processUptimeSeconds();
+
+} // namespace util
+} // namespace vtrain
+
+#endif // VTRAIN_UTIL_BUILD_INFO_H

@@ -1,0 +1,466 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vtrain {
+namespace util {
+namespace {
+
+/** Mantissa thresholds splitting one octave into 4 log-equal steps:
+ *  2^-3/4, 2^-1/2, 2^-1/4 (frexp mantissa is in [0.5, 1)). */
+constexpr double kSub1 = 0.59460355750136054; // 2^(-3/4)
+constexpr double kSub2 = 0.70710678118654752; // 2^(-1/2)
+constexpr double kSub3 = 0.84089641525371454; // 2^(-1/4)
+
+/** Thread -> shard assignment: cheap, stable per thread, and spread
+ *  round-robin so neighbouring threads use different cache lines. */
+size_t currentShard()
+{
+    static std::atomic<size_t> next_shard{0};
+    thread_local const size_t shard =
+        next_shard.fetch_add(1, std::memory_order_relaxed);
+    return shard;
+}
+
+void atomicMax(std::atomic<double> &target, double value)
+{
+    double observed = target.load(std::memory_order_relaxed);
+    while (value > observed &&
+           !target.compare_exchange_weak(observed, value,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+std::string labelsKey(const MetricLabels &labels)
+{
+    std::string key;
+    for (const auto &[k, v] : labels) {
+        key += k;
+        key += '\x1f';
+        key += v;
+        key += '\x1f';
+    }
+    return key;
+}
+
+/** Prometheus label values escape backslash, double-quote, newline. */
+std::string escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Shortest decimal that round-trips; avoids "0.000000" style output
+ *  for tiny bucket bounds. */
+std::string formatDouble(double v)
+{
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.17g", v);
+    double parsed = strtod(buf, nullptr);
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[64];
+        snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+        if (strtod(shorter, nullptr) == parsed) {
+            return shorter;
+        }
+    }
+    return buf;
+}
+
+void appendSeriesName(std::string &out, const std::string &name,
+                      const MetricLabels &labels,
+                      const char *suffix = "",
+                      const std::string &extra_label = "",
+                      const std::string &extra_value = "")
+{
+    out += name;
+    out += suffix;
+    if (labels.empty() && extra_label.empty()) {
+        return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += k;
+        out += "=\"";
+        out += escapeLabelValue(v);
+        out += '"';
+    }
+    if (!extra_label.empty()) {
+        if (!first) {
+            out += ',';
+        }
+        out += extra_label;
+        out += "=\"";
+        out += escapeLabelValue(extra_value);
+        out += '"';
+    }
+    out += '}';
+}
+
+} // namespace
+
+double HistogramSnapshot::percentile(double p) const
+{
+    if (count == 0) {
+        return 0.0;
+    }
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(count);
+    const double ratio =
+        std::exp2(1.0 / Histogram::kBucketsPerOctave);
+    uint64_t cumulative = 0;
+    for (const auto &[upper, n] : buckets) {
+        const uint64_t next = cumulative + n;
+        if (static_cast<double>(next) >= rank) {
+            // Interpolate within this bucket's own bounds (the first
+            // bucket starts at zero); the vector skips empty buckets,
+            // so the previous entry's bound is not this one's lower.
+            const double lower =
+                upper <= Histogram::kMinValue * ratio * 1.0000001
+                    ? 0.0
+                    : upper / ratio;
+            const double frac =
+                n ? (rank - static_cast<double>(cumulative)) /
+                        static_cast<double>(n)
+                  : 1.0;
+            return std::min(lower + frac * (upper - lower), max);
+        }
+        cumulative = next;
+    }
+    return max;
+}
+
+int Histogram::bucketIndex(double value)
+{
+    if (!(value > kMinValue)) { // also catches NaN and negatives
+        return 0;
+    }
+    const double scaled = value / kMinValue;
+    if (!std::isfinite(scaled)) { // value near DBL_MAX overflowed
+        return kNumBuckets - 1;
+    }
+    int exp = 0;
+    const double m = std::frexp(scaled, &exp);
+    // value/kMinValue = m * 2^exp with m in [0.5, 1), so exp >= 1 here.
+    int sub;
+    if (m < kSub1) {
+        sub = 0;
+    } else if (m < kSub2) {
+        sub = 1;
+    } else if (m < kSub3) {
+        sub = 2;
+    } else {
+        sub = 3;
+    }
+    const int index = (exp - 1) * kBucketsPerOctave + sub;
+    return std::min(index, kNumBuckets - 1);
+}
+
+double Histogram::bucketUpperBound(int index)
+{
+    return kMinValue * std::exp2(static_cast<double>(index + 1) /
+                                 kBucketsPerOctave);
+}
+
+void Histogram::record(double value)
+{
+    if (std::isnan(value)) {
+        return;
+    }
+    if (value < 0.0) {
+        value = 0.0;
+    }
+    Shard &shard = shards_[currentShard() % kNumShards];
+    shard.buckets[static_cast<size_t>(bucketIndex(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    atomicMax(shard.max, value);
+}
+
+HistogramSnapshot Histogram::snapshot() const
+{
+    std::array<uint64_t, kNumBuckets> merged{};
+    HistogramSnapshot snap;
+    for (const Shard &shard : shards_) {
+        for (int i = 0; i < kNumBuckets; ++i) {
+            merged[static_cast<size_t>(i)] +=
+                shard.buckets[static_cast<size_t>(i)].load(
+                    std::memory_order_relaxed);
+        }
+        snap.sum += shard.sum.load(std::memory_order_relaxed);
+        snap.max = std::max(snap.max,
+                            shard.max.load(std::memory_order_relaxed));
+    }
+    for (int i = 0; i < kNumBuckets; ++i) {
+        const uint64_t n = merged[static_cast<size_t>(i)];
+        if (n) {
+            snap.count += n;
+            snap.buckets.emplace_back(bucketUpperBound(i), n);
+        }
+    }
+    return snap;
+}
+
+MetricRegistry &MetricRegistry::global()
+{
+    static MetricRegistry *registry = new MetricRegistry();
+    return *registry;
+}
+
+MetricRegistry::Series &MetricRegistry::findOrCreateSeries(
+    std::string_view name, MetricType type, MetricLabels &&labels,
+    std::string_view help)
+{
+    auto it = families_.find(name);
+    if (it == families_.end()) {
+        it = families_.emplace(std::string(name), Family{}).first;
+        it->second.type = type;
+    }
+    Family &family = it->second;
+    VTRAIN_CHECK(family.type == type, "metric '", name,
+                 "' re-registered with a different type");
+    if (family.help.empty() && !help.empty()) {
+        family.help = std::string(help);
+    }
+    const std::string key = labelsKey(labels);
+    for (Series &series : family.series) {
+        if (labelsKey(series.labels) == key) {
+            return series;
+        }
+    }
+    family.series.emplace_back();
+    Series &series = family.series.back();
+    series.labels = std::move(labels);
+    switch (type) {
+    case MetricType::Counter:
+        series.counter = std::make_unique<Counter>();
+        break;
+    case MetricType::Gauge:
+        series.gauge = std::make_unique<Gauge>();
+        break;
+    case MetricType::Histogram:
+        series.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    return series;
+}
+
+Counter *MetricRegistry::counter(std::string_view name, MetricLabels labels,
+                                 std::string_view help)
+{
+    MutexLock lock(mutex_);
+    return findOrCreateSeries(name, MetricType::Counter, std::move(labels),
+                              help)
+        .counter.get();
+}
+
+Gauge *MetricRegistry::gauge(std::string_view name, MetricLabels labels,
+                             std::string_view help)
+{
+    MutexLock lock(mutex_);
+    return findOrCreateSeries(name, MetricType::Gauge, std::move(labels),
+                              help)
+        .gauge.get();
+}
+
+Histogram *MetricRegistry::histogram(std::string_view name,
+                                     MetricLabels labels,
+                                     std::string_view help)
+{
+    MutexLock lock(mutex_);
+    return findOrCreateSeries(name, MetricType::Histogram, std::move(labels),
+                              help)
+        .histogram.get();
+}
+
+void MetricRegistry::declareCounter(std::string_view name,
+                                    std::string_view help)
+{
+    MutexLock lock(mutex_);
+    auto it = families_.find(name);
+    if (it == families_.end()) {
+        it = families_.emplace(std::string(name), Family{}).first;
+        it->second.type = MetricType::Counter;
+    }
+    VTRAIN_CHECK(it->second.type == MetricType::Counter, "metric '", name,
+                 "' re-declared with a different type");
+    if (it->second.help.empty() && !help.empty()) {
+        it->second.help = std::string(help);
+    }
+}
+
+void MetricRegistry::declareGauge(std::string_view name,
+                                  std::string_view help)
+{
+    MutexLock lock(mutex_);
+    auto it = families_.find(name);
+    if (it == families_.end()) {
+        it = families_.emplace(std::string(name), Family{}).first;
+        it->second.type = MetricType::Gauge;
+    }
+    VTRAIN_CHECK(it->second.type == MetricType::Gauge, "metric '", name,
+                 "' re-declared with a different type");
+    if (it->second.help.empty() && !help.empty()) {
+        it->second.help = std::string(help);
+    }
+}
+
+void MetricRegistry::declareHistogram(std::string_view name,
+                                      std::string_view help)
+{
+    MutexLock lock(mutex_);
+    auto it = families_.find(name);
+    if (it == families_.end()) {
+        it = families_.emplace(std::string(name), Family{}).first;
+        it->second.type = MetricType::Histogram;
+    }
+    VTRAIN_CHECK(it->second.type == MetricType::Histogram, "metric '", name,
+                 "' re-declared with a different type");
+    if (it->second.help.empty() && !help.empty()) {
+        it->second.help = std::string(help);
+    }
+}
+
+std::string MetricRegistry::renderPrometheus() const
+{
+    MutexLock lock(mutex_);
+    std::string out;
+    out.reserve(4096);
+    for (const auto &[name, family] : families_) {
+        if (!family.help.empty()) {
+            out += "# HELP ";
+            out += name;
+            out += ' ';
+            out += family.help;
+            out += '\n';
+        }
+        out += "# TYPE ";
+        out += name;
+        switch (family.type) {
+        case MetricType::Counter:
+            out += " counter\n";
+            break;
+        case MetricType::Gauge:
+            out += " gauge\n";
+            break;
+        case MetricType::Histogram:
+            out += " histogram\n";
+            break;
+        }
+        for (const Series &series : family.series) {
+            switch (family.type) {
+            case MetricType::Counter:
+                appendSeriesName(out, name, series.labels);
+                out += ' ';
+                out += std::to_string(series.counter->value());
+                out += '\n';
+                break;
+            case MetricType::Gauge:
+                appendSeriesName(out, name, series.labels);
+                out += ' ';
+                out += std::to_string(series.gauge->value());
+                out += '\n';
+                break;
+            case MetricType::Histogram: {
+                const HistogramSnapshot snap = series.histogram->snapshot();
+                uint64_t cumulative = 0;
+                for (const auto &[upper, n] : snap.buckets) {
+                    cumulative += n;
+                    appendSeriesName(out, name, series.labels, "_bucket",
+                                     "le", formatDouble(upper));
+                    out += ' ';
+                    out += std::to_string(cumulative);
+                    out += '\n';
+                }
+                appendSeriesName(out, name, series.labels, "_bucket", "le",
+                                 "+Inf");
+                out += ' ';
+                out += std::to_string(snap.count);
+                out += '\n';
+                appendSeriesName(out, name, series.labels, "_sum");
+                out += ' ';
+                out += formatDouble(snap.sum);
+                out += '\n';
+                appendSeriesName(out, name, series.labels, "_count");
+                out += ' ';
+                out += std::to_string(snap.count);
+                out += '\n';
+                break;
+            }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<MetricRegistry::HistogramSeries>
+MetricRegistry::histogramSeries() const
+{
+    MutexLock lock(mutex_);
+    std::vector<HistogramSeries> out;
+    for (const auto &[name, family] : families_) {
+        if (family.type != MetricType::Histogram) {
+            continue;
+        }
+        for (const Series &series : family.series) {
+            out.push_back(HistogramSeries{name, series.labels,
+                                          series.histogram->snapshot()});
+        }
+    }
+    return out;
+}
+
+size_t MetricRegistry::numFamilies() const
+{
+    MutexLock lock(mutex_);
+    return families_.size();
+}
+
+ScopedLatency::ScopedLatency(Histogram *h)
+    : histogram_(h), start_ns_(h ? monotonicNanos() : 0)
+{
+}
+
+ScopedLatency::~ScopedLatency()
+{
+    if (histogram_) {
+        histogram_->record(
+            static_cast<double>(monotonicNanos() - start_ns_) * 1e-9);
+    }
+}
+
+uint64_t monotonicNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace util
+} // namespace vtrain

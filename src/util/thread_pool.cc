@@ -6,6 +6,17 @@ namespace vtrain {
 
 ThreadPool::ThreadPool(size_t n_threads)
 {
+    util::MetricRegistry &registry = util::MetricRegistry::global();
+    queue_depth_gauge_ = registry.gauge(
+        "vtrain_pool_queue_depth", {},
+        "Tasks currently queued and not yet picked up by a worker.");
+    task_wait_seconds_ = registry.histogram(
+        "vtrain_pool_task_wait_seconds", {},
+        "Time a task spent queued before a worker dequeued it.");
+    task_run_seconds_ = registry.histogram(
+        "vtrain_pool_task_run_seconds", {},
+        "Time a worker spent executing a task.");
+
     if (n_threads == 0) {
         n_threads = std::max(1u, std::thread::hardware_concurrency());
     }
@@ -30,9 +41,10 @@ ThreadPool::submit(std::function<void()> task)
 {
     {
         util::MutexLock lock(mutex_);
-        tasks_.push(std::move(task));
+        tasks_.push(Task{std::move(task), util::monotonicNanos()});
         ++in_flight_;
     }
+    queue_depth_gauge_->add(1);
     cv_task_.notifyOne();
 }
 
@@ -56,7 +68,7 @@ void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> task;
+        Task task;
         {
             util::MutexLock lock(mutex_);
             while (!stop_ && tasks_.empty())
@@ -66,7 +78,13 @@ ThreadPool::workerLoop()
             task = std::move(tasks_.front());
             tasks_.pop();
         }
-        task();
+        queue_depth_gauge_->sub(1);
+        const uint64_t dequeue_ns = util::monotonicNanos();
+        task_wait_seconds_->record(
+            static_cast<double>(dequeue_ns - task.enqueue_ns) * 1e-9);
+        task.fn();
+        task_run_seconds_->record(
+            static_cast<double>(util::monotonicNanos() - dequeue_ns) * 1e-9);
         {
             util::MutexLock lock(mutex_);
             --in_flight_;

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -49,15 +50,27 @@ class ThreadPool
         EXCLUDES(mutex_);
 
   private:
+    /** A queued task plus its enqueue timestamp so the worker can
+     *  report how long it sat waiting for a thread. */
+    struct Task {
+        std::function<void()> fn;
+        uint64_t enqueue_ns = 0;
+    };
+
     void workerLoop() EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_; //!< written by ctor/dtor only
     util::Mutex mutex_;
     util::CondVar cv_task_;
     util::CondVar cv_done_;
-    std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+    std::queue<Task> tasks_ GUARDED_BY(mutex_);
     size_t in_flight_ GUARDED_BY(mutex_) = 0;
     bool stop_ GUARDED_BY(mutex_) = false;
+
+    // Resolved once at construction; the registry owns the objects.
+    util::Gauge *queue_depth_gauge_;      //!< vtrain_pool_queue_depth
+    util::Histogram *task_wait_seconds_;  //!< enqueue -> dequeue
+    util::Histogram *task_run_seconds_;   //!< dequeue -> completion
 };
 
 } // namespace vtrain

@@ -636,6 +636,179 @@ TEST(HttpFrontendTest, HealthzReportsOk)
     EXPECT_EQ(doc.find("status")->asString(), "ok");
 }
 
+TEST(HttpFrontendTest, HealthzReportsUptimeAndBuild)
+{
+    Loopback loop(syntheticServiceOptions());
+    HttpClient client = loop.client();
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.get("/healthz", &response, &error)) << error;
+    json::Value doc;
+    ASSERT_TRUE(json::Value::parse(response.body, &doc, &error));
+    const json::Value *uptime = doc.find("uptime_s");
+    ASSERT_NE(uptime, nullptr);
+    ASSERT_TRUE(uptime->isNumber());
+    EXPECT_GT(uptime->asNumber(), 0.0);
+    for (const char *key : {"version", "git_describe", "build_type"}) {
+        const json::Value *v = doc.find(key);
+        ASSERT_NE(v, nullptr) << key;
+        EXPECT_TRUE(v->isString()) << key;
+        EXPECT_FALSE(v->asString().empty()) << key;
+    }
+}
+
+TEST(HttpFrontendTest, MetricszServesPrometheusExposition)
+{
+    Loopback loop(syntheticServiceOptions());
+    HttpClient client = loop.client();
+
+    // Drive one evaluate so latency histograms have data.
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.post("/v1/evaluate", toJson(tinyRequest()),
+                            &response, &error))
+        << error;
+    ASSERT_EQ(response.status, 200);
+
+    ASSERT_TRUE(client.get("/metricsz", &response, &error)) << error;
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.content_type.find("text/plain"),
+              std::string::npos);
+    const std::string &text = response.body;
+
+    // The acceptance bar: at least 12 distinct families spanning the
+    // http, service, simulator and pool tiers.
+    size_t families = 0;
+    for (size_t pos = text.find("# TYPE ");
+         pos != std::string::npos;
+         pos = text.find("# TYPE ", pos + 1))
+        ++families;
+    EXPECT_GE(families, 12u) << text;
+    for (const char *name :
+         {"vtrain_http_requests_total", "vtrain_http_request_seconds",
+          "vtrain_http_connections_open",
+          "vtrain_service_evaluate_seconds",
+          "vtrain_service_batch_group_size",
+          "vtrain_sim_phase_seconds", "vtrain_pool_queue_depth",
+          "vtrain_pool_task_wait_seconds",
+          "vtrain_pool_task_run_seconds", "vtrain_cache_entries"})
+        EXPECT_NE(text.find(std::string("# TYPE ") + name),
+                  std::string::npos)
+            << name;
+
+    // Histogram exposition shape: cumulative buckets ending in +Inf,
+    // plus _sum and _count.
+    EXPECT_NE(text.find("vtrain_http_request_seconds_bucket{"),
+              std::string::npos);
+    EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+    EXPECT_NE(text.find("vtrain_http_request_seconds_sum"),
+              std::string::npos);
+    EXPECT_NE(text.find("vtrain_http_request_seconds_count"),
+              std::string::npos);
+    // The evaluate above must show up in the route-labeled series.
+    EXPECT_NE(text.find("route=\"/v1/evaluate\""), std::string::npos);
+}
+
+TEST(HttpFrontendTest, StatzHasLatencyPercentiles)
+{
+    Loopback loop(syntheticServiceOptions());
+    HttpClient client = loop.client();
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.post("/v1/evaluate", toJson(tinyRequest()),
+                            &response, &error))
+        << error;
+    const json::Value doc = loop.statz();
+    const json::Value *latency = doc.find("latency");
+    ASSERT_NE(latency, nullptr);
+    ASSERT_TRUE(latency->isObject());
+    // At least one series must carry the full percentile block.
+    ASSERT_FALSE(latency->members().empty());
+    const json::Value &block = latency->members().front().second;
+    for (const char *key : {"count", "mean", "p50", "p90", "p99", "max"})
+        EXPECT_NE(block.find(key), nullptr) << key;
+}
+
+TEST(HttpFrontendTest, TracezReturnsChromeTraceJson)
+{
+    Loopback loop(syntheticServiceOptions());
+    HttpClient client = loop.client();
+    HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.post("/v1/evaluate", toJson(tinyRequest()),
+                            &response, &error))
+        << error;
+    ASSERT_TRUE(client.get("/tracez?limit=4", &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 200);
+    json::Value doc;
+    ASSERT_TRUE(json::Value::parse(response.body, &doc, &error))
+        << error;
+    const json::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    // The evaluate above went through the global ring, so at least
+    // its root span and process metadata are present.
+    EXPECT_GE(events->items().size(), 2u);
+    bool found = false;
+    for (const json::Value &event : events->items()) {
+        const json::Value *name = event.find("name");
+        if (name && name->isString() &&
+            name->asString() == "POST /v1/evaluate")
+            found = true;
+    }
+    EXPECT_TRUE(found) << response.body;
+
+    // Method gate still applies.
+    ASSERT_TRUE(client.post("/tracez", "{}", &response, &error));
+    EXPECT_EQ(response.status, 405);
+}
+
+TEST(HttpFrontendTest, EvaluateTraceFlagReturnsPhases)
+{
+    // Real simulator (no synthetic evaluator) so sim.* phase spans
+    // fire; a fresh service guarantees the request actually computes.
+    SimService::Options options;
+    options.n_threads = 2;
+    Loopback loop(std::move(options));
+    HttpClient client = loop.client();
+
+    json::Value payload;
+    std::string error;
+    ASSERT_TRUE(
+        json::Value::parse(toJson(tinyRequest()), &payload, &error));
+    payload.set("trace", true);
+
+    HttpResponse response;
+    ASSERT_TRUE(client.post("/v1/evaluate", payload.dump(), &response,
+                            &error))
+        << error;
+    ASSERT_EQ(response.status, 200) << response.body;
+    json::Value doc;
+    ASSERT_TRUE(json::Value::parse(response.body, &doc, &error));
+    const json::Value *trace = doc.find("trace");
+    ASSERT_NE(trace, nullptr) << response.body;
+    EXPECT_EQ(trace->find("label")->asString(), "POST /v1/evaluate");
+    EXPECT_GT(trace->find("total_us")->asNumber(), 0.0);
+    const json::Value *spans = trace->find("spans");
+    ASSERT_NE(spans, nullptr);
+    ASSERT_TRUE(spans->isArray());
+    bool saw_sim_phase = false;
+    for (const json::Value &span : spans->items()) {
+        const std::string &name = span.find("name")->asString();
+        if (name.rfind("sim.", 0) == 0)
+            saw_sim_phase = true;
+    }
+    EXPECT_TRUE(saw_sim_phase) << response.body;
+
+    // Without the flag the response carries no trace member.
+    ASSERT_TRUE(client.post("/v1/evaluate", toJson(tinyRequest()),
+                            &response, &error))
+        << error;
+    ASSERT_TRUE(json::Value::parse(response.body, &doc, &error));
+    EXPECT_EQ(doc.find("trace"), nullptr);
+}
+
 TEST(HttpFrontendTest, StopReleasesThePort)
 {
     SimService service(syntheticServiceOptions());

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for util/metrics.h: histogram bucket math, shard merging,
+ * percentile estimation, registry semantics, Prometheus rendering,
+ * and (under tsan) concurrent record/snapshot safety.
+ */
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace vtrain {
+namespace util {
+namespace {
+
+// ------------------------------------------------------------ buckets
+
+TEST(MetricsHistogram, BucketBoundsGrowByQuarterOctave)
+{
+    // Consecutive upper bounds must differ by exactly 2^(1/4).
+    const double ratio = std::exp2(0.25);
+    for (int i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+        const double lo = Histogram::bucketUpperBound(i);
+        const double hi = Histogram::bucketUpperBound(i + 1);
+        EXPECT_NEAR(hi / lo, ratio, 1e-12) << "bucket " << i;
+    }
+}
+
+TEST(MetricsHistogram, BucketIndexRespectsBounds)
+{
+    // Every value must land in a bucket whose bounds bracket it.
+    for (double v : {2e-9, 1e-6, 3.7e-4, 0.01, 0.9, 1.0, 17.0, 4096.0}) {
+        const int idx = Histogram::bucketIndex(v);
+        const double upper = Histogram::bucketUpperBound(idx);
+        EXPECT_LE(v, upper * (1 + 1e-12)) << v;
+        if (idx > 0) {
+            const double lower = Histogram::bucketUpperBound(idx - 1);
+            EXPECT_GT(v, lower * (1 - 1e-12)) << v;
+        }
+    }
+}
+
+TEST(MetricsHistogram, EdgeValuesAreClamped)
+{
+    EXPECT_EQ(Histogram::bucketIndex(0.0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(-5.0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(Histogram::kMinValue), 0);
+    EXPECT_EQ(Histogram::bucketIndex(1e300),
+              Histogram::kNumBuckets - 1);
+}
+
+// ----------------------------------------------------------- snapshot
+
+TEST(MetricsHistogram, SnapshotCountsSumAndMax)
+{
+    Histogram h;
+    h.record(0.001);
+    h.record(0.002);
+    h.record(0.004);
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 3u);
+    EXPECT_NEAR(snap.sum, 0.007, 1e-12);
+    EXPECT_NEAR(snap.max, 0.004, 1e-12);
+    EXPECT_NEAR(snap.mean(), 0.007 / 3, 1e-12);
+}
+
+TEST(MetricsHistogram, EmptySnapshot)
+{
+    Histogram h;
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.sum, 0.0);
+    EXPECT_EQ(snap.percentile(50.0), 0.0);
+    EXPECT_TRUE(snap.buckets.empty());
+}
+
+TEST(MetricsHistogram, NegativeAndNanRecords)
+{
+    Histogram h;
+    h.record(-1.0); // clamps to zero
+    h.record(std::nan("")); // dropped
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_EQ(snap.sum, 0.0);
+}
+
+TEST(MetricsHistogram, PercentileWithinBucketError)
+{
+    // 1000 uniform values in [1ms, 2ms): percentile estimates must
+    // stay within one bucket ratio (~19%) of the exact answer.
+    Histogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.record(0.001 + 0.000001 * i);
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1000u);
+    for (double p : {50.0, 90.0, 99.0}) {
+        const double exact = 0.001 + 0.001 * (p / 100.0);
+        const double est = snap.percentile(p);
+        EXPECT_NEAR(est, exact, exact * 0.20) << "p" << p;
+    }
+    // p100 is clamped to the exact observed max.
+    EXPECT_DOUBLE_EQ(snap.percentile(100.0), snap.max);
+}
+
+TEST(MetricsHistogram, PercentileSingleValue)
+{
+    Histogram h;
+    h.record(0.25);
+    const HistogramSnapshot snap = h.snapshot();
+    // All percentiles of a single sample are that sample (within
+    // bucket resolution, clamped to max).
+    EXPECT_LE(snap.percentile(50.0), 0.25);
+    EXPECT_GT(snap.percentile(50.0), 0.25 / std::exp2(0.25) * 0.99);
+    EXPECT_DOUBLE_EQ(snap.percentile(100.0), 0.25);
+}
+
+// ----------------------------------------------------------- registry
+
+TEST(MetricsRegistry, SameNameSameSeriesSamePointer)
+{
+    MetricRegistry registry;
+    Counter *a = registry.counter("vtrain_test_things_total");
+    Counter *b = registry.counter("vtrain_test_things_total");
+    EXPECT_EQ(a, b);
+    a->inc(3);
+    EXPECT_EQ(b->value(), 3u);
+}
+
+TEST(MetricsRegistry, LabelsSplitSeries)
+{
+    MetricRegistry registry;
+    Counter *a = registry.counter("vtrain_test_hits_total",
+                                  {{"route", "/a"}});
+    Counter *b = registry.counter("vtrain_test_hits_total",
+                                  {{"route", "/b"}});
+    EXPECT_NE(a, b);
+    EXPECT_EQ(registry.numFamilies(), 1u);
+}
+
+TEST(MetricsRegistry, DeclaredFamiliesRenderEmpty)
+{
+    MetricRegistry registry;
+    registry.declareHistogram("vtrain_test_latency_seconds",
+                              "A declared but unused family.");
+    registry.declareCounter("vtrain_test_events_total");
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("# TYPE vtrain_test_latency_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE vtrain_test_events_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# HELP vtrain_test_latency_seconds"),
+              std::string::npos);
+    EXPECT_EQ(registry.numFamilies(), 2u);
+}
+
+TEST(MetricsRegistry, PrometheusCounterAndGauge)
+{
+    MetricRegistry registry;
+    registry.counter("vtrain_test_requests_total", {{"route", "/x"}})
+        ->inc(7);
+    registry.gauge("vtrain_test_depth")->set(-3);
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(
+        text.find("vtrain_test_requests_total{route=\"/x\"} 7"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vtrain_test_depth -3"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# TYPE vtrain_test_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE vtrain_test_depth gauge"),
+              std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusHistogramIsCumulative)
+{
+    MetricRegistry registry;
+    Histogram *h = registry.histogram("vtrain_test_wait_seconds");
+    h->record(0.001);
+    h->record(0.001);
+    h->record(1.0);
+    const std::string text = registry.renderPrometheus();
+    // +Inf bucket and _count must both equal the total count.
+    EXPECT_NE(text.find("vtrain_test_wait_seconds_bucket{le=\"+Inf\"} 3"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vtrain_test_wait_seconds_count 3"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("vtrain_test_wait_seconds_sum"),
+              std::string::npos);
+    // The first non-empty bucket holds the two 1ms records; the later
+    // one is cumulative (includes them).
+    const size_t first = text.find("_bucket{le=\"");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(text.find("} 2\n", first), std::string::npos) << text;
+}
+
+TEST(MetricsRegistry, LabelValuesAreEscaped)
+{
+    MetricRegistry registry;
+    registry
+        .counter("vtrain_test_weird_total",
+                 {{"what", "a\"b\\c\nd"}})
+        ->inc();
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("what=\"a\\\"b\\\\c\\nd\""),
+              std::string::npos)
+        << text;
+}
+
+TEST(MetricsRegistry, HistogramSeriesSnapshots)
+{
+    MetricRegistry registry;
+    registry.histogram("vtrain_test_a_seconds")->record(0.5);
+    registry.histogram("vtrain_test_b_seconds", {{"k", "v"}})
+        ->record(0.25);
+    registry.counter("vtrain_test_c_total")->inc();
+    const auto series = registry.histogramSeries();
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_EQ(series[0].name, "vtrain_test_a_seconds");
+    EXPECT_EQ(series[0].snapshot.count, 1u);
+    EXPECT_EQ(series[1].name, "vtrain_test_b_seconds");
+    ASSERT_EQ(series[1].labels.size(), 1u);
+    EXPECT_EQ(series[1].labels[0].second, "v");
+}
+
+TEST(MetricsRegistry, GlobalIsSingleton)
+{
+    EXPECT_EQ(&MetricRegistry::global(), &MetricRegistry::global());
+}
+
+TEST(MetricsRegistry, ScopedLatencyRecords)
+{
+    MetricRegistry registry;
+    Histogram *h = registry.histogram("vtrain_test_scoped_seconds");
+    {
+        ScopedLatency timer(h);
+    }
+    EXPECT_EQ(h->snapshot().count, 1u);
+    {
+        ScopedLatency disabled(nullptr); // must be a safe no-op
+    }
+}
+
+// -------------------------------------------------------- concurrency
+
+TEST(MetricsConcurrency, ParallelRecordersAndSnapshots)
+{
+    // 8 writer threads hammer one histogram while the main thread
+    // snapshots concurrently; run under tsan this is the data-race
+    // proof, everywhere it checks merge totals.
+    Histogram h;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&h, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.record(1e-6 * (t + 1));
+        });
+    }
+    for (int i = 0; i < 50; ++i)
+        (void)h.snapshot(); // must not tear or race
+    for (std::thread &w : writers)
+        w.join();
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count,
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_NEAR(snap.max, 1e-6 * kThreads, 1e-12);
+}
+
+TEST(MetricsConcurrency, RegistryRegistrationRace)
+{
+    MetricRegistry registry;
+    constexpr int kThreads = 8;
+    std::vector<Counter *> seen(kThreads, nullptr);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&registry, &seen, t] {
+            seen[static_cast<size_t>(t)] =
+                registry.counter("vtrain_test_race_total");
+            seen[static_cast<size_t>(t)]->inc();
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+    EXPECT_EQ(seen[0]->value(), static_cast<uint64_t>(kThreads));
+}
+
+} // namespace
+} // namespace util
+} // namespace vtrain
