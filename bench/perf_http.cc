@@ -99,7 +99,8 @@ BM_HttpEvaluate_CacheHit(benchmark::State &state)
     setVerbose(false);
     Stack &s = stack();
     net::HttpClient client("127.0.0.1", s.frontend->port());
-    const std::string wire = toJson(requestVariant(0));
+    const std::string wire =
+        wire::v1::encode(requestVariant(0)).dump();
     postOrAbort(client, "/v1/evaluate", wire); // prime the cache
     for (auto _ : state)
         postOrAbort(client, "/v1/evaluate", wire);
@@ -136,7 +137,7 @@ BM_HttpEvaluateBatch64(benchmark::State &state)
     net::HttpClient client("127.0.0.1", s.frontend->port());
     json::Value requests = json::Value::array();
     for (int i = 0; i < 64; ++i)
-        requests.push(toJsonValue(requestVariant(i)));
+        requests.push(wire::v1::encode(requestVariant(i)));
     json::Value batch = json::Value::object();
     batch.set("version", int64_t{1});
     batch.set("requests", std::move(requests));
@@ -158,7 +159,8 @@ BM_HttpConcurrentClients(benchmark::State &state)
     constexpr int kRequestsPerClientPerIter = 32;
     Stack &s = stack();
     const int n_clients = static_cast<int>(state.range(0));
-    const std::string wire = toJson(requestVariant(0));
+    const std::string wire =
+        wire::v1::encode(requestVariant(0)).dump();
     {
         net::HttpClient primer("127.0.0.1", s.frontend->port());
         postOrAbort(primer, "/v1/evaluate", wire);

@@ -209,9 +209,9 @@ BM_RequestJsonRoundTrip(benchmark::State &state)
 {
     const auto requests = scaledModelRequests(1);
     for (auto _ : state) {
-        const std::string wire = toJson(requests[0]);
+        const std::string wire = wire::v1::encode(requests[0]).dump();
         SimRequest decoded;
-        const bool ok = simRequestFromJson(wire, &decoded);
+        const bool ok = wire::v1::decode(wire, &decoded);
         benchmark::DoNotOptimize(ok);
         benchmark::DoNotOptimize(decoded.parallel.tensor);
     }

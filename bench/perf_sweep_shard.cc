@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Distributed-sweep scaling benchmark: the cold 512-point MT-NLG
+ * sweep dispatched through a SweepCoordinator over 1, 2 and 4
+ * loopback shard servers, against the pure in-process Explorer::sweep
+ * baseline.
+ *
+ * Each shard is a real SimService + HttpFrontend on an ephemeral
+ * loopback port, torn down and rebuilt per iteration so every run is
+ * cold (empty result cache, cold template cache).  The interesting
+ * comparison in BENCH_sweep.json is BM_SweepShard512MtNlg_Cold/1 vs
+ * /2 and /4: on a multi-core host the N-shard wall clock drops toward
+ * 1/N because the shards simulate their slices concurrently, while on
+ * a single-CPU host all shards serialize onto the same core and the
+ * numbers stay ~1x baseline plus the (small) wire overhead — the
+ * coordinator adds JSON codec + loopback HTTP cost only, never extra
+ * simulation work.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "vtrain/vtrain.h"
+
+namespace {
+
+using namespace vtrain;
+
+/**
+ * The 512-point MT-NLG plan list, mirroring perf_serve.cc's
+ * mtNlgRequests: the base sweep enumerates (t, d, p, m) plans and
+ * further points reuse them at scaled global batch sizes (scaling
+ * preserves validity and distinct fingerprints).
+ */
+std::vector<ParallelConfig>
+mtNlgPlans(const ModelConfig &model, const ClusterSpec &cluster,
+           size_t count)
+{
+    SweepSpec spec;
+    spec.global_batch_size = 1920;
+    spec.max_tensor = 8;
+    spec.max_data = 32;
+    spec.max_pipeline = 35;
+    spec.micro_batch_sizes = {1, 2};
+    spec.max_gpus = 2048;
+    const auto base = enumeratePlans(model, cluster, spec);
+    std::vector<ParallelConfig> plans;
+    plans.reserve(count);
+    for (size_t i = 0; plans.size() < count; ++i) {
+        ParallelConfig plan = base[i % base.size()];
+        plan.global_batch_size *= static_cast<int>(1 + i / base.size());
+        plans.push_back(plan);
+    }
+    return plans;
+}
+
+/** One shard: a fresh service plus its HTTP frontend, started. */
+struct ShardStack {
+    ShardStack()
+        : service(SimService::Options{}), frontend(service)
+    {
+        std::string error;
+        if (!frontend.start(&error))
+            throw std::runtime_error("shard failed to start: " + error);
+    }
+
+    SimService service;
+    HttpFrontend frontend;
+};
+
+/**
+ * Cold 512-point MT-NLG sweep over `Arg` loopback shards.  Fresh
+ * shard fleet + coordinator per iteration; /1 is the single-shard
+ * baseline the ROADMAP's scaling criterion compares against.
+ */
+void
+BM_SweepShard512MtNlg_Cold(benchmark::State &state)
+{
+    setVerbose(false);
+    const size_t n_shards = static_cast<size_t>(state.range(0));
+    const ModelConfig model = zoo::mtNlg530b();
+    const ClusterSpec cluster = makeCluster(2048);
+    const auto plans = mtNlgPlans(model, cluster, 512);
+    for (auto _ : state) {
+        std::vector<std::unique_ptr<ShardStack>> shards;
+        SweepCoordinator::Options options;
+        for (size_t i = 0; i < n_shards; ++i) {
+            shards.push_back(std::make_unique<ShardStack>());
+            options.shards.push_back(
+                ShardEndpoint{"127.0.0.1", shards.back()->frontend.port()});
+        }
+        SweepCoordinator coordinator(std::move(options));
+        auto results = coordinator.sweep(model, cluster, SimOptions{},
+                                         plans);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(plans.size()));
+}
+BENCHMARK(BM_SweepShard512MtNlg_Cold)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kSecond);
+
+/** The same sweep with no wire at all: local Explorer::sweep. */
+void
+BM_SweepLocal512MtNlg_Cold(benchmark::State &state)
+{
+    setVerbose(false);
+    const ModelConfig model = zoo::mtNlg530b();
+    const ClusterSpec cluster = makeCluster(2048);
+    const auto plans = mtNlgPlans(model, cluster, 512);
+    for (auto _ : state) {
+        Explorer explorer(cluster);
+        auto results = explorer.sweep(model, plans);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(plans.size()));
+}
+BENCHMARK(BM_SweepLocal512MtNlg_Cold)
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -88,10 +88,10 @@ main(int argc, char **argv)
                 future.get().iteration_seconds);
 
     // --- JSON: requests and results cross process boundaries -------
-    const std::string wire = toJson(batch[0]);
+    const std::string wire = wire::v1::encode(batch[0]).dump();
     SimRequest decoded;
     std::string error;
-    if (!simRequestFromJson(wire, &decoded, &error)) {
+    if (!wire::v1::decode(wire, &decoded, &error)) {
         std::fprintf(stderr, "decode failed: %s\n", error.c_str());
         return 1;
     }
@@ -101,6 +101,6 @@ main(int argc, char **argv)
                     ? "match"
                     : "DIFFER");
     std::printf("result payload:\n%s\n",
-                toJson(results.front()).c_str());
+                wire::v1::encode(results.front()).dump().c_str());
     return 0;
 }

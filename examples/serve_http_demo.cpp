@@ -47,7 +47,7 @@ iterationSecondsOf(const std::string &body)
 {
     SimulationResult result;
     std::string error;
-    if (!simResultFromJson(body, &result, &error)) {
+    if (!wire::v1::decode(body, &result, &error)) {
         std::fprintf(stderr, "bad result payload: %s\n",
                      error.c_str());
         std::exit(1);
@@ -91,7 +91,7 @@ main(int argc, char **argv)
                 "  curl -s %s/healthz\n"
                 "  curl -s %s/v1/evaluate -d @- <<'EOF'\n%s\nEOF\n\n",
                 frontend.baseUrl().c_str(), frontend.baseUrl().c_str(),
-                toJson(request).c_str());
+                wire::v1::encode(request).dump().c_str());
 
     if (serve) {
         std::printf("serving until interrupted...\n");
@@ -103,16 +103,15 @@ main(int argc, char **argv)
     net::HttpClient client("127.0.0.1", frontend.port());
     net::HttpResponse response;
 
-    if (!client.post("/v1/evaluate", toJson(request), &response,
-                     &error)) {
+    const std::string body = wire::v1::encode(request).dump();
+    if (!client.post("/v1/evaluate", body, &response, &error)) {
         std::fprintf(stderr, "POST /v1/evaluate: %s\n", error.c_str());
         return 1;
     }
     std::printf("POST /v1/evaluate         -> %d, iter=%.3fs (cold)\n",
                 response.status, iterationSecondsOf(response.body));
 
-    if (!client.post("/v1/evaluate", toJson(request), &response,
-                     &error)) {
+    if (!client.post("/v1/evaluate", body, &response, &error)) {
         std::fprintf(stderr, "POST /v1/evaluate: %s\n", error.c_str());
         return 1;
     }
@@ -123,9 +122,9 @@ main(int argc, char **argv)
     // A small batch: plan variants answered in order, duplicates
     // collapsed against the cache.
     json::Value requests = json::Value::array();
-    requests.push(toJsonValue(gpt3Request(8, 16, 8))); // cached above
-    requests.push(toJsonValue(gpt3Request(8, 8, 16)));
-    requests.push(toJsonValue(gpt3Request(4, 16, 16)));
+    requests.push(wire::v1::encode(gpt3Request(8, 16, 8))); // cached
+    requests.push(wire::v1::encode(gpt3Request(8, 8, 16)));
+    requests.push(wire::v1::encode(gpt3Request(4, 16, 16)));
     json::Value batch = json::Value::object();
     batch.set("version", int64_t{1});
     batch.set("requests", std::move(requests));

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Distributed sweep walkthrough: one design-space sweep fanned out
+ * across shard servers over the versioned /v1 wire API.
+ *
+ *   ./sweep_demo                    in-process tour: two loopback
+ *                                   shards + a coordinator, checked
+ *                                   bit-identical against the local
+ *                                   Explorer::sweep
+ *   ./sweep_demo --shard [port]     run one shard server (default
+ *                                   8081) until interrupted
+ *   ./sweep_demo --coordinate H:P [H:P ...]
+ *                                   sweep over already-running shards
+ *
+ * Multi-process topology (one shard per core or per machine):
+ *
+ *   terminal 1:  ./sweep_demo --shard 8081
+ *   terminal 2:  ./sweep_demo --shard 8082
+ *   terminal 3:  ./sweep_demo --coordinate 127.0.0.1:8081 \
+ *                                          127.0.0.1:8082
+ *
+ * The coordinator partitions plans by their structural batch-group
+ * key on a consistent-hash ring, so each shard keeps its template and
+ * result caches warm across sweeps, and fails over to the next ring
+ * node if a shard dies mid-sweep.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vtrain/vtrain.h"
+
+using namespace vtrain;
+
+namespace {
+
+ModelConfig
+demoModel()
+{
+    return zoo::gpt3_175b();
+}
+
+ClusterSpec
+demoCluster()
+{
+    return makeCluster(1024);
+}
+
+SweepSpec
+demoSpec()
+{
+    SweepSpec spec;
+    spec.global_batch_size = 1536;
+    spec.max_tensor = 8;
+    spec.max_data = 16;
+    spec.max_pipeline = 16;
+    spec.micro_batch_sizes = {1, 2};
+    spec.max_gpus = 1024;
+    return spec;
+}
+
+void
+printBest(const std::vector<ExploreResult> &results)
+{
+    const int best = bestByIterationTime(results);
+    if (best < 0)
+        return;
+    const ExploreResult &winner = results[static_cast<size_t>(best)];
+    std::printf("best plan: t=%d d=%d p=%d m=%d  ->  iter=%.3fs\n",
+                winner.plan.tensor, winner.plan.data,
+                winner.plan.pipeline, winner.plan.micro_batch_size,
+                winner.sim.iteration_seconds);
+}
+
+/** A shard process: one SimService + HttpFrontend, serving forever. */
+int
+runShard(uint16_t port)
+{
+    SimService service;
+    HttpFrontend::Options options;
+    options.port = port;
+    HttpFrontend frontend(service, options);
+    std::string error;
+    if (!frontend.start(&error)) {
+        std::fprintf(stderr, "cannot start shard: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("sweep shard listening on %s\n"
+                "  POST /v1/sweep evaluates slices; GET /statz shows\n"
+                "  the \"sweep\".\"server\" counters.  Ctrl-C to stop.\n",
+                frontend.baseUrl().c_str());
+    for (;;)
+        std::this_thread::sleep_for(std::chrono::seconds(3600));
+}
+
+/** A coordinator process: sweep over already-running shards. */
+int
+runCoordinate(const std::vector<std::string> &endpoints)
+{
+    Explorer explorer(demoCluster());
+    explorer.setRemoteShards(endpoints);
+    std::printf("sweeping over %zu shard(s)...\n", endpoints.size());
+    const auto results = explorer.sweep(demoModel(), demoSpec());
+    std::printf("merged %zu results\n", results.size());
+    printBest(results);
+
+    const SweepCoordinatorStats stats =
+        explorer.remoteBackend()->stats();
+    for (const SweepShardStats &shard : stats.shards)
+        std::printf("  shard %-21s plans=%llu retries=%llu "
+                    "failovers=%llu\n",
+                    shard.shard.c_str(),
+                    static_cast<unsigned long long>(shard.plans),
+                    static_cast<unsigned long long>(shard.retries),
+                    static_cast<unsigned long long>(shard.failovers));
+    return 0;
+}
+
+/** No arguments: the whole topology in one process, verified. */
+int
+runTour()
+{
+    // Two shards on ephemeral loopback ports.
+    SimService service_a, service_b;
+    HttpFrontend shard_a(service_a), shard_b(service_b);
+    std::string error;
+    if (!shard_a.start(&error) || !shard_b.start(&error)) {
+        std::fprintf(stderr, "cannot start shards: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    std::printf("shards up: %s  %s\n", shard_a.baseUrl().c_str(),
+                shard_b.baseUrl().c_str());
+
+    // The distributed sweep...
+    Explorer distributed(demoCluster());
+    distributed.setRemoteShards(
+        {"127.0.0.1:" + std::to_string(shard_a.port()),
+         "127.0.0.1:" + std::to_string(shard_b.port())});
+    const auto remote = distributed.sweep(demoModel(), demoSpec());
+    std::printf("distributed sweep: %zu results\n", remote.size());
+    printBest(remote);
+
+    // ...is bit-identical to the local one (modulo per-result wall
+    // clock, which measures whichever host computed it).
+    Explorer local(demoCluster());
+    const auto reference = local.sweep(demoModel(), demoSpec());
+    size_t mismatches = 0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+        SimulationResult lhs = remote[i].sim;
+        SimulationResult rhs = reference[i].sim;
+        lhs.sim_wall_seconds = 0.0;
+        rhs.sim_wall_seconds = 0.0;
+        if (!(remote[i].plan == reference[i].plan) || !(lhs == rhs))
+            ++mismatches;
+    }
+    std::printf("local reference:   %zu results, %zu mismatches\n",
+                reference.size(), mismatches);
+
+    // How the plans were placed (each structural group lands wholly
+    // on one shard, so its template cache stays warm).
+    const SweepCoordinatorStats stats =
+        distributed.remoteBackend()->stats();
+    std::printf("partitioned %llu batch groups across the ring:\n",
+                static_cast<unsigned long long>(stats.groups));
+    for (const SweepShardStats &shard : stats.shards)
+        std::printf("  shard %-21s plans=%llu\n", shard.shard.c_str(),
+                    static_cast<unsigned long long>(shard.plans));
+
+    return mismatches == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    if (argc > 1 && std::strcmp(argv[1], "--shard") == 0) {
+        uint16_t port = 8081;
+        if (argc > 2)
+            port = static_cast<uint16_t>(std::atoi(argv[2]));
+        return runShard(port);
+    }
+    if (argc > 1 && std::strcmp(argv[1], "--coordinate") == 0) {
+        if (argc < 3) {
+            std::fprintf(stderr,
+                         "usage: %s --coordinate host:port "
+                         "[host:port ...]\n",
+                         argv[0]);
+            return 2;
+        }
+        std::vector<std::string> endpoints(argv + 2, argv + argc);
+        return runCoordinate(endpoints);
+    }
+    return runTour();
+}

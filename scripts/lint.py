@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint rules for the vtrain tree.
 
-Five rules, each targeting a defect class the compilers cannot (or do
+Six rules, each targeting a defect class the compilers cannot (or do
 not) catch:
 
   naked-mutex         std::mutex / std::lock_guard / std::unique_lock /
@@ -30,6 +30,16 @@ not) catch:
                       must be fig<N>_*/table<N>_*/perf_*/ablation_*/
                       *_common so CI's bench-smoke globs keep matching
                       every binary.
+
+  wire-schema         Raw JSON payload assembly inside the HTTP
+                      frontend's handlers.  Every /v1 payload must go
+                      through serve/wire.h (the one versioned schema
+                      surface), so a handler spelling out
+                      json::Value::object()/array(), a legacy
+                      toJsonValue/...FromJsonValue codec, or a
+                      non-wire error envelope (net::errorResponse,
+                      jsonErrorBody) is bypassing the schema and will
+                      drift from the documented wire format.
 
   metric-naming       Metric names registered through MetricRegistry
                       (counter/gauge/histogram and their declare*
@@ -70,6 +80,33 @@ POOL_BLOCKING_PATTERNS = [
      "pool task can self-deadlock -- compute inline instead"),
     (re.compile(r"\bpool\s*\(\s*\)\s*\.\s*wait\s*\(|\bpool_\s*\.\s*wait\s*\("),
      "ThreadPool::wait() from a pool task deadlocks a saturated pool"),
+]
+
+# Handler files that must speak serve/wire.h exclusively: any raw
+# payload assembly here bypasses the versioned schema surface.
+WIRE_CONTEXT_FILES = [
+    os.path.join("src", "serve", "http_frontend.cc"),
+]
+
+WIRE_RAW_PATTERNS = [
+    (re.compile(r"\bjson::Value::object\s*\("),
+     "raw json::Value::object() in a /v1 handler; build the payload "
+     "through serve/wire.h instead"),
+    (re.compile(r"\bjson::Value::array\s*\("),
+     "raw json::Value::array() in a /v1 handler; build the payload "
+     "through serve/wire.h instead"),
+    (re.compile(r"\btoJsonValue\s*\("),
+     "legacy toJsonValue codec; the wire schema lives in serve/wire.h "
+     "(wire::v1::encode)"),
+    (re.compile(r"\b\w+FromJsonValue\s*\("),
+     "legacy *FromJsonValue codec; the wire schema lives in "
+     "serve/wire.h (wire::v1::decode)"),
+    (re.compile(r"\bnet::errorResponse\s*\("),
+     "net::errorResponse bypasses the structured error envelope; use "
+     "wire::v1::errorResponse"),
+    (re.compile(r"\bjsonErrorBody\s*\("),
+     "ad-hoc error body; use wire::v1::errorResponse (the one "
+     "structured error-envelope builder)"),
 ]
 
 NAKED_MUTEX_RE = re.compile(
@@ -249,6 +286,19 @@ def check_pool_blocking(root, findings):
                     message))
 
 
+def check_wire_schema(root, findings):
+    for rel in WIRE_CONTEXT_FILES:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        code = strip_comments(read_text(path))
+        for pattern, message in WIRE_RAW_PATTERNS:
+            for m in pattern.finditer(code):
+                findings.append(Finding(
+                    rel, line_of(code, m.start()), "wire-schema",
+                    message))
+
+
 def check_file_naming(root, findings):
     tests_dir = os.path.join(root, "tests")
     if os.path.isdir(tests_dir):
@@ -304,6 +354,7 @@ def run_all(root):
     check_naked_mutex(root, findings)
     check_missing_annotation(root, findings)
     check_pool_blocking(root, findings)
+    check_wire_schema(root, findings)
     check_file_naming(root, findings)
     check_metric_naming(root, findings)
     return findings
@@ -363,6 +414,16 @@ void Frontend::handleBatch() {
     service_.pool().wait();                         // waits on itself
     auto ok = service_.evaluateBatchInline(batch);  // legal
     auto also_ok = service_.evaluate(one);          // legal
+}
+net::HttpResponse Frontend::handleRaw() {
+    json::Value body = json::Value::object();       // bad: raw payload
+    body.set("results", json::Value::array());      // bad: raw payload
+    body.set("plan", toJsonValue(plan));            // bad: legacy codec
+    if (!simRequestFromJsonValue(body, &req))       // bad: legacy codec
+        return net::errorResponse(400, "nope");     // bad: raw envelope
+    return jsonErrorBody(422, "nope");              // bad: ad-hoc body
+    // json::Value::object() in a comment must NOT fire
+    auto fine = wire::v1::errorResponse(400, "ok"); // legal
 }
 """
 
@@ -425,6 +486,14 @@ def self_test():
                "pool-blocking: expected the 3 seeded hits "
                "(evaluateBatch, evaluateAsync, pool().wait), got %s"
                % [str(f) for f in blocking], failures)
+
+        wire = by_rule.get("wire-schema", [])
+        expect(len(wire) == 6 and
+               all(f.path.endswith("http_frontend.cc") for f in wire),
+               "wire-schema: expected the 6 seeded hits (object, "
+               "array, toJsonValue, FromJsonValue, net::errorResponse, "
+               "jsonErrorBody), got %s" % [str(f) for f in wire],
+               failures)
 
         metric = by_rule.get("metric-naming", [])
         expect(len(metric) == 3 and

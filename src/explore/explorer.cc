@@ -1,6 +1,9 @@
 #include "explore/explorer.h"
 
+#include <stdexcept>
 #include <utility>
+
+#include "serve/sweep_coordinator.h"
 
 namespace vtrain {
 
@@ -13,10 +16,45 @@ Explorer::Explorer(ClusterSpec cluster, SimOptions options,
     service_ = std::make_unique<SimService>(std::move(service_options));
 }
 
+Explorer::~Explorer() = default;
+Explorer::Explorer(Explorer &&) noexcept = default;
+Explorer &Explorer::operator=(Explorer &&) noexcept = default;
+
+void
+Explorer::setRemoteBackend(std::unique_ptr<SweepCoordinator> coordinator)
+{
+    remote_ = std::move(coordinator);
+}
+
+void
+Explorer::setRemoteShards(const std::vector<std::string> &endpoints)
+{
+    SweepCoordinator::Options options;
+    for (const std::string &endpoint : endpoints) {
+        const size_t colon = endpoint.rfind(':');
+        if (colon == std::string::npos || colon + 1 >= endpoint.size())
+            throw std::invalid_argument("shard endpoint '" + endpoint +
+                                        "' is not host:port");
+        const long port = std::stol(endpoint.substr(colon + 1));
+        if (port <= 0 || port > 65535)
+            throw std::invalid_argument("shard endpoint '" + endpoint +
+                                        "' has an invalid port");
+        options.shards.push_back(
+            ShardEndpoint{endpoint.substr(0, colon),
+                          static_cast<uint16_t>(port)});
+    }
+    setRemoteBackend(std::make_unique<SweepCoordinator>(options));
+}
+
 std::vector<ExploreResult>
 Explorer::sweep(const ModelConfig &model,
                 const std::vector<ParallelConfig> &plans) const
 {
+    // Remote mode: the coordinator partitions the plans across the
+    // shard fleet and merges; same results, other boxes' CPUs.
+    if (remote_)
+        return remote_->sweep(model, cluster_, options_, plans);
+
     std::vector<SimRequest> requests(plans.size());
     for (size_t i = 0; i < plans.size(); ++i) {
         requests[i].model = model;

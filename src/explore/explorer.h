@@ -29,6 +29,8 @@
 
 namespace vtrain {
 
+class SweepCoordinator;
+
 /** One evaluated design point. */
 struct ExploreResult {
     ParallelConfig plan;
@@ -47,6 +49,11 @@ class Explorer
     explicit Explorer(ClusterSpec cluster, SimOptions options = {},
                       size_t n_threads = 0);
 
+    // Out of line for the forward-declared SweepCoordinator member.
+    ~Explorer();
+    Explorer(Explorer &&) noexcept;
+    Explorer &operator=(Explorer &&) noexcept;
+
     /** Simulates every plan; results keep the plans' order. */
     std::vector<ExploreResult> sweep(
         const ModelConfig &model,
@@ -61,12 +68,31 @@ class Explorer
     /** The underlying request service (persistent pool + cache). */
     SimService &service() const { return *service_; }
 
+    /**
+     * Remote-backend mode: fan sweep() out to shard servers through
+     * `coordinator` instead of computing locally.  Merged results are
+     * bit-identical to the local path (modulo sim_wall_seconds), so
+     * callers do not change.  Pass nullptr to return to local compute.
+     */
+    void setRemoteBackend(std::unique_ptr<SweepCoordinator> coordinator);
+
+    /**
+     * Convenience over setRemoteBackend: builds a default-configured
+     * coordinator over "host:port" endpoint strings.  Throws
+     * std::invalid_argument on a malformed endpoint.
+     */
+    void setRemoteShards(const std::vector<std::string> &endpoints);
+
+    /** The active coordinator, or nullptr when computing locally. */
+    SweepCoordinator *remoteBackend() const { return remote_.get(); }
+
   private:
     ClusterSpec cluster_;
     SimOptions options_;
     // unique_ptr so the (logically const) sweep entry points can use
     // the mutating service API; the Explorer is therefore move-only.
     std::unique_ptr<SimService> service_;
+    std::unique_ptr<SweepCoordinator> remote_;
 };
 
 /** @return index of the fastest plan, or -1 if `results` is empty. */

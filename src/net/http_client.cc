@@ -1,9 +1,51 @@
 #include "net/http_client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace vtrain {
 namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool
+clientFail(ClientError *error, ClientErrorKind kind, std::string message)
+{
+    if (error) {
+        error->kind = kind;
+        error->message = std::move(message);
+    }
+    return false;
+}
+
+} // namespace
+
+/** Monotonic-clock deadline of one request (none when unset). */
+struct HttpClient::Deadline {
+    bool active = false;
+    Clock::time_point at{};
+
+    static Deadline fromNow(int timeout_ms)
+    {
+        Deadline d;
+        if (timeout_ms > 0) {
+            d.active = true;
+            d.at = Clock::now() + std::chrono::milliseconds(timeout_ms);
+        }
+        return d;
+    }
+
+    /** Whole milliseconds left, rounded up; 0 = expired. */
+    int remainingMs() const
+    {
+        const auto left = std::chrono::ceil<std::chrono::milliseconds>(
+            at - Clock::now());
+        return static_cast<int>(std::max<int64_t>(left.count(), 0));
+    }
+};
 
 HttpClient::HttpClient(Options options) : options_(std::move(options))
 {
@@ -17,38 +59,83 @@ HttpClient::disconnect()
 }
 
 bool
-HttpClient::ensureConnected(std::string *error)
+HttpClient::ensureConnected(const Deadline &deadline, ClientError *error)
 {
     if (sock_.valid())
         return true;
-    std::string connect_error;
-    Socket sock =
-        connectTcp(options_.host, options_.port, &connect_error);
-    if (!sock.valid()) {
-        if (error)
-            *error = connect_error;
-        return false;
+    int connect_timeout = options_.connect_timeout_ms;
+    if (deadline.active) {
+        const int remaining = deadline.remainingMs();
+        if (remaining <= 0)
+            return clientFail(error, ClientErrorKind::Timeout,
+                              "request deadline expired before "
+                              "connecting");
+        connect_timeout = connect_timeout > 0
+                              ? std::min(connect_timeout, remaining)
+                              : remaining;
     }
-    if (options_.timeout_ms > 0)
-        sock.setTimeouts(options_.timeout_ms);
+    std::string connect_error;
+    ConnectOutcome outcome = ConnectOutcome::Error;
+    Socket sock = connectTcp(options_.host, options_.port,
+                             connect_timeout, &outcome, &connect_error);
+    if (!sock.valid()) {
+        switch (outcome) {
+          case ConnectOutcome::Refused:
+            return clientFail(error, ClientErrorKind::ConnectRefused,
+                              std::move(connect_error));
+          case ConnectOutcome::TimedOut:
+            // The *request* deadline expiring during the dial is a
+            // request timeout; a dial slower than connect_timeout_ms
+            // alone is a connect failure.
+            if (deadline.active && deadline.remainingMs() <= 0)
+                return clientFail(error, ClientErrorKind::Timeout,
+                                  std::move(connect_error));
+            return clientFail(error, ClientErrorKind::ConnectFailed,
+                              std::move(connect_error));
+          default:
+            return clientFail(error, ClientErrorKind::ConnectFailed,
+                              std::move(connect_error));
+        }
+    }
     sock_ = std::move(sock);
     in_buf_.clear();
     ++connects_;
+    if (!applyOpTimeout(deadline, error)) {
+        disconnect();
+        return false;
+    }
     return true;
 }
 
 bool
-HttpClient::roundTrip(const std::string &wire, HttpResponse *out,
-                      std::string *error, bool *retry_safe)
+HttpClient::applyOpTimeout(const Deadline &deadline, ClientError *error)
+{
+    int timeout = options_.timeout_ms;
+    if (deadline.active) {
+        const int remaining = deadline.remainingMs();
+        if (remaining <= 0)
+            return clientFail(error, ClientErrorKind::Timeout,
+                              "request deadline expired");
+        timeout = timeout > 0 ? std::min(timeout, remaining)
+                              : remaining;
+    }
+    if (timeout > 0)
+        sock_.setTimeouts(timeout);
+    return true;
+}
+
+bool
+HttpClient::roundTrip(const std::string &wire, const Deadline &deadline,
+                      HttpResponse *out, ClientError *error,
+                      bool *retry_safe)
 {
     *retry_safe = false;
     if (!sock_.sendAll(wire.data(), wire.size())) {
-        if (error)
-            *error = "send failed";
         // Nothing came back; the dead-idle-keep-alive signature.
         *retry_safe = true;
         disconnect();
-        return false;
+        return clientFail(error, ClientErrorKind::SendFailed,
+                          "send failed");
     }
     HttpResponseParser parser(options_.limits);
     bool received_any = false;
@@ -62,8 +149,13 @@ HttpClient::roundTrip(const std::string &wire, HttpResponse *out,
             return true;
         }
         if (status == HttpResponseParser::Status::Error) {
-            if (error)
-                *error = "bad response: " + parser.errorMessage();
+            disconnect();
+            return clientFail(error, ClientErrorKind::Protocol,
+                              "bad response: " + parser.errorMessage());
+        }
+        // Re-arm the op timeout so the whole response — not each
+        // recv individually — fits inside the request deadline.
+        if (!applyOpTimeout(deadline, error)) {
             disconnect();
             return false;
         }
@@ -74,10 +166,6 @@ HttpClient::roundTrip(const std::string &wire, HttpResponse *out,
             received_any = true;
             continue;
         }
-        if (error)
-            *error = io == IoStatus::Eof
-                         ? "connection closed before a full response"
-                         : "receive failed or timed out";
         // A resend must not double-execute the request, so it is only
         // safe when the connection died with zero response bytes --
         // the server closed without processing (an idle keep-alive
@@ -85,14 +173,21 @@ HttpClient::roundTrip(const std::string &wire, HttpResponse *out,
         // server may still be computing: never resend.
         *retry_safe = !received_any && io != IoStatus::WouldBlock;
         disconnect();
-        return false;
+        if (io == IoStatus::WouldBlock)
+            return clientFail(error, ClientErrorKind::Timeout,
+                              "timed out awaiting the response");
+        return clientFail(error, ClientErrorKind::Closed,
+                          io == IoStatus::Eof
+                              ? "connection closed before a full "
+                                "response"
+                              : "receive failed");
     }
 }
 
 bool
 HttpClient::request(std::string_view method, std::string_view target,
                     std::string_view body, HttpResponse *out,
-                    std::string *error)
+                    ClientError *error)
 {
     HttpRequest req;
     req.method = std::string(method);
@@ -104,21 +199,40 @@ HttpClient::request(std::string_view method, std::string_view target,
         req.headers.push_back({"Content-Type", "application/json"});
     req.body = std::string(body);
     const std::string wire = serializeRequest(req);
+    const Deadline deadline =
+        Deadline::fromNow(options_.request_timeout_ms);
 
     const bool was_connected = sock_.valid();
-    if (!ensureConnected(error))
+    if (!ensureConnected(deadline, error))
         return false;
+    if (!applyOpTimeout(deadline, error)) {
+        disconnect();
+        return false;
+    }
     bool retry_safe = false;
-    if (roundTrip(wire, out, error, &retry_safe))
+    if (roundTrip(wire, deadline, out, error, &retry_safe))
         return true;
     // A reused keep-alive connection may have been idle-closed by the
     // server between requests; re-dial once on a fresh socket -- but
     // only when the failure proves the server never answered.
     if (!was_connected || !retry_safe)
         return false;
-    if (!ensureConnected(error))
+    if (!ensureConnected(deadline, error))
         return false;
-    return roundTrip(wire, out, error, &retry_safe);
+    return roundTrip(wire, deadline, out, error, &retry_safe);
+}
+
+bool
+HttpClient::request(std::string_view method, std::string_view target,
+                    std::string_view body, HttpResponse *out,
+                    std::string *error)
+{
+    ClientError typed;
+    if (request(method, target, body, out, &typed))
+        return true;
+    if (error)
+        *error = std::move(typed.message);
+    return false;
 }
 
 } // namespace net

@@ -23,6 +23,24 @@
 namespace vtrain {
 namespace net {
 
+/** Why a request failed, in terms a retry policy can act on. */
+enum class ClientErrorKind {
+    None,           //!< no failure
+    ConnectRefused, //!< nothing listening (fail over, don't wait)
+    ConnectFailed,  //!< dial failed or timed out
+    Timeout,        //!< deadline expired mid-request (peer may still
+                    //!< be computing; re-sending repeats the work)
+    Closed,         //!< connection died before a full response
+    SendFailed,     //!< the request bytes never got out
+    Protocol        //!< unparsable response (do not retry)
+};
+
+/** A typed request failure plus its human-readable detail. */
+struct ClientError {
+    ClientErrorKind kind = ClientErrorKind::None;
+    std::string message;
+};
+
 /** A blocking single-connection HTTP/1.1 client. */
 class HttpClient
 {
@@ -36,11 +54,22 @@ class HttpClient
 
         /** Response size limits. */
         HttpLimits limits;
+
+        /** TCP connect deadline (0 = wait forever). */
+        int connect_timeout_ms = 10000;
+
+        /**
+         * Total per-request deadline covering connect, send and the
+         * whole response (0 = per-operation timeouts only).  On
+         * expiry request() fails with ClientErrorKind::Timeout
+         * instead of blocking for however long the server computes.
+         */
+        int request_timeout_ms = 0;
     };
 
     explicit HttpClient(Options options);
     HttpClient(const std::string &host, uint16_t port)
-        : HttpClient(Options{host, port, 20000, HttpLimits{}})
+        : HttpClient(Options{host, port, 20000, HttpLimits{}, 10000, 0})
     {
     }
 
@@ -56,6 +85,15 @@ class HttpClient
     bool request(std::string_view method, std::string_view target,
                  std::string_view body, HttpResponse *out,
                  std::string *error);
+
+    /**
+     * request() with a typed error, so callers can distinguish "fail
+     * over now" (ConnectRefused) from "maybe retry" (Timeout, Closed)
+     * from "give up" (Protocol).
+     */
+    bool request(std::string_view method, std::string_view target,
+                 std::string_view body, HttpResponse *out,
+                 ClientError *error);
 
     bool get(std::string_view target, HttpResponse *out,
              std::string *error)
@@ -78,7 +116,10 @@ class HttpClient
     uint64_t connectsMade() const { return connects_; }
 
   private:
-    bool ensureConnected(std::string *error);
+    /** Monotonic-clock deadline of one request (0 = none). */
+    struct Deadline;
+
+    bool ensureConnected(const Deadline &deadline, ClientError *error);
 
     /**
      * One send + receive on the current connection.  On failure,
@@ -86,8 +127,12 @@ class HttpClient
      * cannot double-execute the request (the connection died with
      * zero response bytes; not a timeout).
      */
-    bool roundTrip(const std::string &wire, HttpResponse *out,
-                   std::string *error, bool *retry_safe);
+    bool roundTrip(const std::string &wire, const Deadline &deadline,
+                   HttpResponse *out, ClientError *error,
+                   bool *retry_safe);
+
+    /** The socket timeout for the next op under `deadline`. */
+    bool applyOpTimeout(const Deadline &deadline, ClientError *error);
 
     Options options_;
     Socket sock_;

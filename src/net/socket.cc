@@ -230,58 +230,78 @@ TcpListener::accept(Socket *out)
 Socket
 connectTcp(const std::string &host, uint16_t port, std::string *error)
 {
+    ConnectOutcome outcome = ConnectOutcome::Error;
+    return connectTcp(host, port, /*timeout_ms=*/0, &outcome, error);
+}
+
+Socket
+connectTcp(const std::string &host, uint16_t port, int timeout_ms,
+           ConnectOutcome *outcome, std::string *error)
+{
+    *outcome = ConnectOutcome::Error;
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return Socket();
+    };
+
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
-    if (!resolveHost(host, &addr.sin_addr)) {
-        if (error)
-            *error = "cannot resolve host '" + host + "'";
-        return Socket();
-    }
+    if (!resolveHost(host, &addr.sin_addr))
+        return fail("cannot resolve host '" + host + "'");
     Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
-    if (!sock.valid()) {
-        if (error)
-            *error = "socket(): " + errnoString();
-        return Socket();
-    }
-    if (::connect(sock.fd(),
-                  reinterpret_cast<const sockaddr *>(&addr),
+    if (!sock.valid())
+        return fail("socket(): " + errnoString());
+
+    // Non-blocking connect so the deadline is enforceable: the
+    // kernel's own connect timeout is minutes, far past any failover
+    // budget.  The socket is switched back to blocking on success.
+    if (!sock.setNonBlocking(true))
+        return fail("fcntl(O_NONBLOCK): " + errnoString());
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
-        if (errno != EINTR) {
-            if (error)
-                *error = "connect(" + host + ":" +
-                         std::to_string(port) +
-                         "): " + errnoString();
-            return Socket();
+        if (errno == ECONNREFUSED) {
+            *outcome = ConnectOutcome::Refused;
+            return fail("connect(" + host + ":" +
+                        std::to_string(port) + "): " + errnoString());
         }
-        // EINTR leaves the attempt in progress (re-calling connect()
-        // would yield EALREADY even on success); wait for the outcome
-        // and read it from SO_ERROR.
+        if (errno != EINPROGRESS && errno != EINTR)
+            return fail("connect(" + host + ":" +
+                        std::to_string(port) + "): " + errnoString());
+        // In progress (re-calling connect() would yield EALREADY even
+        // on success); wait for the outcome and read it from SO_ERROR.
         pollfd pfd{};
         pfd.fd = sock.fd();
         pfd.events = POLLOUT;
-        while (::poll(&pfd, 1, -1) < 0) {
-            if (errno != EINTR) {
-                if (error)
-                    *error = "poll(): " + errnoString();
-                return Socket();
-            }
+        const int wait_ms = timeout_ms > 0 ? timeout_ms : -1;
+        int polled;
+        while ((polled = ::poll(&pfd, 1, wait_ms)) < 0) {
+            if (errno != EINTR)
+                return fail("poll(): " + errnoString());
+        }
+        if (polled == 0) {
+            *outcome = ConnectOutcome::TimedOut;
+            return fail("connect(" + host + ":" +
+                        std::to_string(port) + "): timed out after " +
+                        std::to_string(timeout_ms) + " ms");
         }
         int so_error = 0;
         socklen_t len = sizeof(so_error);
         if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &so_error,
                          &len) != 0 ||
             so_error != 0) {
-            if (error) {
-                errno = so_error;
-                *error = "connect(" + host + ":" +
-                         std::to_string(port) +
-                         "): " + errnoString();
-            }
-            return Socket();
+            if (so_error == ECONNREFUSED)
+                *outcome = ConnectOutcome::Refused;
+            errno = so_error;
+            return fail("connect(" + host + ":" +
+                        std::to_string(port) + "): " + errnoString());
         }
     }
+    if (!sock.setNonBlocking(false))
+        return fail("fcntl(~O_NONBLOCK): " + errnoString());
     sock.setNoDelay(true);
+    *outcome = ConnectOutcome::Ok;
     return sock;
 }
 

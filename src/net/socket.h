@@ -128,6 +128,24 @@ class TcpListener
 Socket connectTcp(const std::string &host, uint16_t port,
                   std::string *error);
 
+/** Why a timed connect attempt did not produce a socket. */
+enum class ConnectOutcome {
+    Ok,       //!< connected
+    Refused,  //!< the peer actively refused (nothing listening)
+    TimedOut, //!< no answer within the deadline
+    Error     //!< anything else (resolution, local failure, reset)
+};
+
+/**
+ * connectTcp with a deadline and a typed outcome, so callers can
+ * tell "nothing is listening there" (fail over immediately) from "the
+ * host is not answering" (maybe retry).  timeout_ms <= 0 waits
+ * forever.  The returned socket is blocking.
+ */
+Socket connectTcp(const std::string &host, uint16_t port,
+                  int timeout_ms, ConnectOutcome *outcome,
+                  std::string *error);
+
 } // namespace net
 } // namespace vtrain
 

@@ -1,11 +1,10 @@
 #include "serve/http_frontend.h"
 
-#include <algorithm>
 #include <cstdlib>
+#include <exception>
 #include <utility>
+#include <vector>
 
-#include "serve/json.h"
-#include "util/build_info.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -16,13 +15,12 @@ namespace {
 using net::HttpRequest;
 using net::HttpResponse;
 
-constexpr int64_t kBatchWireVersion = 1;
-
 /** Routes we serve; everything else shares one label so a client
  *  probing random paths cannot mint unbounded metric series. */
 const char *const kKnownRoutes[] = {
-    "/healthz",     "/statz",   "/metricsz",
+    "/healthz",     "/statz",       "/metricsz",
     "/tracez",      "/v1/evaluate", "/v1/evaluate_batch",
+    "/v1/sweep",
 };
 
 std::string
@@ -80,29 +78,6 @@ queryParam(const HttpRequest &request, std::string_view key,
     return fallback;
 }
 
-/** A finished capture's spans as a JSON object (inline trace flag). */
-json::Value
-traceToJson(const util::Trace &trace)
-{
-    json::Value spans = json::Value::array();
-    for (const util::TraceEvent &event : trace.events) {
-        json::Value span = json::Value::object();
-        span.set("name", event.name);
-        span.set("start_us", event.start_us);
-        span.set("dur_us", event.dur_us);
-        span.set("depth", static_cast<int64_t>(event.depth));
-        spans.push(std::move(span));
-    }
-    json::Value v = json::Value::object();
-    v.set("label", trace.label);
-    v.set("total_us", trace.total_us);
-    if (trace.dropped_spans > 0)
-        v.set("dropped_spans",
-              static_cast<int64_t>(trace.dropped_spans));
-    v.set("spans", std::move(spans));
-    return v;
-}
-
 HttpResponse
 jsonResponse(std::string body)
 {
@@ -111,27 +86,10 @@ jsonResponse(std::string body)
     return response;
 }
 
-/** Serializes CacheStats and TemplateCacheStats (same shape). */
-template <typename Stats>
-json::Value
-cacheStatsToJson(const Stats &cache)
-{
-    json::Value v = json::Value::object();
-    v.set("hits", static_cast<int64_t>(cache.hits));
-    v.set("misses", static_cast<int64_t>(cache.misses));
-    v.set("insertions", static_cast<int64_t>(cache.insertions));
-    v.set("updates", static_cast<int64_t>(cache.updates));
-    v.set("evictions", static_cast<int64_t>(cache.evictions));
-    v.set("entries", static_cast<int64_t>(cache.entries));
-    v.set("bytes", static_cast<int64_t>(cache.bytes));
-    v.set("hit_rate", cache.hitRate());
-    return v;
-}
-
 } // namespace
 
 HttpFrontend::HttpFrontend(SimService &service, Options options)
-    : service_(service),
+    : service_(service), coordinator_(options.coordinator),
       server_(serverOptions(options, service),
               [this](const HttpRequest &request) {
                   return handle(request);
@@ -158,6 +116,10 @@ HttpFrontend::stats() const
     HttpFrontendStats stats;
     stats.service = service_.stats();
     stats.http = server_.stats();
+    stats.sweep_server.requests =
+        sweep_requests_.load(std::memory_order_relaxed);
+    stats.sweep_server.plans =
+        sweep_plans_.load(std::memory_order_relaxed);
     return stats;
 }
 
@@ -167,60 +129,57 @@ HttpFrontend::handle(const HttpRequest &request)
     const std::string_view path = request.path();
     if (path == "/healthz") {
         if (request.method != "GET")
-            return net::errorResponse(405, "use GET /healthz");
+            return wire::v1::errorResponse(405, "use GET /healthz");
         return handleHealthz();
     }
     if (path == "/statz") {
         if (request.method != "GET")
-            return net::errorResponse(405, "use GET /statz");
+            return wire::v1::errorResponse(405, "use GET /statz");
         return handleStatz();
     }
     if (path == "/metricsz") {
         if (request.method != "GET")
-            return net::errorResponse(405, "use GET /metricsz");
+            return wire::v1::errorResponse(405, "use GET /metricsz");
         return handleMetricz();
     }
     if (path == "/tracez") {
         if (request.method != "GET")
-            return net::errorResponse(405, "use GET /tracez");
+            return wire::v1::errorResponse(405, "use GET /tracez");
         return handleTracez(request);
     }
     if (path == "/v1/evaluate") {
         if (request.method != "POST")
-            return net::errorResponse(405, "use POST /v1/evaluate");
+            return wire::v1::errorResponse(405,
+                                           "use POST /v1/evaluate");
         return handleEvaluate(request);
     }
     if (path == "/v1/evaluate_batch") {
         if (request.method != "POST")
-            return net::errorResponse(405,
-                                      "use POST /v1/evaluate_batch");
+            return wire::v1::errorResponse(
+                405, "use POST /v1/evaluate_batch");
         return handleEvaluateBatch(request);
     }
-    return net::errorResponse(404, "no route for '" +
-                                       std::string(path) + "'");
+    if (path == "/v1/sweep") {
+        if (request.method != "POST")
+            return wire::v1::errorResponse(405, "use POST /v1/sweep");
+        return handleSweep(request);
+    }
+    return wire::v1::errorResponse(404, "no route for '" +
+                                            std::string(path) + "'");
 }
 
 HttpResponse
 HttpFrontend::handleEvaluate(const HttpRequest &request)
 {
-    json::Value root;
-    std::string error;
-    if (!json::Value::parse(request.body, &root, &error))
-        return net::errorResponse(400,
-                                  "bad request payload: " + error);
-    // Optional wire flag, ignored by the request decoder: return this
-    // request's phase breakdown inline in the response.
-    const json::Value *trace_flag = root.find("trace");
-    const bool want_trace =
-        trace_flag && trace_flag->isBool() && trace_flag->asBool();
-
     SimRequest sim_request;
-    if (!simRequestFromJsonValue(root, &sim_request, &error))
-        return net::errorResponse(400,
-                                  "bad request payload: " + error);
+    bool want_trace = false;
+    HttpResponse error_response;
+    if (!wire::v1::decodeEvaluateRequest(request.body, &sim_request,
+                                         &want_trace, &error_response))
+        return error_response;
     std::string why;
     if (!sim_request.valid(&why))
-        return net::errorResponse(422, "invalid plan: " + why);
+        return wire::v1::errorResponse(422, "invalid plan: " + why);
 
     // Every evaluate is captured (spans are near-free) and retained
     // in the global ring so /tracez can answer "what did the slow
@@ -229,47 +188,26 @@ HttpFrontend::handleEvaluate(const HttpRequest &request)
     const SimulationResult result = service_.evaluate(sim_request);
     util::Trace trace = capture.finish();
 
-    json::Value body = toJsonValue(result);
-    if (want_trace)
-        body.set("trace", traceToJson(trace));
+    std::string body = wire::v1::encodeEvaluateResponse(
+        result, want_trace ? &trace : nullptr);
     util::TraceRing::global().push(std::move(trace));
-    return jsonResponse(body.dump());
+    return jsonResponse(std::move(body));
 }
 
 HttpResponse
 HttpFrontend::handleEvaluateBatch(const HttpRequest &request)
 {
-    json::Value root;
-    std::string error;
-    if (!json::Value::parse(request.body, &root, &error))
-        return net::errorResponse(400,
-                                  "bad batch payload: " + error);
-    const json::Value *version = root.find("version");
-    if (!version || !version->isNumber() ||
-        version->asNumber() !=
-            static_cast<double>(kBatchWireVersion))
-        return net::errorResponse(
-            400, "bad batch payload: missing or unsupported version");
-    const json::Value *requests = root.find("requests");
-    if (!requests || !requests->isArray())
-        return net::errorResponse(
-            400, "bad batch payload: 'requests' must be an array");
-
     std::vector<SimRequest> batch;
-    batch.reserve(requests->items().size());
-    for (size_t i = 0; i < requests->items().size(); ++i) {
-        SimRequest sim_request;
-        if (!simRequestFromJsonValue(requests->items()[i],
-                                     &sim_request, &error))
-            return net::errorResponse(
-                400, "bad request payload at index " +
-                         std::to_string(i) + ": " + error);
+    HttpResponse error_response;
+    if (!wire::v1::decodeEvaluateBatchRequest(request.body, &batch,
+                                              &error_response))
+        return error_response;
+    for (size_t i = 0; i < batch.size(); ++i) {
         std::string why;
-        if (!sim_request.valid(&why))
-            return net::errorResponse(
+        if (!batch[i].valid(&why))
+            return wire::v1::errorResponse(
                 422, "invalid plan at index " + std::to_string(i) +
                          ": " + why);
-        batch.push_back(std::move(sim_request));
     }
 
     // This handler is itself a pool task, so it must not block on
@@ -281,105 +219,91 @@ HttpFrontend::handleEvaluateBatch(const HttpRequest &request)
     std::vector<SimulationResult> answers =
         service_.evaluateBatchInline(batch);
     util::TraceRing::global().push(capture.finish());
-    json::Value results = json::Value::array();
-    for (const SimulationResult &answer : answers)
-        results.push(toJsonValue(answer));
+    return jsonResponse(wire::v1::encodeEvaluateBatchResponse(answers));
+}
 
-    json::Value body = json::Value::object();
-    body.set("version", kBatchWireVersion);
-    body.set("results", std::move(results));
-    return jsonResponse(body.dump());
+HttpResponse
+HttpFrontend::handleSweep(const HttpRequest &request)
+{
+    wire::v1::SweepRequest sweep_request;
+    HttpResponse error_response;
+    if (!wire::v1::decodeSweepRequest(request.body, &sweep_request,
+                                      &error_response))
+        return error_response;
+
+    // A SweepSpec enumerates on the receiving node; explicit plans
+    // pass through.  Coordinators always forward explicit plans, so
+    // shards never re-enumerate (the split must match the ring).
+    std::vector<ParallelConfig> plans =
+        sweep_request.use_spec
+            ? enumeratePlans(sweep_request.model, sweep_request.cluster,
+                             sweep_request.spec)
+            : std::move(sweep_request.plans);
+
+    std::vector<SimRequest> batch(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+        batch[i].model = sweep_request.model;
+        batch[i].parallel = plans[i];
+        batch[i].cluster = sweep_request.cluster;
+        batch[i].options = sweep_request.options;
+        std::string why;
+        if (!batch[i].valid(&why))
+            return wire::v1::errorResponse(
+                422, "invalid plan at index " + std::to_string(i) +
+                         ": " + why);
+    }
+    sweep_requests_.fetch_add(1, std::memory_order_relaxed);
+    sweep_plans_.fetch_add(plans.size(), std::memory_order_relaxed);
+
+    std::vector<ExploreResult> results(plans.size());
+    if (coordinator_ != nullptr) {
+        // Coordinator node: partition across the shard fleet and
+        // merge.  A sweep the fleet cannot finish (every shard dead,
+        // malformed shard response) surfaces as a 502 so the caller
+        // can tell infrastructure failure from a bad request.
+        try {
+            results = coordinator_->sweep(sweep_request.model,
+                                          sweep_request.cluster,
+                                          sweep_request.options, plans);
+        } catch (const std::exception &failure) {
+            return wire::v1::errorResponse(502, failure.what());
+        }
+    } else {
+        // Shard side: compute locally, inline for the same
+        // pool-blocking reason as handleEvaluateBatch above.
+        util::TraceCapture capture("POST /v1/sweep");
+        std::vector<SimulationResult> sims =
+            service_.evaluateBatchInline(batch);
+        util::TraceRing::global().push(capture.finish());
+        for (size_t i = 0; i < plans.size(); ++i) {
+            results[i].plan = plans[i];
+            results[i].sim = std::move(sims[i]);
+        }
+    }
+    return jsonResponse(wire::v1::encodeSweepResponse(results));
 }
 
 HttpResponse
 HttpFrontend::handleHealthz() const
 {
-    const util::BuildInfo &build = util::buildInfo();
-    json::Value body = json::Value::object();
-    body.set("status", "ok");
-    body.set("threads", static_cast<int64_t>(service_.numThreads()));
-    body.set("uptime_s", util::processUptimeSeconds());
-    body.set("version", build.version);
-    body.set("git_describe", build.git_describe);
-    body.set("build_type", build.build_type);
-    return jsonResponse(body.dump());
+    return jsonResponse(wire::healthzBody(service_.numThreads()));
 }
 
 HttpResponse
 HttpFrontend::handleStatz() const
 {
     const HttpFrontendStats stats = this->stats();
-
-    json::Value service = json::Value::object();
-    service.set("requests",
-                static_cast<int64_t>(stats.service.requests));
-    service.set("computed",
-                static_cast<int64_t>(stats.service.computed));
-    service.set("inflight_joins",
-                static_cast<int64_t>(stats.service.inflight_joins));
-    service.set("batch_dedups",
-                static_cast<int64_t>(stats.service.batch_dedups));
-    service.set("cache", cacheStatsToJson(stats.service.cache));
-    service.set("template_cache",
-                cacheStatsToJson(stats.service.graph_templates));
-
-    json::Value engine = json::Value::object();
-    engine.set("replay_runs",
-               static_cast<int64_t>(stats.service.engine.replay_runs));
-    engine.set("queue_runs",
-               static_cast<int64_t>(stats.service.engine.queue_runs));
-    engine.set(
-        "batched_points",
-        static_cast<int64_t>(stats.service.engine.batched_points));
-    service.set("engine", std::move(engine));
-
-    json::Value http = json::Value::object();
-    http.set("connections_accepted",
-             static_cast<int64_t>(stats.http.connections_accepted));
-    http.set("connections_open",
-             static_cast<int64_t>(stats.http.connections_open));
-    http.set("requests", static_cast<int64_t>(stats.http.requests));
-    http.set("responses", static_cast<int64_t>(stats.http.responses));
-    http.set("parse_errors",
-             static_cast<int64_t>(stats.http.parse_errors));
-
-    // Percentile blocks for every histogram series with data, keyed
-    // "name{label=value,...}": the flat counters above say how much,
-    // these say how slow.
-    json::Value latency = json::Value::object();
-    for (const util::MetricRegistry::HistogramSeries &series :
-         util::MetricRegistry::global().histogramSeries()) {
-        if (series.snapshot.count == 0)
-            continue;
-        std::string key = series.name;
-        if (!series.labels.empty()) {
-            key += '{';
-            for (size_t i = 0; i < series.labels.size(); ++i) {
-                if (i)
-                    key += ',';
-                key += series.labels[i].first;
-                key += '=';
-                key += series.labels[i].second;
-            }
-            key += '}';
-        }
-        json::Value block = json::Value::object();
-        block.set("count",
-                  static_cast<int64_t>(series.snapshot.count));
-        block.set("mean", series.snapshot.mean());
-        block.set("p50", series.snapshot.percentile(50.0));
-        block.set("p90", series.snapshot.percentile(90.0));
-        block.set("p99", series.snapshot.percentile(99.0));
-        block.set("max", series.snapshot.max);
-        latency.set(std::move(key), std::move(block));
+    wire::StatzInfo info;
+    info.service = stats.service;
+    info.http = stats.http;
+    info.threads = service_.numThreads();
+    info.sweep_server = stats.sweep_server;
+    SweepCoordinatorStats coordinator_stats;
+    if (coordinator_ != nullptr) {
+        coordinator_stats = coordinator_->stats();
+        info.coordinator = &coordinator_stats;
     }
-
-    json::Value body = json::Value::object();
-    body.set("service", std::move(service));
-    body.set("http", std::move(http));
-    body.set("latency", std::move(latency));
-    body.set("threads", static_cast<int64_t>(service_.numThreads()));
-    return jsonResponse(body.dump());
+    return jsonResponse(wire::statzBody(info));
 }
 
 HttpResponse

@@ -2,9 +2,9 @@
  * @file
  * HTTP frontend: SimService as a network service.
  *
- * Exposes the serve layer's versioned JSON wire format (serve/json.h)
- * over a dependency-free epoll HTTP/1.1 server (net/server.h), so
- * requests can come from other processes and machines:
+ * Exposes the serve layer's versioned wire format (serve/wire.h) over
+ * a dependency-free epoll HTTP/1.1 server (net/server.h), so requests
+ * can come from other processes and machines:
  *
  *   POST /v1/evaluate        one SimRequest payload -> one result; a
  *                            top-level `"trace": true` adds a per-phase
@@ -13,9 +13,15 @@
  *                            {"version":1,"results":[...]} (order
  *                            preserved; duplicates answered from the
  *                            cache after the first computes)
+ *   POST /v1/sweep           one (model, cluster, options) triple plus
+ *                            a plan list or SweepSpec -> ExploreResults
+ *                            in request order.  With a coordinator
+ *                            configured the node fans the sweep out to
+ *                            its shard fleet; without one it computes
+ *                            locally (the shard-side path)
  *   GET  /healthz            liveness probe with uptime and build info
- *   GET  /statz              service + cache + HTTP counters as JSON,
- *                            plus latency percentile blocks
+ *   GET  /statz              service + cache + HTTP + sweep counters as
+ *                            JSON, plus latency percentile blocks
  *   GET  /metricsz           Prometheus text exposition of the global
  *                            metric registry (util/metrics.h)
  *   GET  /tracez?limit=N     the N slowest recent request traces as
@@ -24,19 +30,22 @@
  * Handlers run on the SimService's own ThreadPool (the server's
  * executor), so the process keeps exactly one worker pool: the event
  * loop stays responsive while simulations run, and concurrent
- * connections get true compute parallelism.  Malformed payloads are
- * answered with a structured JSON error ({"error":{code,status,
- * message}}), well-formed but invalid plans with 422, and unknown
- * routes with 404.
+ * connections get true compute parallelism.  Every payload in and out
+ * goes through serve/wire.h (enforced by a repo lint rule): malformed
+ * payloads are answered with the shared structured error envelope
+ * ({"error":{code,status,message}}), well-formed but invalid plans
+ * with 422, and unknown routes with 404.
  */
 #ifndef VTRAIN_SERVE_HTTP_FRONTEND_H
 #define VTRAIN_SERVE_HTTP_FRONTEND_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "net/server.h"
 #include "serve/sim_service.h"
+#include "serve/wire.h"
 
 namespace vtrain {
 
@@ -44,6 +53,7 @@ namespace vtrain {
 struct HttpFrontendStats {
     ServiceStats service;
     net::HttpServerStats http;
+    wire::SweepServerStats sweep_server;
 };
 
 /** Serves a SimService over HTTP; one instance per listening port. */
@@ -58,6 +68,14 @@ class HttpFrontend
 
         /** Per-request size limits forwarded to the HTTP parser. */
         net::HttpLimits limits;
+
+        /**
+         * When set, POST /v1/sweep fans out to this coordinator's
+         * shard fleet instead of computing locally, and /statz gains
+         * the coordinator block.  Must outlive the frontend; the
+         * frontend does not take ownership.
+         */
+        SweepCoordinator *coordinator = nullptr;
     };
 
     /** The service must outlive the frontend. */
@@ -96,12 +114,16 @@ class HttpFrontend
     net::HttpResponse handleEvaluate(const net::HttpRequest &request);
     net::HttpResponse
     handleEvaluateBatch(const net::HttpRequest &request);
+    net::HttpResponse handleSweep(const net::HttpRequest &request);
     net::HttpResponse handleHealthz() const;
     net::HttpResponse handleStatz() const;
     net::HttpResponse handleMetricz() const;
     net::HttpResponse handleTracez(const net::HttpRequest &request) const;
 
     SimService &service_;
+    SweepCoordinator *coordinator_;
+    std::atomic<uint64_t> sweep_requests_{0};
+    std::atomic<uint64_t> sweep_plans_{0};
     net::HttpServer server_;
 };
 

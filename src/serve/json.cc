@@ -539,480 +539,4 @@ Value::parse(std::string_view text, Value *out, std::string *error)
 }
 
 } // namespace json
-
-// ------------------------------------------------------- wire encoders
-
-namespace {
-
-using json::Value;
-
-constexpr int64_t kWireVersion = 1;
-
-Value
-gpuToJson(const GpuSpec &gpu)
-{
-    Value v = Value::object();
-    v.set("name", gpu.name);
-    v.set("peak_fp16_flops", gpu.peak_fp16_flops);
-    v.set("peak_fp32_flops", gpu.peak_fp32_flops);
-    v.set("hbm_bandwidth", gpu.hbm_bandwidth);
-    v.set("memory_bytes", gpu.memory_bytes);
-    v.set("kernel_launch_overhead", gpu.kernel_launch_overhead);
-    return v;
-}
-
-Value
-nodeToJson(const NodeSpec &node)
-{
-    Value v = Value::object();
-    v.set("gpu", gpuToJson(node.gpu));
-    v.set("gpus_per_node", int64_t{node.gpus_per_node});
-    v.set("nvlink_bandwidth", node.nvlink_bandwidth);
-    v.set("nic_bandwidth", node.nic_bandwidth);
-    v.set("nic_latency", node.nic_latency);
-    v.set("nvlink_latency", node.nvlink_latency);
-    return v;
-}
-
-Value
-clusterToJson(const ClusterSpec &cluster)
-{
-    Value v = Value::object();
-    v.set("node", nodeToJson(cluster.node));
-    v.set("num_nodes", int64_t{cluster.num_nodes});
-    v.set("bandwidth_effectiveness", cluster.bandwidth_effectiveness);
-    v.set("hierarchical_allreduce", cluster.hierarchical_allreduce);
-    return v;
-}
-
-Value
-modelToJson(const ModelConfig &model)
-{
-    Value v = Value::object();
-    v.set("name", model.name);
-    v.set("hidden_size", model.hidden_size);
-    v.set("num_layers", model.num_layers);
-    v.set("seq_length", model.seq_length);
-    v.set("num_heads", model.num_heads);
-    v.set("vocab_size", model.vocab_size);
-    return v;
-}
-
-Value
-parallelToJson(const ParallelConfig &plan)
-{
-    Value v = Value::object();
-    v.set("tensor", int64_t{plan.tensor});
-    v.set("data", int64_t{plan.data});
-    v.set("pipeline", int64_t{plan.pipeline});
-    v.set("micro_batch_size", int64_t{plan.micro_batch_size});
-    v.set("global_batch_size", int64_t{plan.global_batch_size});
-    v.set("schedule", toString(plan.schedule));
-    v.set("gradient_bucketing", plan.gradient_bucketing);
-    v.set("bucket_bytes", plan.bucket_bytes);
-    v.set("activation_recompute", plan.activation_recompute);
-    v.set("zero_stage", int64_t{plan.zero_stage});
-    v.set("precision", toString(plan.precision));
-    return v;
-}
-
-Value
-optionsToJson(const SimOptions &options)
-{
-    Value v = Value::object();
-    v.set("fast_mode", options.fast_mode);
-    v.set("memoize_profiles", options.memoize_profiles);
-    v.set("collapse_operators", options.collapse_operators);
-    v.set("attention", toString(options.attention));
-    return v;
-}
-
-} // namespace
-
-Value
-toJsonValue(const SimRequest &request)
-{
-    VTRAIN_REQUIRE(request.options.perturber == nullptr,
-                   "requests carrying a perturber are process-local "
-                   "and cannot be serialized");
-    Value v = Value::object();
-    v.set("version", kWireVersion);
-    v.set("model", modelToJson(request.model));
-    v.set("parallel", parallelToJson(request.parallel));
-    v.set("cluster", clusterToJson(request.cluster));
-    v.set("options", optionsToJson(request.options));
-    return v;
-}
-
-std::string
-toJson(const SimRequest &request)
-{
-    return toJsonValue(request).dump();
-}
-
-Value
-toJsonValue(const SimulationResult &result)
-{
-    Value v = Value::object();
-    v.set("version", kWireVersion);
-    v.set("iteration_seconds", result.iteration_seconds);
-    v.set("utilization", result.utilization);
-    v.set("model_flops", result.model_flops);
-    v.set("bubble_fraction", result.bubble_fraction);
-    Value tags = Value::array();
-    for (const double t : result.time_by_tag)
-        tags.push(Value(t));
-    v.set("time_by_tag", std::move(tags));
-    v.set("num_operators", static_cast<int64_t>(result.num_operators));
-    v.set("num_tasks", static_cast<int64_t>(result.num_tasks));
-    v.set("distinct_operators_profiled",
-          static_cast<int64_t>(result.distinct_operators_profiled));
-    v.set("profiler_calls",
-          static_cast<int64_t>(result.profiler_calls));
-    v.set("extrapolated", result.extrapolated);
-    v.set("simulated_micro_batches",
-          int64_t{result.simulated_micro_batches});
-    v.set("total_micro_batches", int64_t{result.total_micro_batches});
-    v.set("sim_wall_seconds", result.sim_wall_seconds);
-    return v;
-}
-
-std::string
-toJson(const SimulationResult &result)
-{
-    return toJsonValue(result).dump();
-}
-
-// ------------------------------------------------------- wire decoders
-
-namespace {
-
-bool
-decodeError(std::string *error, const std::string &what)
-{
-    if (error)
-        *error = what;
-    return false;
-}
-
-const Value *
-member(const Value &obj, std::string_view key, Value::Type type,
-       std::string *error)
-{
-    const Value *v = obj.find(key);
-    if (!v || v->type() != type) {
-        if (error)
-            *error = "missing or mistyped field '" + std::string(key) +
-                     "'";
-        return nullptr;
-    }
-    return v;
-}
-
-bool
-getNumber(const Value &obj, std::string_view key, double *out,
-          std::string *error)
-{
-    const Value *v = member(obj, key, Value::Type::Number, error);
-    if (!v)
-        return false;
-    *out = v->asNumber();
-    return true;
-}
-
-template <typename Int>
-bool
-getInt(const Value &obj, std::string_view key, Int *out,
-       std::string *error)
-{
-    const Value *v = member(obj, key, Value::Type::Number, error);
-    if (!v)
-        return false;
-    const double d = v->asNumber();
-    if (std::nearbyint(d) != d)
-        return decodeError(error, "field '" + std::string(key) +
-                                      "' is not an integer");
-    // Reject values the target type cannot hold: the decoder is the
-    // cross-process input boundary, and an unchecked narrowing cast
-    // from double is undefined behavior.  Within +/-2^53 every
-    // integer is exact, so the limit comparisons are themselves safe.
-    if (d < -json::kMaxExactInt || d > json::kMaxExactInt ||
-        d < static_cast<double>(std::numeric_limits<Int>::min()) ||
-        d > static_cast<double>(std::numeric_limits<Int>::max()))
-        return decodeError(error, "field '" + std::string(key) +
-                                      "' is out of range");
-    *out = static_cast<Int>(d);
-    return true;
-}
-
-bool
-getBool(const Value &obj, std::string_view key, bool *out,
-        std::string *error)
-{
-    const Value *v = member(obj, key, Value::Type::Bool, error);
-    if (!v)
-        return false;
-    *out = v->asBool();
-    return true;
-}
-
-bool
-getString(const Value &obj, std::string_view key, std::string *out,
-          std::string *error)
-{
-    const Value *v = member(obj, key, Value::Type::String, error);
-    if (!v)
-        return false;
-    *out = v->asString();
-    return true;
-}
-
-bool
-parsePrecision(const std::string &s, Precision *out, std::string *error)
-{
-    if (s == "fp16")
-        *out = Precision::FP16;
-    else if (s == "bf16")
-        *out = Precision::BF16;
-    else if (s == "fp32")
-        *out = Precision::FP32;
-    else
-        return decodeError(error, "unknown precision '" + s + "'");
-    return true;
-}
-
-bool
-parseSchedule(const std::string &s, PipelineSchedule *out,
-              std::string *error)
-{
-    if (s == "gpipe")
-        *out = PipelineSchedule::GPipe;
-    else if (s == "1f1b")
-        *out = PipelineSchedule::OneFOneB;
-    else
-        return decodeError(error,
-                           "unknown pipeline schedule '" + s + "'");
-    return true;
-}
-
-bool
-parseAttention(const std::string &s, AttentionImpl *out,
-               std::string *error)
-{
-    if (s == "megatron")
-        *out = AttentionImpl::Megatron;
-    else if (s == "flash-attention")
-        *out = AttentionImpl::FlashAttention;
-    else if (s == "flash-attention-2")
-        *out = AttentionImpl::FlashAttention2;
-    else
-        return decodeError(error,
-                           "unknown attention impl '" + s + "'");
-    return true;
-}
-
-bool
-gpuFromJson(const Value &v, GpuSpec *out, std::string *error)
-{
-    return getString(v, "name", &out->name, error) &&
-           getNumber(v, "peak_fp16_flops", &out->peak_fp16_flops,
-                     error) &&
-           getNumber(v, "peak_fp32_flops", &out->peak_fp32_flops,
-                     error) &&
-           getNumber(v, "hbm_bandwidth", &out->hbm_bandwidth, error) &&
-           getNumber(v, "memory_bytes", &out->memory_bytes, error) &&
-           getNumber(v, "kernel_launch_overhead",
-                     &out->kernel_launch_overhead, error);
-}
-
-bool
-nodeFromJson(const Value &v, NodeSpec *out, std::string *error)
-{
-    const Value *gpu = member(v, "gpu", Value::Type::Object, error);
-    if (!gpu || !gpuFromJson(*gpu, &out->gpu, error))
-        return false;
-    return getInt(v, "gpus_per_node", &out->gpus_per_node, error) &&
-           getNumber(v, "nvlink_bandwidth", &out->nvlink_bandwidth,
-                     error) &&
-           getNumber(v, "nic_bandwidth", &out->nic_bandwidth, error) &&
-           getNumber(v, "nic_latency", &out->nic_latency, error) &&
-           getNumber(v, "nvlink_latency", &out->nvlink_latency, error);
-}
-
-bool
-clusterFromJson(const Value &v, ClusterSpec *out, std::string *error)
-{
-    const Value *node = member(v, "node", Value::Type::Object, error);
-    if (!node || !nodeFromJson(*node, &out->node, error))
-        return false;
-    return getInt(v, "num_nodes", &out->num_nodes, error) &&
-           getNumber(v, "bandwidth_effectiveness",
-                     &out->bandwidth_effectiveness, error) &&
-           getBool(v, "hierarchical_allreduce",
-                   &out->hierarchical_allreduce, error);
-}
-
-bool
-modelFromJson(const Value &v, ModelConfig *out, std::string *error)
-{
-    return getString(v, "name", &out->name, error) &&
-           getInt(v, "hidden_size", &out->hidden_size, error) &&
-           getInt(v, "num_layers", &out->num_layers, error) &&
-           getInt(v, "seq_length", &out->seq_length, error) &&
-           getInt(v, "num_heads", &out->num_heads, error) &&
-           getInt(v, "vocab_size", &out->vocab_size, error);
-}
-
-bool
-parallelFromJson(const Value &v, ParallelConfig *out, std::string *error)
-{
-    std::string schedule;
-    std::string precision;
-    if (!(getInt(v, "tensor", &out->tensor, error) &&
-          getInt(v, "data", &out->data, error) &&
-          getInt(v, "pipeline", &out->pipeline, error) &&
-          getInt(v, "micro_batch_size", &out->micro_batch_size,
-                 error) &&
-          getInt(v, "global_batch_size", &out->global_batch_size,
-                 error) &&
-          getString(v, "schedule", &schedule, error) &&
-          getBool(v, "gradient_bucketing", &out->gradient_bucketing,
-                  error) &&
-          getNumber(v, "bucket_bytes", &out->bucket_bytes, error) &&
-          getBool(v, "activation_recompute",
-                  &out->activation_recompute, error) &&
-          getInt(v, "zero_stage", &out->zero_stage, error) &&
-          getString(v, "precision", &precision, error)))
-        return false;
-    return parseSchedule(schedule, &out->schedule, error) &&
-           parsePrecision(precision, &out->precision, error);
-}
-
-bool
-optionsFromJson(const Value &v, SimOptions *out, std::string *error)
-{
-    std::string attention;
-    if (!(getBool(v, "fast_mode", &out->fast_mode, error) &&
-          getBool(v, "memoize_profiles", &out->memoize_profiles,
-                  error) &&
-          getBool(v, "collapse_operators", &out->collapse_operators,
-                  error) &&
-          getString(v, "attention", &attention, error)))
-        return false;
-    out->perturber = nullptr;
-    return parseAttention(attention, &out->attention, error);
-}
-
-bool
-checkVersion(const Value &root, std::string *error)
-{
-    int64_t version = 0;
-    if (!getInt(root, "version", &version, error))
-        return false;
-    if (version != kWireVersion)
-        return decodeError(error, "unsupported wire version " +
-                                      std::to_string(version));
-    return true;
-}
-
-} // namespace
-
-bool
-simRequestFromJsonValue(const json::Value &root, SimRequest *out,
-                        std::string *error)
-{
-    if (!root.isObject())
-        return decodeError(error, "request document is not an object");
-    if (!checkVersion(root, error))
-        return false;
-    const Value *model = member(root, "model", Value::Type::Object,
-                                error);
-    const Value *parallel =
-        member(root, "parallel", Value::Type::Object, error);
-    const Value *cluster =
-        member(root, "cluster", Value::Type::Object, error);
-    const Value *options =
-        member(root, "options", Value::Type::Object, error);
-    if (!model || !parallel || !cluster || !options)
-        return false;
-    SimRequest request;
-    if (!modelFromJson(*model, &request.model, error) ||
-        !parallelFromJson(*parallel, &request.parallel, error) ||
-        !clusterFromJson(*cluster, &request.cluster, error) ||
-        !optionsFromJson(*options, &request.options, error))
-        return false;
-    *out = std::move(request);
-    return true;
-}
-
-bool
-simRequestFromJson(std::string_view text, SimRequest *out,
-                   std::string *error)
-{
-    Value root;
-    if (!Value::parse(text, &root, error))
-        return false;
-    return simRequestFromJsonValue(root, out, error);
-}
-
-bool
-simResultFromJsonValue(const json::Value &root, SimulationResult *out,
-                       std::string *error)
-{
-    if (!root.isObject())
-        return decodeError(error, "result document is not an object");
-    if (!checkVersion(root, error))
-        return false;
-    SimulationResult result;
-    const Value *tags =
-        member(root, "time_by_tag", Value::Type::Array, error);
-    if (!tags)
-        return false;
-    if (tags->items().size() != result.time_by_tag.size())
-        return decodeError(error, "time_by_tag must have " +
-                                      std::to_string(
-                                          result.time_by_tag.size()) +
-                                      " entries");
-    for (size_t i = 0; i < result.time_by_tag.size(); ++i) {
-        const Value &t = tags->items()[i];
-        if (!t.isNumber())
-            return decodeError(error, "time_by_tag entries must be "
-                                      "numbers");
-        result.time_by_tag[i] = t.asNumber();
-    }
-    if (!(getNumber(root, "iteration_seconds",
-                    &result.iteration_seconds, error) &&
-          getNumber(root, "utilization", &result.utilization, error) &&
-          getNumber(root, "model_flops", &result.model_flops, error) &&
-          getNumber(root, "bubble_fraction", &result.bubble_fraction,
-                    error) &&
-          getInt(root, "num_operators", &result.num_operators,
-                 error) &&
-          getInt(root, "num_tasks", &result.num_tasks, error) &&
-          getInt(root, "distinct_operators_profiled",
-                 &result.distinct_operators_profiled, error) &&
-          getInt(root, "profiler_calls", &result.profiler_calls,
-                 error) &&
-          getBool(root, "extrapolated", &result.extrapolated, error) &&
-          getInt(root, "simulated_micro_batches",
-                 &result.simulated_micro_batches, error) &&
-          getInt(root, "total_micro_batches",
-                 &result.total_micro_batches, error) &&
-          getNumber(root, "sim_wall_seconds", &result.sim_wall_seconds,
-                    error)))
-        return false;
-    *out = result;
-    return true;
-}
-
-bool
-simResultFromJson(std::string_view text, SimulationResult *out,
-                  std::string *error)
-{
-    Value root;
-    if (!Value::parse(text, &root, error))
-        return false;
-    return simResultFromJsonValue(root, out, error);
-}
-
 } // namespace vtrain

@@ -1,19 +1,15 @@
 /**
  * @file
- * Minimal JSON reader/writer and the request/result wire format.
+ * Minimal dependency-free JSON document type.
  *
- * The serve layer needs SimRequests and SimulationResults to cross a
- * process boundary (CLI front ends today, an RPC server later) without
- * pulling in an external dependency, so this file provides a small,
- * self-contained JSON value type (json::Value) with a strict
- * recursive-descent parser, plus the (de)serializers for the two wire
- * types.  Doubles are emitted in shortest round-trip form, so
- * parse(dump(x)) == x holds bit-for-bit; the encoders version the
- * payload ("version": 1) for forward compatibility.
- *
- * Requests carrying a Perturber cannot be serialized: the pointer is
- * process-local and the perturbation nondeterministic (toJson exits
- * with a fatal error; see SimRequest::cacheable()).
+ * The serve layer needs JSON to cross process boundaries without an
+ * external dependency, so this file provides a small, self-contained
+ * JSON value type (json::Value) with a strict recursive-descent
+ * parser.  Doubles are emitted in shortest round-trip form, so
+ * parse(dump(x)) == x holds bit-for-bit — the property the versioned
+ * wire schemas built on top of it (serve/wire.h) rely on for
+ * bit-identical cross-process results.  This header is only the
+ * document type; every wire schema lives in serve/wire.h.
  */
 #ifndef VTRAIN_SERVE_JSON_H
 #define VTRAIN_SERVE_JSON_H
@@ -23,9 +19,6 @@
 #include <string_view>
 #include <utility>
 #include <vector>
-
-#include "serve/sim_request.h"
-#include "sim/result.h"
 
 namespace vtrain {
 namespace json {
@@ -96,39 +89,6 @@ class Value
 };
 
 } // namespace json
-
-/** Encodes a request (fatal error if it carries a perturber). */
-std::string toJson(const SimRequest &request);
-
-/** Encodes a simulation result. */
-std::string toJson(const SimulationResult &result);
-
-/**
- * Document-node variants of the wire codecs, for embedding request
- * and result payloads inside larger documents (the HTTP frontend's
- * batch endpoint wraps arrays of them).  Each node is the complete
- * versioned payload, byte-identical to the string forms above.
- */
-json::Value toJsonValue(const SimRequest &request);
-json::Value toJsonValue(const SimulationResult &result);
-bool simRequestFromJsonValue(const json::Value &root, SimRequest *out,
-                             std::string *error = nullptr);
-bool simResultFromJsonValue(const json::Value &root,
-                            SimulationResult *out,
-                            std::string *error = nullptr);
-
-/**
- * Decodes a request.  Strict: every field of the wire format must be
- * present with the right type (unknown fields are ignored).  Returns
- * false and sets *error on malformed input.
- */
-bool simRequestFromJson(std::string_view text, SimRequest *out,
-                        std::string *error = nullptr);
-
-/** Decodes a simulation result (same strictness as requests). */
-bool simResultFromJson(std::string_view text, SimulationResult *out,
-                       std::string *error = nullptr);
-
 } // namespace vtrain
 
 #endif // VTRAIN_SERVE_JSON_H

@@ -1,0 +1,1112 @@
+#include "serve/wire.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/build_info.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace vtrain {
+namespace wire {
+
+namespace {
+
+using json::Value;
+
+/** Largest double magnitude that still represents integers exactly. */
+constexpr double kMaxExactInt = 9007199254740992.0; // 2^53
+
+// ------------------------------------------------------------ encoders
+
+Value
+gpuToJson(const GpuSpec &gpu)
+{
+    Value v = Value::object();
+    v.set("name", gpu.name);
+    v.set("peak_fp16_flops", gpu.peak_fp16_flops);
+    v.set("peak_fp32_flops", gpu.peak_fp32_flops);
+    v.set("hbm_bandwidth", gpu.hbm_bandwidth);
+    v.set("memory_bytes", gpu.memory_bytes);
+    v.set("kernel_launch_overhead", gpu.kernel_launch_overhead);
+    return v;
+}
+
+Value
+nodeToJson(const NodeSpec &node)
+{
+    Value v = Value::object();
+    v.set("gpu", gpuToJson(node.gpu));
+    v.set("gpus_per_node", int64_t{node.gpus_per_node});
+    v.set("nvlink_bandwidth", node.nvlink_bandwidth);
+    v.set("nic_bandwidth", node.nic_bandwidth);
+    v.set("nic_latency", node.nic_latency);
+    v.set("nvlink_latency", node.nvlink_latency);
+    return v;
+}
+
+Value
+clusterToJson(const ClusterSpec &cluster)
+{
+    Value v = Value::object();
+    v.set("node", nodeToJson(cluster.node));
+    v.set("num_nodes", int64_t{cluster.num_nodes});
+    v.set("bandwidth_effectiveness", cluster.bandwidth_effectiveness);
+    v.set("hierarchical_allreduce", cluster.hierarchical_allreduce);
+    return v;
+}
+
+Value
+modelToJson(const ModelConfig &model)
+{
+    Value v = Value::object();
+    v.set("name", model.name);
+    v.set("hidden_size", model.hidden_size);
+    v.set("num_layers", model.num_layers);
+    v.set("seq_length", model.seq_length);
+    v.set("num_heads", model.num_heads);
+    v.set("vocab_size", model.vocab_size);
+    return v;
+}
+
+Value
+parallelToJson(const ParallelConfig &plan)
+{
+    Value v = Value::object();
+    v.set("tensor", int64_t{plan.tensor});
+    v.set("data", int64_t{plan.data});
+    v.set("pipeline", int64_t{plan.pipeline});
+    v.set("micro_batch_size", int64_t{plan.micro_batch_size});
+    v.set("global_batch_size", int64_t{plan.global_batch_size});
+    v.set("schedule", toString(plan.schedule));
+    v.set("gradient_bucketing", plan.gradient_bucketing);
+    v.set("bucket_bytes", plan.bucket_bytes);
+    v.set("activation_recompute", plan.activation_recompute);
+    v.set("zero_stage", int64_t{plan.zero_stage});
+    v.set("precision", toString(plan.precision));
+    return v;
+}
+
+Value
+optionsToJson(const SimOptions &options)
+{
+    Value v = Value::object();
+    v.set("fast_mode", options.fast_mode);
+    v.set("memoize_profiles", options.memoize_profiles);
+    v.set("collapse_operators", options.collapse_operators);
+    v.set("attention", toString(options.attention));
+    return v;
+}
+
+// ------------------------------------------------------------ decoders
+
+bool
+decodeError(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what;
+    return false;
+}
+
+const Value *
+member(const Value &obj, std::string_view key, Value::Type type,
+       std::string *error)
+{
+    const Value *v = obj.find(key);
+    if (!v || v->type() != type) {
+        if (error)
+            *error = "missing or mistyped field '" + std::string(key) +
+                     "'";
+        return nullptr;
+    }
+    return v;
+}
+
+bool
+getNumber(const Value &obj, std::string_view key, double *out,
+          std::string *error)
+{
+    const Value *v = member(obj, key, Value::Type::Number, error);
+    if (!v)
+        return false;
+    *out = v->asNumber();
+    return true;
+}
+
+template <typename Int>
+bool
+getInt(const Value &obj, std::string_view key, Int *out,
+       std::string *error)
+{
+    const Value *v = member(obj, key, Value::Type::Number, error);
+    if (!v)
+        return false;
+    const double d = v->asNumber();
+    if (std::nearbyint(d) != d)
+        return decodeError(error, "field '" + std::string(key) +
+                                      "' is not an integer");
+    // Reject values the target type cannot hold: the decoder is the
+    // cross-process input boundary, and an unchecked narrowing cast
+    // from double is undefined behavior.  Within +/-2^53 every
+    // integer is exact, so the limit comparisons are themselves safe.
+    if (d < -kMaxExactInt || d > kMaxExactInt ||
+        d < static_cast<double>(std::numeric_limits<Int>::min()) ||
+        d > static_cast<double>(std::numeric_limits<Int>::max()))
+        return decodeError(error, "field '" + std::string(key) +
+                                      "' is out of range");
+    *out = static_cast<Int>(d);
+    return true;
+}
+
+bool
+getBool(const Value &obj, std::string_view key, bool *out,
+        std::string *error)
+{
+    const Value *v = member(obj, key, Value::Type::Bool, error);
+    if (!v)
+        return false;
+    *out = v->asBool();
+    return true;
+}
+
+bool
+getString(const Value &obj, std::string_view key, std::string *out,
+          std::string *error)
+{
+    const Value *v = member(obj, key, Value::Type::String, error);
+    if (!v)
+        return false;
+    *out = v->asString();
+    return true;
+}
+
+bool
+parsePrecision(const std::string &s, Precision *out, std::string *error)
+{
+    if (s == "fp16")
+        *out = Precision::FP16;
+    else if (s == "bf16")
+        *out = Precision::BF16;
+    else if (s == "fp32")
+        *out = Precision::FP32;
+    else
+        return decodeError(error, "unknown precision '" + s + "'");
+    return true;
+}
+
+bool
+parseSchedule(const std::string &s, PipelineSchedule *out,
+              std::string *error)
+{
+    if (s == "gpipe")
+        *out = PipelineSchedule::GPipe;
+    else if (s == "1f1b")
+        *out = PipelineSchedule::OneFOneB;
+    else
+        return decodeError(error,
+                           "unknown pipeline schedule '" + s + "'");
+    return true;
+}
+
+bool
+parseAttention(const std::string &s, AttentionImpl *out,
+               std::string *error)
+{
+    if (s == "megatron")
+        *out = AttentionImpl::Megatron;
+    else if (s == "flash-attention")
+        *out = AttentionImpl::FlashAttention;
+    else if (s == "flash-attention-2")
+        *out = AttentionImpl::FlashAttention2;
+    else
+        return decodeError(error,
+                           "unknown attention impl '" + s + "'");
+    return true;
+}
+
+bool
+gpuFromJson(const Value &v, GpuSpec *out, std::string *error)
+{
+    return getString(v, "name", &out->name, error) &&
+           getNumber(v, "peak_fp16_flops", &out->peak_fp16_flops,
+                     error) &&
+           getNumber(v, "peak_fp32_flops", &out->peak_fp32_flops,
+                     error) &&
+           getNumber(v, "hbm_bandwidth", &out->hbm_bandwidth, error) &&
+           getNumber(v, "memory_bytes", &out->memory_bytes, error) &&
+           getNumber(v, "kernel_launch_overhead",
+                     &out->kernel_launch_overhead, error);
+}
+
+bool
+nodeFromJson(const Value &v, NodeSpec *out, std::string *error)
+{
+    const Value *gpu = member(v, "gpu", Value::Type::Object, error);
+    if (!gpu || !gpuFromJson(*gpu, &out->gpu, error))
+        return false;
+    return getInt(v, "gpus_per_node", &out->gpus_per_node, error) &&
+           getNumber(v, "nvlink_bandwidth", &out->nvlink_bandwidth,
+                     error) &&
+           getNumber(v, "nic_bandwidth", &out->nic_bandwidth, error) &&
+           getNumber(v, "nic_latency", &out->nic_latency, error) &&
+           getNumber(v, "nvlink_latency", &out->nvlink_latency, error);
+}
+
+bool
+clusterFromJson(const Value &v, ClusterSpec *out, std::string *error)
+{
+    const Value *node = member(v, "node", Value::Type::Object, error);
+    if (!node || !nodeFromJson(*node, &out->node, error))
+        return false;
+    return getInt(v, "num_nodes", &out->num_nodes, error) &&
+           getNumber(v, "bandwidth_effectiveness",
+                     &out->bandwidth_effectiveness, error) &&
+           getBool(v, "hierarchical_allreduce",
+                   &out->hierarchical_allreduce, error);
+}
+
+bool
+modelFromJson(const Value &v, ModelConfig *out, std::string *error)
+{
+    return getString(v, "name", &out->name, error) &&
+           getInt(v, "hidden_size", &out->hidden_size, error) &&
+           getInt(v, "num_layers", &out->num_layers, error) &&
+           getInt(v, "seq_length", &out->seq_length, error) &&
+           getInt(v, "num_heads", &out->num_heads, error) &&
+           getInt(v, "vocab_size", &out->vocab_size, error);
+}
+
+bool
+parallelFromJson(const Value &v, ParallelConfig *out, std::string *error)
+{
+    std::string schedule;
+    std::string precision;
+    if (!(getInt(v, "tensor", &out->tensor, error) &&
+          getInt(v, "data", &out->data, error) &&
+          getInt(v, "pipeline", &out->pipeline, error) &&
+          getInt(v, "micro_batch_size", &out->micro_batch_size,
+                 error) &&
+          getInt(v, "global_batch_size", &out->global_batch_size,
+                 error) &&
+          getString(v, "schedule", &schedule, error) &&
+          getBool(v, "gradient_bucketing", &out->gradient_bucketing,
+                  error) &&
+          getNumber(v, "bucket_bytes", &out->bucket_bytes, error) &&
+          getBool(v, "activation_recompute",
+                  &out->activation_recompute, error) &&
+          getInt(v, "zero_stage", &out->zero_stage, error) &&
+          getString(v, "precision", &precision, error)))
+        return false;
+    return parseSchedule(schedule, &out->schedule, error) &&
+           parsePrecision(precision, &out->precision, error);
+}
+
+bool
+optionsFromJson(const Value &v, SimOptions *out, std::string *error)
+{
+    std::string attention;
+    if (!(getBool(v, "fast_mode", &out->fast_mode, error) &&
+          getBool(v, "memoize_profiles", &out->memoize_profiles,
+                  error) &&
+          getBool(v, "collapse_operators", &out->collapse_operators,
+                  error) &&
+          getString(v, "attention", &attention, error)))
+        return false;
+    out->perturber = nullptr;
+    return parseAttention(attention, &out->attention, error);
+}
+
+bool
+checkVersion(const Value &root, std::string *error)
+{
+    int64_t version = 0;
+    if (!getInt(root, "version", &version, error))
+        return false;
+    if (version != kVersion)
+        return decodeError(error, "unsupported wire version " +
+                                      std::to_string(version));
+    return true;
+}
+
+// ------------------------------------------------------------ strictness
+//
+// The sweep codecs reject documents with fields outside the schema,
+// at every nesting level: a typo'd bound must fail the request, not
+// silently fall back to a default and enumerate the wrong space.
+
+bool
+onlyKnownKeys(const Value &obj,
+              std::initializer_list<std::string_view> keys,
+              std::string_view what, std::string *error)
+{
+    for (const auto &[key, value] : obj.members()) {
+        (void)value;
+        bool known = false;
+        for (const std::string_view k : keys) {
+            if (key == k) {
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            return decodeError(error, "unknown field '" + key +
+                                          "' in " + std::string(what));
+    }
+    return true;
+}
+
+bool
+strictGpu(const Value &v, GpuSpec *out, std::string *error)
+{
+    return onlyKnownKeys(v,
+                         {"name", "peak_fp16_flops", "peak_fp32_flops",
+                          "hbm_bandwidth", "memory_bytes",
+                          "kernel_launch_overhead"},
+                         "gpu", error) &&
+           gpuFromJson(v, out, error);
+}
+
+bool
+strictNode(const Value &v, NodeSpec *out, std::string *error)
+{
+    if (!onlyKnownKeys(v,
+                       {"gpu", "gpus_per_node", "nvlink_bandwidth",
+                        "nic_bandwidth", "nic_latency",
+                        "nvlink_latency"},
+                       "node", error))
+        return false;
+    const Value *gpu = member(v, "gpu", Value::Type::Object, error);
+    if (!gpu || !strictGpu(*gpu, &out->gpu, error))
+        return false;
+    return getInt(v, "gpus_per_node", &out->gpus_per_node, error) &&
+           getNumber(v, "nvlink_bandwidth", &out->nvlink_bandwidth,
+                     error) &&
+           getNumber(v, "nic_bandwidth", &out->nic_bandwidth, error) &&
+           getNumber(v, "nic_latency", &out->nic_latency, error) &&
+           getNumber(v, "nvlink_latency", &out->nvlink_latency, error);
+}
+
+bool
+strictCluster(const Value &v, ClusterSpec *out, std::string *error)
+{
+    if (!onlyKnownKeys(v,
+                       {"node", "num_nodes", "bandwidth_effectiveness",
+                        "hierarchical_allreduce"},
+                       "cluster", error))
+        return false;
+    const Value *node = member(v, "node", Value::Type::Object, error);
+    if (!node || !strictNode(*node, &out->node, error))
+        return false;
+    return getInt(v, "num_nodes", &out->num_nodes, error) &&
+           getNumber(v, "bandwidth_effectiveness",
+                     &out->bandwidth_effectiveness, error) &&
+           getBool(v, "hierarchical_allreduce",
+                   &out->hierarchical_allreduce, error);
+}
+
+bool
+strictModel(const Value &v, ModelConfig *out, std::string *error)
+{
+    return onlyKnownKeys(v,
+                         {"name", "hidden_size", "num_layers",
+                          "seq_length", "num_heads", "vocab_size"},
+                         "model", error) &&
+           modelFromJson(v, out, error);
+}
+
+bool
+strictPlan(const Value &v, ParallelConfig *out, std::string *error)
+{
+    return onlyKnownKeys(v,
+                         {"tensor", "data", "pipeline",
+                          "micro_batch_size", "global_batch_size",
+                          "schedule", "gradient_bucketing",
+                          "bucket_bytes", "activation_recompute",
+                          "zero_stage", "precision"},
+                         "plan", error) &&
+           parallelFromJson(v, out, error);
+}
+
+bool
+strictOptions(const Value &v, SimOptions *out, std::string *error)
+{
+    return onlyKnownKeys(v,
+                         {"fast_mode", "memoize_profiles",
+                          "collapse_operators", "attention"},
+                         "options", error) &&
+           optionsFromJson(v, out, error);
+}
+
+/** A finished capture's spans as a JSON object (inline trace flag). */
+Value
+traceToJson(const util::Trace &trace)
+{
+    Value spans = Value::array();
+    for (const util::TraceEvent &event : trace.events) {
+        Value span = Value::object();
+        span.set("name", event.name);
+        span.set("start_us", event.start_us);
+        span.set("dur_us", event.dur_us);
+        span.set("depth", static_cast<int64_t>(event.depth));
+        spans.push(std::move(span));
+    }
+    Value v = Value::object();
+    v.set("label", trace.label);
+    v.set("total_us", trace.total_us);
+    if (trace.dropped_spans > 0)
+        v.set("dropped_spans",
+              static_cast<int64_t>(trace.dropped_spans));
+    v.set("spans", std::move(spans));
+    return v;
+}
+
+/** Serializes CacheStats and TemplateCacheStats (same shape). */
+template <typename Stats>
+Value
+cacheStatsToJson(const Stats &cache)
+{
+    Value v = Value::object();
+    v.set("hits", static_cast<int64_t>(cache.hits));
+    v.set("misses", static_cast<int64_t>(cache.misses));
+    v.set("insertions", static_cast<int64_t>(cache.insertions));
+    v.set("updates", static_cast<int64_t>(cache.updates));
+    v.set("evictions", static_cast<int64_t>(cache.evictions));
+    v.set("entries", static_cast<int64_t>(cache.entries));
+    v.set("bytes", static_cast<int64_t>(cache.bytes));
+    v.set("hit_rate", cache.hitRate());
+    return v;
+}
+
+} // namespace
+
+namespace v1 {
+
+Value
+encode(const SimRequest &request)
+{
+    VTRAIN_REQUIRE(request.options.perturber == nullptr,
+                   "requests carrying a perturber are process-local "
+                   "and cannot be serialized");
+    Value v = Value::object();
+    v.set("version", kVersion);
+    v.set("model", modelToJson(request.model));
+    v.set("parallel", parallelToJson(request.parallel));
+    v.set("cluster", clusterToJson(request.cluster));
+    v.set("options", optionsToJson(request.options));
+    return v;
+}
+
+Value
+encode(const SimulationResult &result)
+{
+    Value v = Value::object();
+    v.set("version", kVersion);
+    v.set("iteration_seconds", result.iteration_seconds);
+    v.set("utilization", result.utilization);
+    v.set("model_flops", result.model_flops);
+    v.set("bubble_fraction", result.bubble_fraction);
+    Value tags = Value::array();
+    for (const double t : result.time_by_tag)
+        tags.push(Value(t));
+    v.set("time_by_tag", std::move(tags));
+    v.set("num_operators", static_cast<int64_t>(result.num_operators));
+    v.set("num_tasks", static_cast<int64_t>(result.num_tasks));
+    v.set("distinct_operators_profiled",
+          static_cast<int64_t>(result.distinct_operators_profiled));
+    v.set("profiler_calls",
+          static_cast<int64_t>(result.profiler_calls));
+    v.set("extrapolated", result.extrapolated);
+    v.set("simulated_micro_batches",
+          int64_t{result.simulated_micro_batches});
+    v.set("total_micro_batches", int64_t{result.total_micro_batches});
+    v.set("sim_wall_seconds", result.sim_wall_seconds);
+    return v;
+}
+
+bool
+decode(const json::Value &root, SimRequest *out, std::string *error)
+{
+    if (!root.isObject())
+        return decodeError(error, "request document is not an object");
+    if (!checkVersion(root, error))
+        return false;
+    const Value *model = member(root, "model", Value::Type::Object,
+                                error);
+    const Value *parallel =
+        member(root, "parallel", Value::Type::Object, error);
+    const Value *cluster =
+        member(root, "cluster", Value::Type::Object, error);
+    const Value *options =
+        member(root, "options", Value::Type::Object, error);
+    if (!model || !parallel || !cluster || !options)
+        return false;
+    SimRequest request;
+    if (!modelFromJson(*model, &request.model, error) ||
+        !parallelFromJson(*parallel, &request.parallel, error) ||
+        !clusterFromJson(*cluster, &request.cluster, error) ||
+        !optionsFromJson(*options, &request.options, error))
+        return false;
+    *out = std::move(request);
+    return true;
+}
+
+bool
+decode(const json::Value &root, SimulationResult *out,
+       std::string *error)
+{
+    if (!root.isObject())
+        return decodeError(error, "result document is not an object");
+    if (!checkVersion(root, error))
+        return false;
+    SimulationResult result;
+    const Value *tags =
+        member(root, "time_by_tag", Value::Type::Array, error);
+    if (!tags)
+        return false;
+    if (tags->items().size() != result.time_by_tag.size())
+        return decodeError(error, "time_by_tag must have " +
+                                      std::to_string(
+                                          result.time_by_tag.size()) +
+                                      " entries");
+    for (size_t i = 0; i < result.time_by_tag.size(); ++i) {
+        const Value &t = tags->items()[i];
+        if (!t.isNumber())
+            return decodeError(error, "time_by_tag entries must be "
+                                      "numbers");
+        result.time_by_tag[i] = t.asNumber();
+    }
+    if (!(getNumber(root, "iteration_seconds",
+                    &result.iteration_seconds, error) &&
+          getNumber(root, "utilization", &result.utilization, error) &&
+          getNumber(root, "model_flops", &result.model_flops, error) &&
+          getNumber(root, "bubble_fraction", &result.bubble_fraction,
+                    error) &&
+          getInt(root, "num_operators", &result.num_operators,
+                 error) &&
+          getInt(root, "num_tasks", &result.num_tasks, error) &&
+          getInt(root, "distinct_operators_profiled",
+                 &result.distinct_operators_profiled, error) &&
+          getInt(root, "profiler_calls", &result.profiler_calls,
+                 error) &&
+          getBool(root, "extrapolated", &result.extrapolated, error) &&
+          getInt(root, "simulated_micro_batches",
+                 &result.simulated_micro_batches, error) &&
+          getInt(root, "total_micro_batches",
+                 &result.total_micro_batches, error) &&
+          getNumber(root, "sim_wall_seconds", &result.sim_wall_seconds,
+                    error)))
+        return false;
+    *out = result;
+    return true;
+}
+
+bool
+decode(std::string_view text, SimRequest *out, std::string *error)
+{
+    Value root;
+    if (!Value::parse(text, &root, error))
+        return false;
+    return decode(root, out, error);
+}
+
+bool
+decode(std::string_view text, SimulationResult *out, std::string *error)
+{
+    Value root;
+    if (!Value::parse(text, &root, error))
+        return false;
+    return decode(root, out, error);
+}
+
+Value
+encode(const SweepSpec &spec)
+{
+    Value v = Value::object();
+    v.set("max_tensor", int64_t{spec.max_tensor});
+    v.set("max_data", int64_t{spec.max_data});
+    v.set("max_pipeline", int64_t{spec.max_pipeline});
+    Value sizes = Value::array();
+    for (const int m : spec.micro_batch_sizes)
+        sizes.push(Value(int64_t{m}));
+    v.set("micro_batch_sizes", std::move(sizes));
+    v.set("min_gpus", int64_t{spec.min_gpus});
+    v.set("max_gpus", int64_t{spec.max_gpus});
+    v.set("exact_gpus", int64_t{spec.exact_gpus});
+    v.set("require_memory_fit", spec.require_memory_fit);
+    v.set("global_batch_size", int64_t{spec.global_batch_size});
+    v.set("schedule", toString(spec.schedule));
+    v.set("gradient_bucketing", spec.gradient_bucketing);
+    v.set("activation_recompute", spec.activation_recompute);
+    v.set("precision", toString(spec.precision));
+    return v;
+}
+
+bool
+decode(const json::Value &root, SweepSpec *out, std::string *error)
+{
+    if (!root.isObject())
+        return decodeError(error, "spec is not an object");
+    if (!onlyKnownKeys(root,
+                       {"max_tensor", "max_data", "max_pipeline",
+                        "micro_batch_sizes", "min_gpus", "max_gpus",
+                        "exact_gpus", "require_memory_fit",
+                        "global_batch_size", "schedule",
+                        "gradient_bucketing", "activation_recompute",
+                        "precision"},
+                       "spec", error))
+        return false;
+    SweepSpec spec;
+    const Value *sizes =
+        member(root, "micro_batch_sizes", Value::Type::Array, error);
+    if (!sizes)
+        return false;
+    spec.micro_batch_sizes.clear();
+    for (const Value &m : sizes->items()) {
+        if (!m.isNumber() ||
+            std::nearbyint(m.asNumber()) != m.asNumber())
+            return decodeError(error, "micro_batch_sizes entries must "
+                                      "be integers");
+        spec.micro_batch_sizes.push_back(
+            static_cast<int>(m.asInt64()));
+    }
+    std::string schedule;
+    std::string precision;
+    if (!(getInt(root, "max_tensor", &spec.max_tensor, error) &&
+          getInt(root, "max_data", &spec.max_data, error) &&
+          getInt(root, "max_pipeline", &spec.max_pipeline, error) &&
+          getInt(root, "min_gpus", &spec.min_gpus, error) &&
+          getInt(root, "max_gpus", &spec.max_gpus, error) &&
+          getInt(root, "exact_gpus", &spec.exact_gpus, error) &&
+          getBool(root, "require_memory_fit", &spec.require_memory_fit,
+                  error) &&
+          getInt(root, "global_batch_size", &spec.global_batch_size,
+                 error) &&
+          getString(root, "schedule", &schedule, error) &&
+          getBool(root, "gradient_bucketing", &spec.gradient_bucketing,
+                  error) &&
+          getBool(root, "activation_recompute",
+                  &spec.activation_recompute, error) &&
+          getString(root, "precision", &precision, error)))
+        return false;
+    if (!parseSchedule(schedule, &spec.schedule, error) ||
+        !parsePrecision(precision, &spec.precision, error))
+        return false;
+    *out = std::move(spec);
+    return true;
+}
+
+Value
+encode(const ExploreResult &result)
+{
+    Value v = Value::object();
+    v.set("plan", parallelToJson(result.plan));
+    v.set("result", encode(result.sim));
+    return v;
+}
+
+bool
+decode(const json::Value &root, ExploreResult *out, std::string *error)
+{
+    if (!root.isObject())
+        return decodeError(error, "explore result is not an object");
+    if (!onlyKnownKeys(root, {"plan", "result"}, "explore result",
+                       error))
+        return false;
+    const Value *plan = member(root, "plan", Value::Type::Object,
+                               error);
+    const Value *result =
+        member(root, "result", Value::Type::Object, error);
+    if (!plan || !result)
+        return false;
+    if (!strictPlan(*plan, &out->plan, error))
+        return false;
+    if (!onlyKnownKeys(*result,
+                       {"version", "iteration_seconds", "utilization",
+                        "model_flops", "bubble_fraction",
+                        "time_by_tag", "num_operators", "num_tasks",
+                        "distinct_operators_profiled",
+                        "profiler_calls", "extrapolated",
+                        "simulated_micro_batches",
+                        "total_micro_batches", "sim_wall_seconds"},
+                       "result", error))
+        return false;
+    return decode(*result, &out->sim, error);
+}
+
+Value
+encode(const SweepRequest &request)
+{
+    VTRAIN_REQUIRE(request.options.perturber == nullptr,
+                   "requests carrying a perturber are process-local "
+                   "and cannot be serialized");
+    Value v = Value::object();
+    v.set("version", kVersion);
+    v.set("model", modelToJson(request.model));
+    v.set("cluster", clusterToJson(request.cluster));
+    v.set("options", optionsToJson(request.options));
+    if (request.use_spec) {
+        v.set("spec", encode(request.spec));
+    } else {
+        Value plans = Value::array();
+        for (const ParallelConfig &plan : request.plans)
+            plans.push(parallelToJson(plan));
+        v.set("plans", std::move(plans));
+    }
+    return v;
+}
+
+bool
+decode(const json::Value &root, SweepRequest *out, std::string *error)
+{
+    if (!root.isObject())
+        return decodeError(error,
+                           "sweep request is not an object");
+    if (!onlyKnownKeys(root,
+                       {"version", "model", "cluster", "options",
+                        "plans", "spec"},
+                       "sweep request", error))
+        return false;
+    if (!checkVersion(root, error))
+        return false;
+    const Value *model = member(root, "model", Value::Type::Object,
+                                error);
+    const Value *cluster =
+        member(root, "cluster", Value::Type::Object, error);
+    const Value *options =
+        member(root, "options", Value::Type::Object, error);
+    if (!model || !cluster || !options)
+        return false;
+    SweepRequest request;
+    if (!strictModel(*model, &request.model, error) ||
+        !strictCluster(*cluster, &request.cluster, error) ||
+        !strictOptions(*options, &request.options, error))
+        return false;
+
+    const Value *plans = root.find("plans");
+    const Value *spec = root.find("spec");
+    if ((plans != nullptr) == (spec != nullptr))
+        return decodeError(error, "sweep request must carry exactly "
+                                  "one of 'plans' and 'spec'");
+    if (plans) {
+        if (!plans->isArray())
+            return decodeError(error, "'plans' must be an array");
+        request.plans.reserve(plans->items().size());
+        for (size_t i = 0; i < plans->items().size(); ++i) {
+            ParallelConfig plan;
+            if (!strictPlan(plans->items()[i], &plan, error))
+                return decodeError(
+                    error, "bad plan at index " + std::to_string(i) +
+                               ": " + (error ? *error : ""));
+            request.plans.push_back(plan);
+        }
+    } else {
+        if (!spec->isObject())
+            return decodeError(error, "'spec' must be an object");
+        request.use_spec = true;
+        if (!decode(*spec, &request.spec, error))
+            return false;
+    }
+    *out = std::move(request);
+    return true;
+}
+
+std::string
+encodeSweepResponse(const std::vector<ExploreResult> &results)
+{
+    Value items = Value::array();
+    for (const ExploreResult &result : results)
+        items.push(encode(result));
+    Value body = Value::object();
+    body.set("version", kVersion);
+    body.set("results", std::move(items));
+    return body.dump();
+}
+
+bool
+decodeSweepResponse(std::string_view body,
+                    std::vector<ExploreResult> *out, std::string *error)
+{
+    Value root;
+    if (!Value::parse(body, &root, error))
+        return false;
+    if (!root.isObject())
+        return decodeError(error,
+                           "sweep response is not an object");
+    if (!onlyKnownKeys(root, {"version", "results"}, "sweep response",
+                       error))
+        return false;
+    if (!checkVersion(root, error))
+        return false;
+    const Value *results =
+        member(root, "results", Value::Type::Array, error);
+    if (!results)
+        return false;
+    std::vector<ExploreResult> decoded;
+    decoded.reserve(results->items().size());
+    for (size_t i = 0; i < results->items().size(); ++i) {
+        ExploreResult result;
+        if (!decode(results->items()[i], &result, error))
+            return decodeError(
+                error, "bad result at index " + std::to_string(i) +
+                           ": " + (error ? *error : ""));
+        decoded.push_back(std::move(result));
+    }
+    *out = std::move(decoded);
+    return true;
+}
+
+// ------------------------------------------------------------ handlers
+
+net::HttpResponse
+errorResponse(int status, std::string_view message)
+{
+    // Delegates to the HTTP layer's builder so handler-produced errors
+    // are byte-compatible with the ones the server itself emits for
+    // parse failures: one shape, wherever the error is detected.
+    return net::errorResponse(status, message);
+}
+
+bool
+parseEnvelope(std::string_view body, json::Value *root,
+              net::HttpResponse *error_response)
+{
+    std::string error;
+    if (!Value::parse(body, root, &error)) {
+        *error_response =
+            errorResponse(400, "bad request payload: " + error);
+        return false;
+    }
+    if (!root->isObject()) {
+        *error_response = errorResponse(
+            400, "bad request payload: document is not an object");
+        return false;
+    }
+    if (!checkVersion(*root, &error)) {
+        *error_response =
+            errorResponse(400, "bad request payload: " + error);
+        return false;
+    }
+    return true;
+}
+
+bool
+decodeEvaluateRequest(std::string_view body, SimRequest *out,
+                      bool *want_trace,
+                      net::HttpResponse *error_response)
+{
+    json::Value root;
+    if (!parseEnvelope(body, &root, error_response))
+        return false;
+    // Optional wire flag, ignored by the request decoder: return this
+    // request's phase breakdown inline in the response.
+    const Value *trace_flag = root.find("trace");
+    *want_trace =
+        trace_flag && trace_flag->isBool() && trace_flag->asBool();
+    std::string error;
+    if (!decode(root, out, &error)) {
+        *error_response =
+            errorResponse(400, "bad request payload: " + error);
+        return false;
+    }
+    return true;
+}
+
+std::string
+encodeEvaluateResponse(const SimulationResult &result,
+                       const util::Trace *trace)
+{
+    Value body = encode(result);
+    if (trace)
+        body.set("trace", traceToJson(*trace));
+    return body.dump();
+}
+
+bool
+decodeEvaluateBatchRequest(std::string_view body,
+                           std::vector<SimRequest> *out,
+                           net::HttpResponse *error_response)
+{
+    json::Value root;
+    if (!parseEnvelope(body, &root, error_response))
+        return false;
+    const Value *requests = root.find("requests");
+    if (!requests || !requests->isArray()) {
+        *error_response = errorResponse(
+            400,
+            "bad request payload: 'requests' must be an array");
+        return false;
+    }
+    std::vector<SimRequest> batch;
+    batch.reserve(requests->items().size());
+    for (size_t i = 0; i < requests->items().size(); ++i) {
+        SimRequest request;
+        std::string error;
+        if (!decode(requests->items()[i], &request, &error)) {
+            *error_response = errorResponse(
+                400, "bad request payload at index " +
+                         std::to_string(i) + ": " + error);
+            return false;
+        }
+        batch.push_back(std::move(request));
+    }
+    *out = std::move(batch);
+    return true;
+}
+
+std::string
+encodeEvaluateBatchResponse(const std::vector<SimulationResult> &results)
+{
+    Value items = Value::array();
+    for (const SimulationResult &result : results)
+        items.push(encode(result));
+    Value body = Value::object();
+    body.set("version", kVersion);
+    body.set("results", std::move(items));
+    return body.dump();
+}
+
+bool
+decodeSweepRequest(std::string_view body, SweepRequest *out,
+                   net::HttpResponse *error_response)
+{
+    json::Value root;
+    if (!parseEnvelope(body, &root, error_response))
+        return false;
+    std::string error;
+    if (!decode(root, out, &error)) {
+        *error_response =
+            errorResponse(400, "bad request payload: " + error);
+        return false;
+    }
+    return true;
+}
+
+} // namespace v1
+
+// ------------------------------------------------------------ admin
+
+std::string
+statzBody(const StatzInfo &info)
+{
+    Value service = Value::object();
+    service.set("requests",
+                static_cast<int64_t>(info.service.requests));
+    service.set("computed",
+                static_cast<int64_t>(info.service.computed));
+    service.set("inflight_joins",
+                static_cast<int64_t>(info.service.inflight_joins));
+    service.set("batch_dedups",
+                static_cast<int64_t>(info.service.batch_dedups));
+    service.set("cache", cacheStatsToJson(info.service.cache));
+    service.set("template_cache",
+                cacheStatsToJson(info.service.graph_templates));
+
+    Value engine = Value::object();
+    engine.set("replay_runs",
+               static_cast<int64_t>(info.service.engine.replay_runs));
+    engine.set("queue_runs",
+               static_cast<int64_t>(info.service.engine.queue_runs));
+    engine.set(
+        "batched_points",
+        static_cast<int64_t>(info.service.engine.batched_points));
+    service.set("engine", std::move(engine));
+
+    Value http = Value::object();
+    http.set("connections_accepted",
+             static_cast<int64_t>(info.http.connections_accepted));
+    http.set("connections_open",
+             static_cast<int64_t>(info.http.connections_open));
+    http.set("requests", static_cast<int64_t>(info.http.requests));
+    http.set("responses", static_cast<int64_t>(info.http.responses));
+    http.set("parse_errors",
+             static_cast<int64_t>(info.http.parse_errors));
+
+    // Percentile blocks for every histogram series with data, keyed
+    // "name{label=value,...}": the flat counters above say how much,
+    // these say how slow.
+    Value latency = Value::object();
+    for (const util::MetricRegistry::HistogramSeries &series :
+         util::MetricRegistry::global().histogramSeries()) {
+        if (series.snapshot.count == 0)
+            continue;
+        std::string key = series.name;
+        if (!series.labels.empty()) {
+            key += '{';
+            for (size_t i = 0; i < series.labels.size(); ++i) {
+                if (i)
+                    key += ',';
+                key += series.labels[i].first;
+                key += '=';
+                key += series.labels[i].second;
+            }
+            key += '}';
+        }
+        Value block = Value::object();
+        block.set("count",
+                  static_cast<int64_t>(series.snapshot.count));
+        block.set("mean", series.snapshot.mean());
+        block.set("p50", series.snapshot.percentile(50.0));
+        block.set("p90", series.snapshot.percentile(90.0));
+        block.set("p99", series.snapshot.percentile(99.0));
+        block.set("max", series.snapshot.max);
+        latency.set(std::move(key), std::move(block));
+    }
+
+    // The stable "sweep" block: shard-side serving counters always,
+    // the coordinator's fleet view when this node runs one.
+    Value sweep = Value::object();
+    Value sweep_server = Value::object();
+    sweep_server.set("requests",
+                     static_cast<int64_t>(info.sweep_server.requests));
+    sweep_server.set("plans",
+                     static_cast<int64_t>(info.sweep_server.plans));
+    sweep.set("server", std::move(sweep_server));
+    if (info.coordinator) {
+        const SweepCoordinatorStats &coord = *info.coordinator;
+        Value c = Value::object();
+        c.set("sweeps", static_cast<int64_t>(coord.sweeps));
+        c.set("plans", static_cast<int64_t>(coord.plans));
+        c.set("groups", static_cast<int64_t>(coord.groups));
+        c.set("retries", static_cast<int64_t>(coord.retries));
+        c.set("failovers", static_cast<int64_t>(coord.failovers));
+        Value shards = Value::array();
+        for (const SweepShardStats &shard : coord.shards) {
+            Value s = Value::object();
+            s.set("shard", shard.shard);
+            s.set("requests", static_cast<int64_t>(shard.requests));
+            s.set("plans", static_cast<int64_t>(shard.plans));
+            s.set("retries", static_cast<int64_t>(shard.retries));
+            s.set("failures", static_cast<int64_t>(shard.failures));
+            s.set("failovers", static_cast<int64_t>(shard.failovers));
+            shards.push(std::move(s));
+        }
+        c.set("shards", std::move(shards));
+        sweep.set("coordinator", std::move(c));
+    }
+
+    Value body = Value::object();
+    body.set("service", std::move(service));
+    body.set("http", std::move(http));
+    body.set("latency", std::move(latency));
+    body.set("threads", static_cast<int64_t>(info.threads));
+    body.set("sweep", std::move(sweep));
+    return body.dump();
+}
+
+std::string
+healthzBody(size_t threads)
+{
+    const util::BuildInfo &build = util::buildInfo();
+    Value body = Value::object();
+    body.set("status", "ok");
+    body.set("threads", static_cast<int64_t>(threads));
+    body.set("uptime_s", util::processUptimeSeconds());
+    body.set("version", build.version);
+    body.set("git_describe", build.git_describe);
+    body.set("build_type", build.build_type);
+    return body.dump();
+}
+
+} // namespace wire
+} // namespace vtrain

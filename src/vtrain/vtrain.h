@@ -65,6 +65,8 @@
 #include "serve/result_cache.h"
 #include "serve/sim_request.h"
 #include "serve/sim_service.h"
+#include "serve/sweep_coordinator.h"
+#include "serve/wire.h"
 #include "sim/engine.h"
 #include "sim/result.h"
 #include "sim/simulator.h"

@@ -23,6 +23,7 @@
 #include "net/http_client.h"
 #include "serve/http_frontend.h"
 #include "serve/json.h"
+#include "serve/wire.h"
 #include "sim/simulator.h"
 
 namespace vtrain {
@@ -52,6 +53,20 @@ requestVariant(int i)
     SimRequest r = tinyRequest();
     r.parallel.global_batch_size = 8 * (i + 1);
     return r;
+}
+
+/** The versioned request payload as wire text (serve/wire.h). */
+std::string
+toJson(const SimRequest &request)
+{
+    return wire::v1::encode(request).dump();
+}
+
+/** The versioned request payload as a document node. */
+json::Value
+toJsonValue(const SimRequest &request)
+{
+    return wire::v1::encode(request);
 }
 
 /** Deterministic request -> result mapping; no real simulation. */
@@ -141,7 +156,7 @@ TEST(HttpFrontendTest, EvaluateMatchesDirectCallAndRepeatHitsCache)
 
     SimulationResult over_http;
     ASSERT_TRUE(
-        simResultFromJson(response.body, &over_http, &error))
+        wire::v1::decode(response.body, &over_http, &error))
         << error;
     // The direct call answers from the cache the POST populated, and
     // the JSON codec round-trips doubles bit-for-bit, so the results
@@ -281,8 +296,8 @@ TEST(HttpFrontendTest, BatchPreservesOrderAndDedups)
 
     std::vector<SimulationResult> parsed(3);
     for (size_t i = 0; i < 3; ++i)
-        ASSERT_TRUE(simResultFromJsonValue(results->items()[i],
-                                           &parsed[i], &error))
+        ASSERT_TRUE(wire::v1::decode(results->items()[i], &parsed[i],
+                                     &error))
             << error;
     EXPECT_EQ(parsed[0], syntheticResult(a));
     EXPECT_EQ(parsed[1], syntheticResult(b));
@@ -602,7 +617,7 @@ TEST(HttpFrontendTest, ManyConcurrentConnections)
                     continue;
                 }
                 SimulationResult result;
-                if (!simResultFromJson(response.body, &result) ||
+                if (!wire::v1::decode(response.body, &result) ||
                     result != syntheticResult(request))
                     failures.fetch_add(1);
             }

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "net/http.h"
+#include "net/http_client.h"
 #include "net/socket.h"
 #include "serve/json.h"
 
@@ -446,6 +447,97 @@ TEST(NetSocket, ConnectToClosedPortFails)
     Socket sock = connectTcp("127.0.0.1", port, &error);
     EXPECT_FALSE(sock.valid());
     EXPECT_FALSE(error.empty());
+}
+
+TEST(NetSocket, TimedConnectReportsRefusedOutcome)
+{
+    TcpListener listener;
+    std::string error;
+    ASSERT_TRUE(listener.listen("127.0.0.1", 0, &error)) << error;
+    const uint16_t port = listener.port();
+    listener.close();
+
+    ConnectOutcome outcome = ConnectOutcome::Ok;
+    Socket sock = connectTcp("127.0.0.1", port, /*timeout_ms=*/1000,
+                             &outcome, &error);
+    EXPECT_FALSE(sock.valid());
+    EXPECT_EQ(outcome, ConnectOutcome::Refused);
+    EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------- typed client errors
+//
+// The sweep coordinator's retry-vs-failover policy keys off
+// ClientErrorKind, so the kinds must be distinguishable: a refused
+// connect (nothing listening -- fail over immediately) must not look
+// like a timeout (shard alive but slow or hung -- retry).
+
+TEST(NetHttpClient, RefusedConnectionIsTyped)
+{
+    TcpListener listener;
+    std::string error;
+    ASSERT_TRUE(listener.listen("127.0.0.1", 0, &error)) << error;
+    const uint16_t port = listener.port();
+    listener.close();
+
+    HttpClient client("127.0.0.1", port);
+    HttpResponse response;
+    ClientError typed;
+    EXPECT_FALSE(
+        client.request("GET", "/healthz", "", &response, &typed));
+    EXPECT_EQ(typed.kind, ClientErrorKind::ConnectRefused);
+    EXPECT_FALSE(typed.message.empty());
+}
+
+TEST(NetHttpClient, ResponseTimeoutIsTyped)
+{
+    // The backlog completes the handshake, but nothing ever reads or
+    // answers: the per-operation timeout must fire as a typed
+    // Timeout, not hang or masquerade as a connect failure.
+    TcpListener black_hole;
+    std::string error;
+    ASSERT_TRUE(black_hole.listen("127.0.0.1", 0, &error)) << error;
+
+    HttpClient::Options options;
+    options.host = "127.0.0.1";
+    options.port = black_hole.port();
+    options.timeout_ms = 150;
+    HttpClient client(std::move(options));
+    HttpResponse response;
+    ClientError typed;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(
+        client.request("GET", "/healthz", "", &response, &typed));
+    EXPECT_EQ(typed.kind, ClientErrorKind::Timeout);
+    EXPECT_NE(typed.message.find("timed out"), std::string::npos)
+        << typed.message;
+    // ... and it fired in bounded time (well under the test timeout).
+    EXPECT_LT(std::chrono::steady_clock::now() - start,
+              std::chrono::seconds(30));
+}
+
+TEST(NetHttpClient, RequestDeadlineCapsTheWholeResponse)
+{
+    // Per-operation timeouts alone cannot bound a response that
+    // trickles forever; the per-request deadline must.
+    TcpListener black_hole;
+    std::string error;
+    ASSERT_TRUE(black_hole.listen("127.0.0.1", 0, &error)) << error;
+
+    HttpClient::Options options;
+    options.host = "127.0.0.1";
+    options.port = black_hole.port();
+    options.timeout_ms = 0; // op timeouts off: the deadline must act
+    options.request_timeout_ms = 200;
+    HttpClient client(std::move(options));
+    HttpResponse response;
+    ClientError typed;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(
+        client.request("POST", "/v1/sweep", "{}", &response, &typed));
+    EXPECT_EQ(typed.kind, ClientErrorKind::Timeout);
+    EXPECT_LT(std::chrono::steady_clock::now() - start,
+              std::chrono::seconds(30));
 }
 
 } // namespace

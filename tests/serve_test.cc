@@ -20,6 +20,7 @@
 #include "serve/json.h"
 #include "serve/result_cache.h"
 #include "serve/sim_service.h"
+#include "serve/wire.h"
 #include "sim/simulator.h"
 
 namespace vtrain {
@@ -683,10 +684,10 @@ TEST(ServeJson, RequestRoundTripPreservesEverything)
     request.options.collapse_operators = true;
     request.options.attention = AttentionImpl::FlashAttention;
 
-    const std::string wire = toJson(request);
+    const std::string body = wire::v1::encode(request).dump();
     SimRequest decoded;
     std::string error;
-    ASSERT_TRUE(simRequestFromJson(wire, &decoded, &error)) << error;
+    ASSERT_TRUE(wire::v1::decode(body, &decoded, &error)) << error;
     EXPECT_EQ(decoded, request);
     EXPECT_EQ(decoded.fingerprint(), request.fingerprint());
 }
@@ -708,10 +709,10 @@ TEST(ServeJson, ResultRoundTripIsBitExact)
     result.total_micro_batches = 240;
     result.sim_wall_seconds = 0.0317;
 
-    const std::string wire = toJson(result);
+    const std::string body = wire::v1::encode(result).dump();
     SimulationResult decoded;
     std::string error;
-    ASSERT_TRUE(simResultFromJson(wire, &decoded, &error)) << error;
+    ASSERT_TRUE(wire::v1::decode(body, &decoded, &error)) << error;
     EXPECT_EQ(decoded, result);
 }
 
@@ -759,37 +760,37 @@ TEST(ServeJson, ParserRejectsMalformedDocuments)
 TEST(ServeJson, DecoderRejectsMissingAndMistypedFields)
 {
     const SimRequest request = tinyRequest();
-    const std::string wire = toJson(request);
+    const std::string body = wire::v1::encode(request).dump();
 
     // Break the payload in targeted ways.
-    std::string no_version = wire;
+    std::string no_version = body;
     const size_t at = no_version.find("\"version\"");
     ASSERT_NE(at, std::string::npos);
     no_version.replace(at, 9, "\"ver\"");
     SimRequest out;
     std::string error;
-    EXPECT_FALSE(simRequestFromJson(no_version, &out, &error));
+    EXPECT_FALSE(wire::v1::decode(no_version, &out, &error));
     EXPECT_NE(error.find("version"), std::string::npos);
 
-    std::string bad_schedule = wire;
+    std::string bad_schedule = body;
     const size_t sched = bad_schedule.find("\"1f1b\"");
     ASSERT_NE(sched, std::string::npos);
     bad_schedule.replace(sched, 6, "\"zigzag\"");
-    EXPECT_FALSE(simRequestFromJson(bad_schedule, &out, &error));
+    EXPECT_FALSE(wire::v1::decode(bad_schedule, &out, &error));
     EXPECT_NE(error.find("schedule"), std::string::npos);
 
-    EXPECT_FALSE(simRequestFromJson("[]", &out, &error));
+    EXPECT_FALSE(wire::v1::decode("[]", &out, &error));
     SimulationResult result_out;
     EXPECT_FALSE(
-        simResultFromJson("{\"version\": 1}", &result_out, &error));
+        wire::v1::decode("{\"version\": 1}", &result_out, &error));
 
     // Integral-valued but out-of-range numbers must be rejected, not
     // narrowed (the decoder is the cross-process input boundary).
-    std::string huge_int = wire;
+    std::string huge_int = body;
     const size_t zero = huge_int.find("\"zero_stage\": 0");
     ASSERT_NE(zero, std::string::npos);
     huge_int.replace(zero, 15, "\"zero_stage\": 1e19");
-    EXPECT_FALSE(simRequestFromJson(huge_int, &out, &error));
+    EXPECT_FALSE(wire::v1::decode(huge_int, &out, &error));
     EXPECT_NE(error.find("out of range"), std::string::npos);
 }
 
@@ -797,7 +798,8 @@ TEST(ServeJson, DecodedRequestIsServable)
 {
     const SimRequest request = tinyRequest();
     SimRequest decoded;
-    ASSERT_TRUE(simRequestFromJson(toJson(request), &decoded));
+    ASSERT_TRUE(
+        wire::v1::decode(wire::v1::encode(request).dump(), &decoded));
     SimService service;
     const SimulationResult via_wire = service.evaluate(decoded);
     const SimulationResult direct = service.evaluate(request);
