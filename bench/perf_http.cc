@@ -56,8 +56,22 @@ struct Stack {
         SimService::Options options;
         options.n_threads = 4;
         options.evaluator = syntheticResult;
-        service = std::make_unique<SimService>(std::move(options));
-        frontend = std::make_unique<HttpFrontend>(*service);
+        init(std::move(options), {});
+    }
+
+    Stack(SimService::Options service_options,
+          HttpFrontend::Options frontend_options)
+    {
+        init(std::move(service_options), std::move(frontend_options));
+    }
+
+    void init(SimService::Options service_options,
+              HttpFrontend::Options frontend_options)
+    {
+        service =
+            std::make_unique<SimService>(std::move(service_options));
+        frontend = std::make_unique<HttpFrontend>(
+            *service, std::move(frontend_options));
         std::string error;
         if (!frontend->start(&error)) {
             std::fprintf(stderr, "frontend.start: %s\n",
@@ -147,6 +161,45 @@ BM_HttpEvaluateBatch64(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_HttpEvaluateBatch64)->UseRealTime();
+
+/**
+ * The cache-hit RPC with admission control turned on: a keyed tenant
+ * with a generous (never-shedding) quota, so the delta against
+ * BM_HttpEvaluate_CacheHit is the pure admission overhead (header
+ * lookup + token bucket + ticket) on the hot path.
+ */
+void
+BM_HttpEvaluate_CacheHitAdmitted(benchmark::State &state)
+{
+    setVerbose(false);
+    static Stack *admitted_stack = [] {
+        SimService::Options options;
+        options.n_threads = 4;
+        options.evaluator = syntheticResult;
+        HttpFrontend::Options frontend_options;
+        TenantConfig tenant;
+        tenant.name = "bench";
+        tenant.rate_per_sec = 1e9; // never sheds: measuring overhead
+        tenant.max_inflight = 1u << 20;
+        frontend_options.tenants.by_api_key["bench-key"] = tenant;
+        frontend_options.max_global_inflight = 1u << 20;
+        return new Stack(std::move(options),
+                         std::move(frontend_options));
+    }();
+    Stack &s = *admitted_stack;
+    net::HttpClient::Options client_options;
+    client_options.host = "127.0.0.1";
+    client_options.port = s.frontend->port();
+    client_options.headers.push_back({"X-Api-Key", "bench-key"});
+    net::HttpClient client(std::move(client_options));
+    const std::string wire =
+        wire::v1::encode(requestVariant(0)).dump();
+    postOrAbort(client, "/v1/evaluate", wire); // prime the cache
+    for (auto _ : state)
+        postOrAbort(client, "/v1/evaluate", wire);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HttpEvaluate_CacheHitAdmitted)->UseRealTime();
 
 /**
  * N keep-alive connections posting concurrently; items = total

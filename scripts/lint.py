@@ -36,10 +36,15 @@ not) catch:
                       through serve/wire.h (the one versioned schema
                       surface), so a handler spelling out
                       json::Value::object()/array(), a legacy
-                      toJsonValue/...FromJsonValue codec, or a
+                      toJsonValue/...FromJsonValue codec, a
                       non-wire error envelope (net::errorResponse,
-                      jsonErrorBody) is bypassing the schema and will
-                      drift from the documented wire format.
+                      jsonErrorBody), or a hand-assigned 4xx/5xx
+                      status (`.status = 503`) is bypassing the
+                      schema and will drift from the documented wire
+                      format.  Error responses must come from
+                      wire::v1::errorResponse / wire::healthzResponse
+                      so the envelope, status, and Retry-After cannot
+                      disagree.
 
   metric-naming       Metric names registered through MetricRegistry
                       (counter/gauge/histogram and their declare*
@@ -107,6 +112,10 @@ WIRE_RAW_PATTERNS = [
     (re.compile(r"\bjsonErrorBody\s*\("),
      "ad-hoc error body; use wire::v1::errorResponse (the one "
      "structured error-envelope builder)"),
+    (re.compile(r"\.\s*status\s*=\s*[45]\d\d\b"),
+     "hand-rolled 4xx/5xx status in a /v1 handler; errors must come "
+     "from wire::v1::errorResponse (or wire::healthzResponse) so the "
+     "envelope, status, and Retry-After cannot disagree"),
 ]
 
 NAKED_MUTEX_RE = re.compile(
@@ -422,6 +431,8 @@ net::HttpResponse Frontend::handleRaw() {
     if (!simRequestFromJsonValue(body, &req))       // bad: legacy codec
         return net::errorResponse(400, "nope");     // bad: raw envelope
     return jsonErrorBody(422, "nope");              // bad: ad-hoc body
+    response.status = 503;                          // bad: hand-rolled
+    response.status = 200;                          // legal: success
     // json::Value::object() in a comment must NOT fire
     auto fine = wire::v1::errorResponse(400, "ok"); // legal
 }
@@ -488,12 +499,12 @@ def self_test():
                % [str(f) for f in blocking], failures)
 
         wire = by_rule.get("wire-schema", [])
-        expect(len(wire) == 6 and
+        expect(len(wire) == 7 and
                all(f.path.endswith("http_frontend.cc") for f in wire),
-               "wire-schema: expected the 6 seeded hits (object, "
+               "wire-schema: expected the 7 seeded hits (object, "
                "array, toJsonValue, FromJsonValue, net::errorResponse, "
-               "jsonErrorBody), got %s" % [str(f) for f in wire],
-               failures)
+               "jsonErrorBody, .status = 5xx), got %s"
+               % [str(f) for f in wire], failures)
 
         metric = by_rule.get("metric-naming", [])
         expect(len(metric) == 3 and

@@ -1,0 +1,105 @@
+#include "net/fault_injection.h"
+
+namespace vtrain {
+namespace net {
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed)
+{
+    util::MetricRegistry &registry = util::MetricRegistry::global();
+    injected_refuse_ = registry.counter(
+        "vtrain_fault_injected_total", {{"kind", "refuse_connect"}},
+        "Faults injected by kind.");
+    injected_latency_ = registry.counter(
+        "vtrain_fault_injected_total", {{"kind", "inject_latency"}},
+        "Faults injected by kind.");
+    injected_status_ = registry.counter(
+        "vtrain_fault_injected_total", {{"kind", "force_status"}},
+        "Faults injected by kind.");
+    injected_drop_ = registry.counter(
+        "vtrain_fault_injected_total", {{"kind", "drop"}},
+        "Faults injected by kind.");
+}
+
+void
+FaultInjector::addRule(const Rule &rule)
+{
+    util::MutexLock lock(mutex_);
+    rules_.push_back(RuleState{rule, 0});
+}
+
+void
+FaultInjector::clear()
+{
+    util::MutexLock lock(mutex_);
+    rules_.clear();
+}
+
+FaultInjector::Decision
+FaultInjector::decide(std::string_view key)
+{
+    Decision decision;
+    util::MutexLock lock(mutex_);
+    ++decisions_;
+    for (RuleState &state : rules_) {
+        const Rule &rule = state.rule;
+        if (!rule.match.empty() &&
+            key.find(rule.match) == std::string_view::npos)
+            continue;
+        const uint64_t match = state.matches++;
+        if (match < rule.skip_first)
+            continue;
+        if (match - rule.skip_first >= rule.max_hits)
+            continue;
+        if (rule.probability < 1.0 &&
+            rng_.uniform(0.0, 1.0) >= rule.probability)
+            continue;
+        switch (rule.kind) {
+          case FaultKind::RefuseConnect:
+            decision.refuse_connect = true;
+            injected_refuse_->inc();
+            break;
+          case FaultKind::InjectLatency:
+            decision.latency_ms += rule.latency_ms;
+            injected_latency_->inc();
+            break;
+          case FaultKind::ForceStatus:
+            decision.force_status = rule.status;
+            decision.retry_after_s = rule.retry_after_s;
+            injected_status_->inc();
+            break;
+          case FaultKind::DropAfterBytes:
+            decision.drop = true;
+            decision.drop_after_bytes = rule.drop_after_bytes;
+            injected_drop_->inc();
+            break;
+        }
+    }
+    if (decision.any())
+        ++injected_;
+    return decision;
+}
+
+FaultInjector::Stats
+FaultInjector::stats() const
+{
+    util::MutexLock lock(mutex_);
+    return Stats{decisions_, injected_};
+}
+
+std::string
+faultKey(std::string_view host, uint16_t port, std::string_view target)
+{
+    std::string key;
+    key.reserve(host.size() + target.size() + 8);
+    key.append(host);
+    key.push_back(':');
+    key.append(std::to_string(port));
+    // The '<' terminates the port digits, so a rule keyed on
+    // "host:90<" cannot accidentally match port 9001.
+    key.push_back('<');
+    key.append(target);
+    return key;
+}
+
+} // namespace net
+} // namespace vtrain

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Deterministic, seedable fault injection for the HTTP stack.
+ *
+ * Overload and failover behaviour is only trustworthy if its failure
+ * modes are tested, and bespoke "flaky server" fixtures do not scale
+ * past one failure shape.  FaultInjector makes the failure paths
+ * table-driven: a set of Rules, each matching requests by a substring
+ * of a decision key and armed for a deterministic window of matches
+ * (skip the first K, fire for the next N) or a seeded probability.
+ *
+ * The same injector type hooks both ends of a connection:
+ *
+ *  - HttpServer (Options::fault_injector) keys decisions by the
+ *    request target and can force an error status (with an optional
+ *    Retry-After), delay the handler, truncate the response after N
+ *    bytes, or drop the connection without answering.
+ *  - HttpClient (Options::fault_injector) keys decisions by
+ *    "host:port<target>", so one rule can fail a single backend of a
+ *    fleet; it can refuse the connect, delay the request, synthesize
+ *    an error status locally, or report the connection dropped.
+ *
+ * Determinism: rules fire by match count, and any probabilistic rule
+ * draws from the injector's seeded Rng, so a test that replays the
+ * same request sequence sees the same faults every run.
+ */
+#ifndef VTRAIN_NET_FAULT_INJECTION_H
+#define VTRAIN_NET_FAULT_INJECTION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/thread_annotations.h"
+
+namespace vtrain {
+namespace net {
+
+/** What a matching rule does to the request it fires on. */
+enum class FaultKind {
+    RefuseConnect,  //!< client: dial fails as if nothing listened
+    InjectLatency,  //!< sleep latency_ms before handling/sending
+    ForceStatus,    //!< answer `status` without running the handler
+    DropAfterBytes, //!< server: close after drop_after_bytes of the
+                    //!< response (0 = drop without answering);
+                    //!< client: report the connection as closed
+};
+
+/** A deterministic fault-injection layer for HttpServer/HttpClient. */
+class FaultInjector
+{
+  public:
+    /** One fault, armed for a deterministic window of matches. */
+    struct Rule {
+        /** Substring of the decision key; "" matches every request. */
+        std::string match;
+
+        FaultKind kind = FaultKind::ForceStatus;
+
+        int latency_ms = 0;          //!< InjectLatency
+        int status = 503;            //!< ForceStatus
+        int retry_after_s = -1;      //!< ForceStatus: >= 0 adds a
+                                     //!< Retry-After header
+        size_t drop_after_bytes = 0; //!< DropAfterBytes
+
+        /** Leave the first `skip_first` matches untouched. */
+        uint64_t skip_first = 0;
+
+        /** Then fire for at most `max_hits` matches. */
+        uint64_t max_hits = UINT64_MAX;
+
+        /** Within the armed window, fire with this probability
+         *  (drawn from the injector's seeded Rng when < 1). */
+        double probability = 1.0;
+    };
+
+    /** The merged effect of every rule that fired for one request. */
+    struct Decision {
+        bool refuse_connect = false;
+        int latency_ms = 0;
+        int force_status = 0;   //!< 0 = handler runs normally
+        int retry_after_s = -1; //!< >= 0: Retry-After on force_status
+        bool drop = false;      //!< truncate/abort the response
+        size_t drop_after_bytes = 0;
+
+        bool any() const
+        {
+            return refuse_connect || latency_ms > 0 ||
+                   force_status != 0 || drop;
+        }
+    };
+
+    explicit FaultInjector(uint64_t seed = 0);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    void addRule(const Rule &rule) EXCLUDES(mutex_);
+
+    /** Drops every rule and match counter (the Rng keeps its state). */
+    void clear() EXCLUDES(mutex_);
+
+    /**
+     * Evaluates every rule against `key` (advancing match counters)
+     * and returns the merged decision.  Thread-safe.
+     */
+    Decision decide(std::string_view key) EXCLUDES(mutex_);
+
+    struct Stats {
+        uint64_t decisions = 0; //!< decide() calls
+        uint64_t injected = 0;  //!< decisions with at least one fault
+    };
+
+    Stats stats() const EXCLUDES(mutex_);
+
+  private:
+    struct RuleState {
+        Rule rule;
+        uint64_t matches = 0; //!< key matches seen so far
+    };
+
+    mutable util::Mutex mutex_;
+    std::vector<RuleState> rules_ GUARDED_BY(mutex_);
+    Rng rng_ GUARDED_BY(mutex_);
+    uint64_t decisions_ GUARDED_BY(mutex_) = 0;
+    uint64_t injected_ GUARDED_BY(mutex_) = 0;
+
+    util::Counter *injected_refuse_ = nullptr;
+    util::Counter *injected_latency_ = nullptr;
+    util::Counter *injected_status_ = nullptr;
+    util::Counter *injected_drop_ = nullptr;
+};
+
+/** The client-side decision key ("host:port<target>"). */
+std::string faultKey(std::string_view host, uint16_t port,
+                     std::string_view target);
+
+} // namespace net
+} // namespace vtrain
+
+#endif // VTRAIN_NET_FAULT_INJECTION_H

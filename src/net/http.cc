@@ -304,6 +304,24 @@ errorResponse(int status, std::string_view message)
     return response;
 }
 
+int
+retryAfterSeconds(const HttpResponse &response)
+{
+    const std::string *value = response.findHeader("Retry-After");
+    if (!value || value->empty())
+        return -1;
+    int seconds = 0;
+    for (const char c : *value) {
+        if (c < '0' || c > '9')
+            return -1; // HTTP-date form (or garbage): unsupported
+        if (seconds >
+            (std::numeric_limits<int>::max() - (c - '0')) / 10)
+            return -1;
+        seconds = seconds * 10 + (c - '0');
+    }
+    return seconds;
+}
+
 // ------------------------------------------------------ request parse
 
 HttpRequestParser::Status

@@ -78,6 +78,14 @@ std::string jsonErrorBody(int status, std::string_view message);
 /** An application/json error response carrying jsonErrorBody(). */
 HttpResponse errorResponse(int status, std::string_view message);
 
+/**
+ * Parses a delta-seconds Retry-After header off a response; returns
+ * -1 when the header is absent or not a non-negative integer (the
+ * HTTP-date form is deliberately unsupported — this stack only emits
+ * delta-seconds).
+ */
+int retryAfterSeconds(const HttpResponse &response);
+
 /** Size limits enforced while parsing (0 = unlimited). */
 struct HttpLimits {
     size_t max_header_bytes = 16u << 10;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 namespace vtrain {
@@ -187,20 +188,46 @@ HttpClient::roundTrip(const std::string &wire, const Deadline &deadline,
 bool
 HttpClient::request(std::string_view method, std::string_view target,
                     std::string_view body, HttpResponse *out,
-                    ClientError *error)
+                    ClientError *error, int request_timeout_ms)
 {
+    if (options_.fault_injector) {
+        const FaultInjector::Decision fault =
+            options_.fault_injector->decide(
+                faultKey(options_.host, options_.port, target));
+        if (fault.latency_ms > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(fault.latency_ms));
+        if (fault.refuse_connect)
+            return clientFail(error, ClientErrorKind::ConnectRefused,
+                              "injected fault: connection refused");
+        if (fault.drop)
+            return clientFail(error, ClientErrorKind::Closed,
+                              "injected fault: connection closed "
+                              "before a full response");
+        if (fault.force_status != 0) {
+            *out = errorResponse(fault.force_status, "injected fault");
+            if (fault.retry_after_s >= 0)
+                out->headers.push_back(
+                    {"Retry-After",
+                     std::to_string(fault.retry_after_s)});
+            return true;
+        }
+    }
     HttpRequest req;
     req.method = std::string(method);
     req.target = std::string(target);
     req.headers.push_back(
         {"Host",
          options_.host + ":" + std::to_string(options_.port)});
+    for (const HttpHeader &header : options_.headers)
+        req.headers.push_back(header);
     if (!body.empty())
         req.headers.push_back({"Content-Type", "application/json"});
     req.body = std::string(body);
     const std::string wire = serializeRequest(req);
-    const Deadline deadline =
-        Deadline::fromNow(options_.request_timeout_ms);
+    const Deadline deadline = Deadline::fromNow(
+        request_timeout_ms >= 0 ? request_timeout_ms
+                                : options_.request_timeout_ms);
 
     const bool was_connected = sock_.valid();
     if (!ensureConnected(deadline, error))

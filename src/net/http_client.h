@@ -17,6 +17,7 @@
 #include <string>
 #include <string_view>
 
+#include "net/fault_injection.h"
 #include "net/http.h"
 #include "net/socket.h"
 
@@ -65,11 +66,27 @@ class HttpClient
          * instead of blocking for however long the server computes.
          */
         int request_timeout_ms = 0;
+
+        /**
+         * Optional fault-injection layer (tests only).  Consulted per
+         * request with faultKey(host, port, target) as the decision
+         * key, so one rule can target a single backend.  Must outlive
+         * the client.
+         */
+        FaultInjector *fault_injector = nullptr;
+
+        /**
+         * Extra headers appended to every request — e.g. the
+         * X-Api-Key identifying this client's tenant to admission
+         * control.
+         */
+        std::vector<HttpHeader> headers;
     };
 
     explicit HttpClient(Options options);
     HttpClient(const std::string &host, uint16_t port)
-        : HttpClient(Options{host, port, 20000, HttpLimits{}, 10000, 0})
+        : HttpClient(Options{host, port, 20000, HttpLimits{}, 10000, 0,
+                             nullptr, {}})
     {
     }
 
@@ -89,11 +106,14 @@ class HttpClient
     /**
      * request() with a typed error, so callers can distinguish "fail
      * over now" (ConnectRefused) from "maybe retry" (Timeout, Closed)
-     * from "give up" (Protocol).
+     * from "give up" (Protocol).  `request_timeout_ms` >= 0 overrides
+     * Options::request_timeout_ms for this one request (0 = no
+     * deadline), letting a caller propagate a shrinking deadline
+     * without rebuilding the client.
      */
     bool request(std::string_view method, std::string_view target,
                  std::string_view body, HttpResponse *out,
-                 ClientError *error);
+                 ClientError *error, int request_timeout_ms = -1);
 
     bool get(std::string_view target, HttpResponse *out,
              std::string *error)

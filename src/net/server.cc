@@ -4,8 +4,10 @@
 #include <sys/eventfd.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <utility>
@@ -59,6 +61,9 @@ HttpServer::HttpServer(Options options, Handler handler)
         "vtrain_http_request_seconds",
         "Handler latency (dispatch to completion, including executor "
         "queueing) by route and status.");
+    drain_seconds_ = metrics_->histogram(
+        "vtrain_http_drain_seconds", {},
+        "Graceful-drain duration (drain() call to idle or deadline).");
 }
 
 HttpServer::~HttpServer()
@@ -92,9 +97,44 @@ HttpServer::start(std::string *error)
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
     stop_requested_.store(false);
+    draining_.store(false);
+    drain_idle_.store(false);
+    listener_removed_ = false;
     running_.store(true);
     loop_ = std::thread([this] { runLoop(); });
     return true;
+}
+
+void
+HttpServer::beginDrain()
+{
+    if (!running_.load() || draining_.exchange(true))
+        return;
+    wake(); // the loop thread removes the listener from the epoll set
+}
+
+bool
+HttpServer::drain(int deadline_ms)
+{
+    if (!running_.load())
+        return true;
+    const uint64_t start_ns = util::monotonicNanos();
+    const uint64_t deadline_ns =
+        start_ns + static_cast<uint64_t>(deadline_ms < 0 ? 0
+                                                         : deadline_ms) *
+                       1000000ull;
+    beginDrain();
+    // The loop thread flags idleness (no in-flight handler, every
+    // response flushed); poll it out here since only stop() may join.
+    bool idle = drain_idle_.load();
+    while (!idle && util::monotonicNanos() < deadline_ns) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        idle = drain_idle_.load();
+    }
+    stop();
+    drain_seconds_->record(
+        static_cast<double>(util::monotonicNanos() - start_ns) * 1e-9);
+    return idle;
 }
 
 void
@@ -163,9 +203,15 @@ HttpServer::runLoop()
 {
     std::array<epoll_event, 64> events;
     while (!stop_requested_.load()) {
+        // While draining, poll: complete() wakes the loop before it
+        // decrements inflight_handlers_, so the loop's idle check can
+        // run one decrement early and no further event would ever
+        // re-run it.  A bounded timeout turns that lost wakeup into a
+        // few milliseconds of drain latency instead of a hang.
+        const int timeout_ms = draining_.load() ? 5 : -1;
         const int n = ::epoll_wait(epoll_fd_, events.data(),
                                    static_cast<int>(events.size()),
-                                   -1);
+                                   timeout_ms);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -189,6 +235,8 @@ HttpServer::runLoop()
             }
         }
         drainCompletions();
+        if (draining_.load())
+            checkDrainIdle();
         if (stop_requested_.load())
             break;
     }
@@ -202,6 +250,39 @@ HttpServer::runLoop()
         }
     }
     conns_.clear();
+}
+
+void
+HttpServer::checkDrainIdle()
+{
+    if (!listener_removed_) {
+        // Stop accepting outright: the socket is closed, not just
+        // deregistered, so late dials are refused instead of piling
+        // into the kernel backlog only to be reset at stop().
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listener_.fd(), nullptr);
+        listener_.close();
+        listener_removed_ = true;
+    }
+    // Idle means every dispatched handler has completed (checked
+    // first: handlers enqueue completions before decrementing), every
+    // completion was drained into its connection, and every response
+    // has been flushed to the socket.
+    {
+        util::MutexLock lock(inflight_mutex_);
+        if (inflight_handlers_ != 0)
+            return;
+    }
+    {
+        util::MutexLock lock(completions_mutex_);
+        if (!completions_.empty())
+            return;
+    }
+    for (const auto &[id, conn] : conns_) {
+        if (!conn->defunct &&
+            (conn->in_flight || !conn->out_buf.empty()))
+            return;
+    }
+    drain_idle_.store(true);
 }
 
 void
@@ -328,17 +409,33 @@ HttpServer::dispatch(Conn *conn, HttpRequest request)
         util::MutexLock lock(inflight_mutex_);
         ++inflight_handlers_;
     }
-    auto task = [this, id = conn->id, keep_alive,
+    FaultInjector::Decision fault;
+    if (options_.fault_injector)
+        fault = options_.fault_injector->decide(request.target);
+    auto task = [this, id = conn->id, keep_alive, fault,
                  route = std::move(route),
                  start_ns = util::monotonicNanos(),
                  req = std::move(request)]() mutable {
+        if (fault.latency_ms > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(fault.latency_ms));
         HttpResponse response;
-        try {
-            response = handler_(req);
-        } catch (const std::exception &e) {
-            response = errorResponse(500, e.what());
-        } catch (...) {
-            response = errorResponse(500, "unknown handler failure");
+        if (fault.force_status != 0) {
+            response =
+                errorResponse(fault.force_status, "injected fault");
+            if (fault.retry_after_s >= 0)
+                response.headers.push_back(
+                    {"Retry-After",
+                     std::to_string(fault.retry_after_s)});
+        } else {
+            try {
+                response = handler_(req);
+            } catch (const std::exception &e) {
+                response = errorResponse(500, e.what());
+            } catch (...) {
+                response =
+                    errorResponse(500, "unknown handler failure");
+            }
         }
         const double seconds =
             static_cast<double>(util::monotonicNanos() - start_ns) *
@@ -349,8 +446,17 @@ HttpServer::dispatch(Conn *conn, HttpRequest request)
                          {"status", std::to_string(response.status)}})
             ->record(seconds);
         inflight_requests_gauge_->sub(1);
-        complete(id, serializeResponse(response, keep_alive),
-                 keep_alive);
+        std::string bytes = serializeResponse(response, keep_alive);
+        bool alive = keep_alive;
+        if (fault.drop) {
+            // Simulate a mid-body reset: at most drop_after_bytes of
+            // the response reach the wire, then the connection dies
+            // (zero bytes = dropped without answering at all).
+            bytes.resize(
+                std::min(bytes.size(), fault.drop_after_bytes));
+            alive = false;
+        }
+        complete(id, std::move(bytes), alive);
     };
     if (options_.executor)
         options_.executor(std::move(task));
@@ -395,6 +501,14 @@ HttpServer::drainCompletions()
         if (conn->defunct)
             continue;
         conn->in_flight = false;
+        if (completion.bytes.empty() && !completion.keep_alive) {
+            // A fault-injected "drop without answering": flushConn
+            // treats an empty buffer as nothing-pending, so close
+            // directly.
+            closeConn(conn);
+            reap(completion.conn_id);
+            continue;
+        }
         conn->out_buf = std::move(completion.bytes);
         conn->out_off = 0;
         conn->close_after_write = !completion.keep_alive;

@@ -31,6 +31,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "net/fault_injection.h"
 #include "net/http.h"
 #include "net/socket.h"
 #include "util/metrics.h"
@@ -81,6 +82,14 @@ class HttpServer
 
         /** Registry receiving server metrics; null = the global one. */
         util::MetricRegistry *metrics = nullptr;
+
+        /**
+         * Optional fault-injection layer (tests only).  Consulted per
+         * request with the request target as the decision key; can
+         * delay the handler, force an error status, or truncate/drop
+         * the response mid-body.  Must outlive the server.
+         */
+        FaultInjector *fault_injector = nullptr;
     };
 
     HttpServer(Options options, Handler handler);
@@ -103,6 +112,25 @@ class HttpServer
      * Idempotent.
      */
     void stop();
+
+    /**
+     * Stops accepting new connections (the listener leaves the epoll
+     * set) while existing connections keep being served.  Idempotent;
+     * drain() implies it.
+     */
+    void beginDrain();
+
+    /**
+     * Graceful shutdown: stops accepting, waits up to `deadline_ms`
+     * for every in-flight request to finish and flush, then stop()s.
+     * Returns true when the server went idle before the deadline
+     * (false = the deadline cut connections off mid-work).  Records
+     * the drain duration on vtrain_http_drain_seconds.
+     */
+    bool drain(int deadline_ms);
+
+    /** Whether beginDrain()/drain() has been requested. */
+    bool draining() const { return draining_.load(); }
 
     bool running() const { return running_.load(); }
 
@@ -138,6 +166,8 @@ class HttpServer
     };
 
     void runLoop();
+    /** While draining: stops the listener, flags loop idleness. */
+    void checkDrainIdle() EXCLUDES(completions_mutex_, inflight_mutex_);
     void acceptPending();
     void handleConnEvent(Conn *conn, uint32_t events);
     void readFromConn(Conn *conn);
@@ -168,6 +198,9 @@ class HttpServer
     std::thread loop_;
     std::atomic<bool> running_{false};
     std::atomic<bool> stop_requested_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> drain_idle_{false};
+    bool listener_removed_ = false; //!< loop-thread state
 
     // Loop-thread state: connection table keyed by id (epoll events
     // carry the id, so a completion for a dead connection is dropped
@@ -202,6 +235,7 @@ class HttpServer
     util::Counter *bytes_written_total_ = nullptr;
     util::Gauge *connections_open_gauge_ = nullptr;
     util::Gauge *inflight_requests_gauge_ = nullptr;
+    util::Histogram *drain_seconds_ = nullptr;
 };
 
 } // namespace net

@@ -47,7 +47,27 @@ serverOptions(const HttpFrontend::Options &options,
         service.pool().submit(std::move(task));
     };
     server.route_label = routeLabel;
+    server.fault_injector = options.fault_injector;
     return server;
+}
+
+AdmissionController::Options
+admissionOptions(const HttpFrontend::Options &options)
+{
+    AdmissionController::Options admission;
+    admission.tenants = options.tenants;
+    admission.max_global_inflight = options.max_global_inflight;
+    return admission;
+}
+
+/** Absolute deadline instant for a wire deadline_ms (0 = none). */
+uint64_t
+absoluteDeadline(int64_t deadline_ms)
+{
+    if (deadline_ms < 0)
+        return 0;
+    return util::monotonicNanos() +
+           static_cast<uint64_t>(deadline_ms) * 1000000ull;
 }
 
 /** The `key=value` query parameter, or `fallback` when absent/bad. */
@@ -90,6 +110,7 @@ jsonResponse(std::string body)
 
 HttpFrontend::HttpFrontend(SimService &service, Options options)
     : service_(service), coordinator_(options.coordinator),
+      admission_(admissionOptions(options)),
       server_(serverOptions(options, service),
               [this](const HttpRequest &request) {
                   return handle(request);
@@ -120,6 +141,7 @@ HttpFrontend::stats() const
         sweep_requests_.load(std::memory_order_relaxed);
     stats.sweep_server.plans =
         sweep_plans_.load(std::memory_order_relaxed);
+    stats.tenants = admission_.stats();
     return stats;
 }
 
@@ -147,25 +169,53 @@ HttpFrontend::handle(const HttpRequest &request)
             return wire::v1::errorResponse(405, "use GET /tracez");
         return handleTracez(request);
     }
-    if (path == "/v1/evaluate") {
-        if (request.method != "POST")
-            return wire::v1::errorResponse(405,
-                                           "use POST /v1/evaluate");
-        return handleEvaluate(request);
+    const bool is_v1 = path == "/v1/evaluate" ||
+                       path == "/v1/evaluate_batch" ||
+                       path == "/v1/sweep";
+    if (!is_v1)
+        return wire::v1::errorResponse(
+            404, "no route for '" + std::string(path) + "'");
+    if (request.method != "POST")
+        return wire::v1::errorResponse(
+            405, "use POST " + std::string(path));
+
+    // Overload safety happens before any decode or compute.  A
+    // draining node turns every /v1 request away (the ring and load
+    // balancers should already have failed over via /healthz); an
+    // admitted request holds its tenant's inflight slot until the
+    // response below is built.
+    if (server_.draining()) {
+        HttpResponse response = wire::v1::errorResponse(
+            503, "server is draining; retry against another replica");
+        response.headers.push_back({"Retry-After", "1"});
+        return response;
     }
-    if (path == "/v1/evaluate_batch") {
-        if (request.method != "POST")
-            return wire::v1::errorResponse(
-                405, "use POST /v1/evaluate_batch");
-        return handleEvaluateBatch(request);
+    AdmissionDecision decision =
+        admission_.admit(request.findHeader("X-Api-Key"));
+    if (decision.unknown_key)
+        return wire::v1::errorResponse(401, "unknown API key");
+    if (!decision.admitted) {
+        HttpResponse response = wire::v1::errorResponse(
+            429, "tenant '" + decision.tenant + "' over its " +
+                     decision.reason + " limit; retry after " +
+                     std::to_string(decision.retry_after_s) + "s");
+        response.headers.push_back(
+            {"Retry-After", std::to_string(decision.retry_after_s)});
+        return response;
     }
-    if (path == "/v1/sweep") {
-        if (request.method != "POST")
-            return wire::v1::errorResponse(405, "use POST /v1/sweep");
+
+    try {
+        if (path == "/v1/evaluate")
+            return handleEvaluate(request);
+        if (path == "/v1/evaluate_batch")
+            return handleEvaluateBatch(request);
         return handleSweep(request);
+    } catch (const DeadlineExceeded &expired) {
+        // Admitted but out of budget before (or while) computing:
+        // counted per tenant as expired, a sub-outcome of admitted.
+        admission_.recordExpired(decision.tenant_index);
+        return wire::v1::errorResponse(504, expired.what());
     }
-    return wire::v1::errorResponse(404, "no route for '" +
-                                            std::string(path) + "'");
 }
 
 HttpResponse
@@ -173,9 +223,11 @@ HttpFrontend::handleEvaluate(const HttpRequest &request)
 {
     SimRequest sim_request;
     bool want_trace = false;
+    int64_t deadline_ms = -1;
     HttpResponse error_response;
     if (!wire::v1::decodeEvaluateRequest(request.body, &sim_request,
-                                         &want_trace, &error_response))
+                                         &want_trace, &deadline_ms,
+                                         &error_response))
         return error_response;
     std::string why;
     if (!sim_request.valid(&why))
@@ -185,7 +237,8 @@ HttpFrontend::handleEvaluate(const HttpRequest &request)
     // in the global ring so /tracez can answer "what did the slow
     // ones do" after the fact.
     util::TraceCapture capture("POST /v1/evaluate");
-    const SimulationResult result = service_.evaluate(sim_request);
+    const SimulationResult result =
+        service_.evaluate(sim_request, absoluteDeadline(deadline_ms));
     util::Trace trace = capture.finish();
 
     std::string body = wire::v1::encodeEvaluateResponse(
@@ -198,8 +251,10 @@ HttpResponse
 HttpFrontend::handleEvaluateBatch(const HttpRequest &request)
 {
     std::vector<SimRequest> batch;
+    int64_t deadline_ms = -1;
     HttpResponse error_response;
     if (!wire::v1::decodeEvaluateBatchRequest(request.body, &batch,
+                                              &deadline_ms,
                                               &error_response))
         return error_response;
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -217,7 +272,8 @@ HttpFrontend::handleEvaluateBatch(const HttpRequest &request)
     // identical requests from other connections still collapse.
     util::TraceCapture capture("POST /v1/evaluate_batch");
     std::vector<SimulationResult> answers =
-        service_.evaluateBatchInline(batch);
+        service_.evaluateBatchInline(batch,
+                                     absoluteDeadline(deadline_ms));
     util::TraceRing::global().push(capture.finish());
     return jsonResponse(wire::v1::encodeEvaluateBatchResponse(answers));
 }
@@ -255,16 +311,22 @@ HttpFrontend::handleSweep(const HttpRequest &request)
     sweep_requests_.fetch_add(1, std::memory_order_relaxed);
     sweep_plans_.fetch_add(plans.size(), std::memory_order_relaxed);
 
+    const uint64_t deadline_ns =
+        absoluteDeadline(sweep_request.deadline_ms);
     std::vector<ExploreResult> results(plans.size());
     if (coordinator_ != nullptr) {
         // Coordinator node: partition across the shard fleet and
         // merge.  A sweep the fleet cannot finish (every shard dead,
         // malformed shard response) surfaces as a 502 so the caller
-        // can tell infrastructure failure from a bad request.
+        // can tell infrastructure failure from a bad request; an
+        // expired deadline propagates to handle()'s 504 path.
         try {
             results = coordinator_->sweep(sweep_request.model,
                                           sweep_request.cluster,
-                                          sweep_request.options, plans);
+                                          sweep_request.options, plans,
+                                          deadline_ns);
+        } catch (const DeadlineExceeded &) {
+            throw;
         } catch (const std::exception &failure) {
             return wire::v1::errorResponse(502, failure.what());
         }
@@ -273,7 +335,7 @@ HttpFrontend::handleSweep(const HttpRequest &request)
         // pool-blocking reason as handleEvaluateBatch above.
         util::TraceCapture capture("POST /v1/sweep");
         std::vector<SimulationResult> sims =
-            service_.evaluateBatchInline(batch);
+            service_.evaluateBatchInline(batch, deadline_ns);
         util::TraceRing::global().push(capture.finish());
         for (size_t i = 0; i < plans.size(); ++i) {
             results[i].plan = plans[i];
@@ -286,7 +348,12 @@ HttpFrontend::handleSweep(const HttpRequest &request)
 HttpResponse
 HttpFrontend::handleHealthz() const
 {
-    return jsonResponse(wire::healthzBody(service_.numThreads()));
+    // While draining the body says "draining" and the status goes
+    // 503, so probes and the sweep ring stop routing here before the
+    // listener goes away (the response builder lives in wire.cc so
+    // the status and body cannot drift apart).
+    return wire::healthzResponse(service_.numThreads(),
+                                 server_.draining());
 }
 
 HttpResponse
@@ -303,6 +370,7 @@ HttpFrontend::handleStatz() const
         coordinator_stats = coordinator_->stats();
         info.coordinator = &coordinator_stats;
     }
+    info.tenants = &stats.tenants;
     return jsonResponse(wire::statzBody(info));
 }
 

@@ -35,6 +35,23 @@
  * payloads are answered with the shared structured error envelope
  * ({"error":{code,status,message}}), well-formed but invalid plans
  * with 422, and unknown routes with 404.
+ *
+ * The /v1 endpoints are overload-safe:
+ *
+ *   - every /v1 request passes admission control first (X-Api-Key ->
+ *     tenant, token-bucket rate + inflight quotas, global cap; see
+ *     serve/admission.h).  Shed work gets a structured 429 with a
+ *     Retry-After header — never a silent hang — and unknown API keys
+ *     get 401.  The admin endpoints skip admission so operators can
+ *     still observe an overloaded node;
+ *   - an optional `"deadline_ms"` budget on the request body is
+ *     carried into SimService (and, on coordinator nodes, re-encoded
+ *     per shard slice); work whose budget expires is shed with 504
+ *     and counted per tenant;
+ *   - drain() stops accepting, finishes in-flight work up to a
+ *     bounded deadline and flips /healthz to 503 "draining", so load
+ *     balancers and the sweep ring fail over before the listener
+ *     disappears.
  */
 #ifndef VTRAIN_SERVE_HTTP_FRONTEND_H
 #define VTRAIN_SERVE_HTTP_FRONTEND_H
@@ -42,8 +59,10 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/server.h"
+#include "serve/admission.h"
 #include "serve/sim_service.h"
 #include "serve/wire.h"
 
@@ -54,6 +73,7 @@ struct HttpFrontendStats {
     ServiceStats service;
     net::HttpServerStats http;
     wire::SweepServerStats sweep_server;
+    std::vector<AdmissionController::TenantStats> tenants;
 };
 
 /** Serves a SimService over HTTP; one instance per listening port. */
@@ -76,6 +96,23 @@ class HttpFrontend
          * frontend does not take ownership.
          */
         SweepCoordinator *coordinator = nullptr;
+
+        /**
+         * Tenant identities and quotas for /v1 admission control.
+         * The default (no keys, unlimited default tenant) admits
+         * everything, so existing callers see no change.
+         */
+        TenantTable tenants;
+
+        /** Requests in flight across all tenants (0 = unlimited). */
+        uint64_t max_global_inflight = 0;
+
+        /**
+         * Optional deterministic fault injection on the server side
+         * (tests only); forwarded to the HTTP server.  Must outlive
+         * the frontend.
+         */
+        net::FaultInjector *fault_injector = nullptr;
     };
 
     /** The service must outlive the frontend. */
@@ -98,6 +135,16 @@ class HttpFrontend
 
     /** Drains in-flight requests and stops serving (idempotent). */
     void stop() { server_.stop(); }
+
+    /**
+     * Graceful shutdown: stop accepting, flip /healthz to draining,
+     * finish in-flight requests for up to `deadline_ms`, then stop.
+     * Returns true when everything in flight completed in time.
+     */
+    bool drain(int deadline_ms) { return server_.drain(deadline_ms); }
+
+    /** True between beginDrain()/drain() and the final stop. */
+    bool draining() const { return server_.draining(); }
 
     bool running() const { return server_.running(); }
 
@@ -122,6 +169,7 @@ class HttpFrontend
 
     SimService &service_;
     SweepCoordinator *coordinator_;
+    AdmissionController admission_;
     std::atomic<uint64_t> sweep_requests_{0};
     std::atomic<uint64_t> sweep_plans_{0};
     net::HttpServer server_;

@@ -109,8 +109,20 @@ SimService::publishFailure(
     promise->set_exception(std::current_exception());
 }
 
+void
+SimService::failDeadline(
+    uint64_t fp,
+    const std::shared_ptr<std::promise<SimulationResult>> &promise)
+{
+    try {
+        throw DeadlineExceeded();
+    } catch (...) {
+        publishFailure(fp, promise);
+    }
+}
+
 SimulationResult
-SimService::evaluate(const SimRequest &request)
+SimService::evaluate(const SimRequest &request, uint64_t deadline_ns)
 {
     const uint64_t start_ns = util::monotonicNanos();
     const auto elapsed = [start_ns] {
@@ -121,7 +133,13 @@ SimService::evaluate(const SimRequest &request)
         util::MutexLock lock(stats_mutex_);
         ++requests_;
     }
+    const auto expired = [deadline_ns] {
+        return deadline_ns != 0 &&
+               util::monotonicNanos() >= deadline_ns;
+    };
     if (!request.cacheable()) {
+        if (expired())
+            throw DeadlineExceeded();
         const SimulationResult result = compute(request);
         {
             util::MutexLock lock(stats_mutex_);
@@ -154,6 +172,12 @@ SimService::evaluate(const SimRequest &request)
 
     // Compute on the calling thread: the synchronous path pays no
     // queueing latency and cannot deadlock a saturated pool.
+    if (expired()) {
+        // The fingerprint was claimed above; joiners must see the
+        // failure too, not hang on an abandoned promise.
+        failDeadline(fp, promise);
+        throw DeadlineExceeded();
+    }
     SimulationResult result;
     try {
         result = compute(request);
@@ -237,21 +261,29 @@ SimService::evaluateAsyncWithFp(const SimRequest &request, uint64_t fp)
 }
 
 std::vector<SimulationResult>
-SimService::evaluateBatch(const std::vector<SimRequest> &requests)
+SimService::evaluateBatch(const std::vector<SimRequest> &requests,
+                          uint64_t deadline_ns)
 {
-    return evaluateBatchImpl(requests, /*inline_compute=*/false);
+    return evaluateBatchImpl(requests, /*inline_compute=*/false,
+                             deadline_ns);
 }
 
 std::vector<SimulationResult>
-SimService::evaluateBatchInline(const std::vector<SimRequest> &requests)
+SimService::evaluateBatchInline(const std::vector<SimRequest> &requests,
+                                uint64_t deadline_ns)
 {
-    return evaluateBatchImpl(requests, /*inline_compute=*/true);
+    return evaluateBatchImpl(requests, /*inline_compute=*/true,
+                             deadline_ns);
 }
 
 std::vector<SimulationResult>
 SimService::evaluateBatchImpl(const std::vector<SimRequest> &requests,
-                              bool inline_compute)
+                              bool inline_compute, uint64_t deadline_ns)
 {
+    // Expired before anything was claimed: shed the whole batch up
+    // front rather than simulating answers nobody is waiting for.
+    if (deadline_ns != 0 && util::monotonicNanos() >= deadline_ns)
+        throw DeadlineExceeded();
     // Collapse duplicates up front so each distinct point is claimed
     // (and simulated) once, then fan the shared answers back out in
     // request order.  Distinct points this thread claims are grouped
@@ -328,6 +360,9 @@ SimService::evaluateBatchImpl(const std::vector<SimRequest> &requests,
         if (inline_compute) {
             std::promise<SimulationResult> ready;
             try {
+                if (deadline_ns != 0 &&
+                    util::monotonicNanos() >= deadline_ns)
+                    throw DeadlineExceeded();
                 const SimulationResult result = compute(request);
                 {
                     util::MutexLock lock(stats_mutex_);
@@ -364,7 +399,21 @@ SimService::evaluateBatchImpl(const std::vector<SimRequest> &requests,
     // degrade to per-member computation when members turn out not to
     // share (model, cluster, options) after all (a group-key
     // collision) or the batched call throws.
-    const auto run_group = [this](std::vector<Claimed> members) {
+    const auto run_group = [this,
+                            deadline_ns](std::vector<Claimed> members) {
+        const auto expired = [deadline_ns] {
+            return deadline_ns != 0 &&
+                   util::monotonicNanos() >= deadline_ns;
+        };
+        // The deadline expired while this unit sat queued (or while
+        // earlier inline units computed): shed every member instead
+        // of computing answers the caller gave up on.  The promises
+        // were claimed, so they must be failed, never abandoned.
+        if (expired()) {
+            for (const Claimed &member : members)
+                failDeadline(member.fp, member.promise);
+            return;
+        }
         bool batched = false;
         if (members.size() > 1 && !options_.evaluator) {
             const SimRequest &head = members.front().request;
@@ -415,6 +464,10 @@ SimService::evaluateBatchImpl(const std::vector<SimRequest> &requests,
         if (batched)
             return;
         for (const Claimed &member : members) {
+            if (expired()) {
+                failDeadline(member.fp, member.promise);
+                continue;
+            }
             try {
                 const SimulationResult result =
                     compute(member.request);

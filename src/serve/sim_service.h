@@ -29,6 +29,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +63,19 @@ struct ServiceStats {
      *  fallback, and how many sweep points went through the batched
      *  replay (see sim/engine.h). */
     EngineStats engine;
+};
+
+/**
+ * Thrown when a request's deadline budget expires before or during
+ * compute (the caller gave up; stop burning the pool).  The HTTP
+ * frontend maps it to a 504 error envelope and counts it per tenant.
+ */
+struct DeadlineExceeded : public std::runtime_error {
+    DeadlineExceeded()
+        : std::runtime_error(
+              "deadline expired before the computation finished")
+    {
+    }
 };
 
 /** Thread-safe, memoizing façade over the vTrain simulator. */
@@ -99,8 +113,15 @@ class SimService
      * simulating; a request identical to one already in flight waits
      * for that computation; everything else simulates on the calling
      * thread (no pool hop on the latency path).
+     *
+     * `deadline_ns` (here and on the batch entry points) is an
+     * absolute util::monotonicNanos() instant, 0 = none; once passed,
+     * work not yet started is shed with DeadlineExceeded instead of
+     * computing (cache hits still return normally — they cost
+     * nothing).
      */
-    SimulationResult evaluate(const SimRequest &request);
+    SimulationResult evaluate(const SimRequest &request,
+                              uint64_t deadline_ns = 0);
 
     /**
      * Submits one request to the worker pool and returns a shared
@@ -120,7 +141,8 @@ class SimService
      * simulations; remaining requests run concurrently on the pool.
      */
     std::vector<SimulationResult>
-    evaluateBatch(const std::vector<SimRequest> &requests);
+    evaluateBatch(const std::vector<SimRequest> &requests,
+                  uint64_t deadline_ns = 0);
 
     /**
      * evaluateBatch() computing on the calling thread instead of the
@@ -129,7 +151,8 @@ class SimService
      * where blocking on work queued to the same pool could deadlock.
      */
     std::vector<SimulationResult>
-    evaluateBatchInline(const std::vector<SimRequest> &requests);
+    evaluateBatchInline(const std::vector<SimRequest> &requests,
+                        uint64_t deadline_ns = 0);
 
     ResultCache &cache() { return cache_; }
     const ResultCache &cache() const { return cache_; }
@@ -192,7 +215,13 @@ class SimService
     /** Shared body of evaluateBatch / evaluateBatchInline. */
     std::vector<SimulationResult>
     evaluateBatchImpl(const std::vector<SimRequest> &requests,
-                      bool inline_compute);
+                      bool inline_compute, uint64_t deadline_ns);
+
+    /** Fails a claimed promise with DeadlineExceeded. */
+    void failDeadline(
+        uint64_t fp,
+        const std::shared_ptr<std::promise<SimulationResult>> &promise)
+        EXCLUDES(inflight_mutex_);
 
     Options options_;
     ResultCache cache_;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <unordered_set>
 #include <utility>
 
+#include "serve/sim_service.h"
 #include "serve/wire.h"
 #include "sim/simulator.h"
 #include "util/hash.h"
@@ -54,6 +56,7 @@ SweepCoordinator::SweepCoordinator(Options options)
         client.limits = options_.limits;
         client.connect_timeout_ms = options_.connect_timeout_ms;
         client.request_timeout_ms = options_.request_timeout_ms;
+        client.fault_injector = options_.fault_injector;
         shards_.push_back(std::make_unique<Shard>(std::move(client)));
 
         for (int replica = 0; replica < options_.virtual_nodes;
@@ -123,7 +126,8 @@ std::vector<ExploreResult>
 SweepCoordinator::sweep(const ModelConfig &model,
                         const ClusterSpec &cluster,
                         const SimOptions &options,
-                        const std::vector<ParallelConfig> &plans)
+                        const std::vector<ParallelConfig> &plans,
+                        uint64_t deadline_ns)
 {
     VTRAIN_REQUIRE(options.perturber == nullptr,
                    "sweeps carrying a perturber are process-local and "
@@ -151,6 +155,8 @@ SweepCoordinator::sweep(const ModelConfig &model,
         pending[i] = i;
 
     while (!pending.empty()) {
+        if (deadline_ns != 0 && util::monotonicNanos() >= deadline_ns)
+            throw DeadlineExceeded();
         std::vector<std::vector<size_t>> slices(shards_.size());
         for (const size_t i : pending) {
             const size_t shard = shardForKey(keys[i], dead);
@@ -173,10 +179,11 @@ SweepCoordinator::sweep(const ModelConfig &model,
         for (size_t shard = 0; shard < shards_.size(); ++shard) {
             if (slices[shard].empty())
                 continue;
-            workers.emplace_back([this, shard, &slices, &requests,
-                                  &results, &reports] {
+            workers.emplace_back([this, shard, deadline_ns, &slices,
+                                  &requests, &results, &reports] {
                 reports[shard].outcome =
-                    runSlice(shard, slices[shard], requests, &results,
+                    runSlice(shard, slices[shard], requests,
+                             deadline_ns, &results,
                              &reports[shard].error);
             });
         }
@@ -195,6 +202,8 @@ SweepCoordinator::sweep(const ModelConfig &model,
                     "distributed sweep failed on shard " +
                     endpoints_[shard].label() + ": " +
                     reports[shard].error);
+              case SliceOutcome::Expired:
+                throw DeadlineExceeded();
               case SliceOutcome::ShardDown: {
                 // Deterministic failover: mark the shard dead and let
                 // the ring route its plans to the next alive node.
@@ -224,21 +233,24 @@ std::vector<ExploreResult>
 SweepCoordinator::sweep(const ModelConfig &model,
                         const ClusterSpec &cluster,
                         const SimOptions &options,
-                        const SweepSpec &spec)
+                        const SweepSpec &spec, uint64_t deadline_ns)
 {
     return sweep(model, cluster, options,
-                 enumeratePlans(model, cluster, spec));
+                 enumeratePlans(model, cluster, spec), deadline_ns);
 }
 
 SweepCoordinator::SliceOutcome
 SweepCoordinator::runSlice(size_t shard_index,
                            const std::vector<size_t> &indices,
                            const std::vector<SimRequest> &requests,
+                           uint64_t deadline_ns,
                            std::vector<ExploreResult> *results,
                            std::string *error)
 {
     // One slice = one /v1/sweep body: the shared triple plus this
-    // shard's plans, in merge order.
+    // shard's plans, in merge order.  The body is re-encoded per
+    // attempt because the wire deadline_ms carries the *remaining*
+    // budget, which shrinks across retries.
     wire::v1::SweepRequest sweep_request;
     const SimRequest &first = requests[indices.front()];
     sweep_request.model = first.model;
@@ -247,10 +259,10 @@ SweepCoordinator::runSlice(size_t shard_index,
     sweep_request.plans.reserve(indices.size());
     for (const size_t i : indices)
         sweep_request.plans.push_back(requests[i].parallel);
-    const std::string body = wire::v1::encode(sweep_request).dump();
 
     Shard &shard = *shards_[shard_index];
     double backoff_ms = options_.backoff_initial_ms;
+    int64_t retry_after_hint_ms = -1;
     for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
         if (attempt > 1) {
             retries_total_[shard_index]->inc();
@@ -258,12 +270,52 @@ SweepCoordinator::runSlice(size_t shard_index,
                 util::MutexLock lock(stats_mutex_);
                 ++counters_[shard_index].retries;
             }
-            if (backoff_ms >= 1.0)
+            // The shard's own Retry-After hint stretches (never
+            // shrinks) the exponential schedule; the growth cap stays
+            // whatever the exponential series dictates.
+            double sleep_ms = backoff_ms;
+            if (retry_after_hint_ms > static_cast<int64_t>(sleep_ms))
+                sleep_ms = static_cast<double>(retry_after_hint_ms);
+            retry_after_hint_ms = -1;
+            if (deadline_ns != 0) {
+                const uint64_t now_ns = util::monotonicNanos();
+                if (now_ns >= deadline_ns) {
+                    *error = "sweep deadline expired during backoff";
+                    util::MutexLock lock(stats_mutex_);
+                    ++counters_[shard_index].failures;
+                    return SliceOutcome::Expired;
+                }
+                const double remaining_ms = static_cast<double>(
+                    (deadline_ns - now_ns) / 1000000ull);
+                sleep_ms = std::min(sleep_ms, remaining_ms);
+            }
+            if (sleep_ms >= 1.0)
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(
-                        static_cast<int64_t>(backoff_ms)));
+                        static_cast<int64_t>(sleep_ms)));
             backoff_ms *= options_.backoff_multiplier;
         }
+
+        int request_timeout_ms = -1; // -1 = client default
+        if (deadline_ns != 0) {
+            const uint64_t now_ns = util::monotonicNanos();
+            if (now_ns >= deadline_ns) {
+                *error = "sweep deadline expired";
+                util::MutexLock lock(stats_mutex_);
+                ++counters_[shard_index].failures;
+                return SliceOutcome::Expired;
+            }
+            const int64_t remaining_ms = static_cast<int64_t>(
+                (deadline_ns - now_ns + 999999ull) / 1000000ull);
+            sweep_request.deadline_ms = remaining_ms;
+            request_timeout_ms = static_cast<int>(std::min(
+                remaining_ms,
+                static_cast<int64_t>(
+                    std::numeric_limits<int>::max())));
+        }
+        const std::string body =
+            wire::v1::encode(sweep_request).dump();
+
         requests_total_[shard_index]->inc();
         {
             util::MutexLock lock(stats_mutex_);
@@ -277,7 +329,8 @@ SweepCoordinator::runSlice(size_t shard_index,
         {
             util::MutexLock lock(shard.mutex);
             transferred = shard.client.request(
-                "POST", "/v1/sweep", body, &response, &client_error);
+                "POST", "/v1/sweep", body, &response, &client_error,
+                request_timeout_ms);
         }
         request_seconds_[shard_index]->record(
             std::chrono::duration<double>(
@@ -337,9 +390,17 @@ SweepCoordinator::runSlice(size_t shard_index,
         }
         *error = "shard answered HTTP " +
                  std::to_string(response.status);
-        if (response.status == 502 || response.status == 503 ||
-            response.status == 504)
-            continue; // transient per RFC 9110 §15.6; retry w/ backoff
+        if (response.status == 429 || response.status == 502 ||
+            response.status == 503 || response.status == 504) {
+            // Transient (RFC 9110 §15.6 / a shard shedding load):
+            // retry with backoff, honoring any Retry-After seconds
+            // the shard attached.
+            const int hint_s = net::retryAfterSeconds(response);
+            if (hint_s >= 0)
+                retry_after_hint_ms =
+                    static_cast<int64_t>(hint_s) * 1000;
+            continue;
+        }
         // Any other status is a request the shard understood and
         // rejected (bad wire payload, invalid plan): re-sending or
         // re-routing the same bytes cannot succeed.

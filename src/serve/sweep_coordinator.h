@@ -13,9 +13,12 @@
  * keep-alive connections (one per shard) and the answers are merged
  * back into request order.
  *
- * Failure handling is deterministic: transient failures (HTTP 502/503/
- * 504, timeouts, connections the peer closed) are retried against the
- * same shard with bounded exponential backoff; a shard that stays down
+ * Failure handling is deterministic: transient failures (HTTP 429/502/
+ * 503/504, timeouts, connections the peer closed) are retried against
+ * the same shard with bounded exponential backoff — a Retry-After
+ * header on the rejection stretches (never shrinks) the next backoff
+ * sleep, so an overloaded or draining shard's own hint wins over the
+ * blind exponential schedule; a shard that stays down
  * (connection refused, retries exhausted) is marked dead for the rest
  * of the sweep and its plans are re-routed to the next alive node on
  * the hash ring.  Re-execution is safe because shard evaluation is
@@ -109,6 +112,14 @@ class SweepCoordinator
         int virtual_nodes = 64;
 
         net::HttpLimits limits;
+
+        /**
+         * Optional fault-injection layer forwarded to every shard
+         * client (tests only); rules can target one shard via its
+         * "host:port" in the decision key.  Must outlive the
+         * coordinator.
+         */
+        net::FaultInjector *fault_injector = nullptr;
     };
 
     explicit SweepCoordinator(Options options);
@@ -124,17 +135,25 @@ class SweepCoordinator
      * host computed it).  Throws std::runtime_error when every shard
      * is dead or a shard answers with a malformed/incompatible
      * payload.
+     *
+     * `deadline_ns` is an absolute util::monotonicNanos() instant
+     * (0 = none): each slice carries the remaining budget to its
+     * shard as the wire `deadline_ms` and bounds the HTTP request by
+     * it; once it passes, sweep() throws DeadlineExceeded instead of
+     * dispatching further work.
      */
     std::vector<ExploreResult>
     sweep(const ModelConfig &model, const ClusterSpec &cluster,
           const SimOptions &options,
-          const std::vector<ParallelConfig> &plans);
+          const std::vector<ParallelConfig> &plans,
+          uint64_t deadline_ns = 0);
 
     /** Convenience: enumerate via explore/design_space, then sweep. */
     std::vector<ExploreResult> sweep(const ModelConfig &model,
                                      const ClusterSpec &cluster,
                                      const SimOptions &options,
-                                     const SweepSpec &spec);
+                                     const SweepSpec &spec,
+                                     uint64_t deadline_ns = 0);
 
     size_t numShards() const { return shards_.size(); }
 
@@ -184,7 +203,9 @@ class SweepCoordinator
     enum class SliceOutcome {
         Done,      //!< all results merged
         ShardDown, //!< transient failures exhausted / connect refused
-        Fatal      //!< protocol or schema error; abort the sweep
+        Fatal,     //!< protocol or schema error; abort the sweep
+        Expired    //!< the sweep deadline passed; abort with
+                   //!< DeadlineExceeded
     };
 
     /**
@@ -195,6 +216,7 @@ class SweepCoordinator
     SliceOutcome runSlice(size_t shard_index,
                           const std::vector<size_t> &indices,
                           const std::vector<SimRequest> &requests,
+                          uint64_t deadline_ns,
                           std::vector<ExploreResult> *results,
                           std::string *error)
         EXCLUDES(stats_mutex_);

@@ -753,6 +753,8 @@ encode(const SweepRequest &request)
             plans.push(parallelToJson(plan));
         v.set("plans", std::move(plans));
     }
+    if (request.deadline_ms >= 0)
+        v.set("deadline_ms", request.deadline_ms);
     return v;
 }
 
@@ -764,7 +766,7 @@ decode(const json::Value &root, SweepRequest *out, std::string *error)
                            "sweep request is not an object");
     if (!onlyKnownKeys(root,
                        {"version", "model", "cluster", "options",
-                        "plans", "spec"},
+                        "plans", "spec", "deadline_ms"},
                        "sweep request", error))
         return false;
     if (!checkVersion(root, error))
@@ -806,6 +808,13 @@ decode(const json::Value &root, SweepRequest *out, std::string *error)
         request.use_spec = true;
         if (!decode(*spec, &request.spec, error))
             return false;
+    }
+    const Value *deadline = root.find("deadline_ms");
+    if (deadline) {
+        if (!deadline->isNumber() || deadline->asInt64() < 0)
+            return decodeError(error, "'deadline_ms' must be a "
+                                      "non-negative integer");
+        request.deadline_ms = deadline->asInt64();
     }
     *out = std::move(request);
     return true;
@@ -890,9 +899,36 @@ parseEnvelope(std::string_view body, json::Value *root,
     return true;
 }
 
+namespace {
+
+/**
+ * Reads the optional top-level "deadline_ms" budget (-1 when absent).
+ * Returns false with *error_response set when the field is present
+ * but not a non-negative integer.
+ */
+bool
+readDeadlineMs(const Value &root, int64_t *deadline_ms,
+               net::HttpResponse *error_response)
+{
+    *deadline_ms = -1;
+    const Value *deadline = root.find("deadline_ms");
+    if (!deadline)
+        return true;
+    if (!deadline->isNumber() || deadline->asInt64() < 0) {
+        *error_response = errorResponse(
+            400, "bad request payload: 'deadline_ms' must be a "
+                 "non-negative integer");
+        return false;
+    }
+    *deadline_ms = deadline->asInt64();
+    return true;
+}
+
+} // namespace
+
 bool
 decodeEvaluateRequest(std::string_view body, SimRequest *out,
-                      bool *want_trace,
+                      bool *want_trace, int64_t *deadline_ms,
                       net::HttpResponse *error_response)
 {
     json::Value root;
@@ -903,6 +939,8 @@ decodeEvaluateRequest(std::string_view body, SimRequest *out,
     const Value *trace_flag = root.find("trace");
     *want_trace =
         trace_flag && trace_flag->isBool() && trace_flag->asBool();
+    if (!readDeadlineMs(root, deadline_ms, error_response))
+        return false;
     std::string error;
     if (!decode(root, out, &error)) {
         *error_response =
@@ -925,10 +963,13 @@ encodeEvaluateResponse(const SimulationResult &result,
 bool
 decodeEvaluateBatchRequest(std::string_view body,
                            std::vector<SimRequest> *out,
+                           int64_t *deadline_ms,
                            net::HttpResponse *error_response)
 {
     json::Value root;
     if (!parseEnvelope(body, &root, error_response))
+        return false;
+    if (!readDeadlineMs(root, deadline_ms, error_response))
         return false;
     const Value *requests = root.find("requests");
     if (!requests || !requests->isArray()) {
@@ -1091,21 +1132,57 @@ statzBody(const StatzInfo &info)
     body.set("latency", std::move(latency));
     body.set("threads", static_cast<int64_t>(info.threads));
     body.set("sweep", std::move(sweep));
+
+    // The admission view: one object per tenant, keyed by name, so a
+    // scrape can verify admitted + shed.* accounts for every /v1
+    // request (expired is a sub-outcome of admitted, not a third
+    // partition).
+    if (info.tenants) {
+        Value tenants = Value::object();
+        for (const AdmissionController::TenantStats &t :
+             *info.tenants) {
+            Value row = Value::object();
+            row.set("admitted", static_cast<int64_t>(t.admitted));
+            Value shed = Value::object();
+            shed.set("rate", static_cast<int64_t>(t.shed_rate));
+            shed.set("inflight",
+                     static_cast<int64_t>(t.shed_inflight));
+            shed.set("queue", static_cast<int64_t>(t.shed_queue));
+            shed.set("auth", static_cast<int64_t>(t.shed_auth));
+            row.set("shed", std::move(shed));
+            row.set("expired", static_cast<int64_t>(t.expired));
+            row.set("inflight", static_cast<int64_t>(t.inflight));
+            tenants.set(t.tenant, std::move(row));
+        }
+        body.set("tenants", std::move(tenants));
+    }
     return body.dump();
 }
 
 std::string
-healthzBody(size_t threads)
+healthzBody(size_t threads, bool draining)
 {
     const util::BuildInfo &build = util::buildInfo();
     Value body = Value::object();
-    body.set("status", "ok");
+    body.set("status", draining ? "draining" : "ok");
     body.set("threads", static_cast<int64_t>(threads));
     body.set("uptime_s", util::processUptimeSeconds());
     body.set("version", build.version);
     body.set("git_describe", build.git_describe);
     body.set("build_type", build.build_type);
     return body.dump();
+}
+
+net::HttpResponse
+healthzResponse(size_t threads, bool draining)
+{
+    net::HttpResponse response;
+    response.body = healthzBody(threads, draining);
+    if (draining) {
+        response.status = 503;
+        response.headers.push_back({"Retry-After", "1"});
+    }
+    return response;
 }
 
 } // namespace wire

@@ -43,6 +43,7 @@
 #include "explore/explorer.h"
 #include "net/http.h"
 #include "net/server.h"
+#include "serve/admission.h"
 #include "serve/json.h"
 #include "serve/sim_request.h"
 #include "serve/sim_service.h"
@@ -138,6 +139,14 @@ struct SweepRequest {
     /** When true, `spec` replaces the plan list on the wire. */
     bool use_spec = false;
     SweepSpec spec;
+
+    /**
+     * Optional caller deadline budget in milliseconds (< 0 = none on
+     * the wire).  The coordinator re-encodes the remaining budget
+     * into each shard slice, so a slice arriving with <= 0 left is
+     * shed before computing.
+     */
+    int64_t deadline_ms = -1;
 };
 
 json::Value encode(const SweepRequest &request);
@@ -171,19 +180,23 @@ bool parseEnvelope(std::string_view body, json::Value *root,
 /**
  * Decodes a POST /v1/evaluate body.  *want_trace reports the optional
  * top-level `"trace": true` flag (a wire extension the SimRequest
- * codec itself ignores).
+ * codec itself ignores); *deadline_ms reports the optional top-level
+ * `"deadline_ms"` budget (-1 when absent; a present value must be a
+ * non-negative integer or the decode fails with a 400).
  */
 bool decodeEvaluateRequest(std::string_view body, SimRequest *out,
-                           bool *want_trace,
+                           bool *want_trace, int64_t *deadline_ms,
                            net::HttpResponse *error_response);
 
 /** The /v1/evaluate response; `trace` embeds a phase breakdown. */
 std::string encodeEvaluateResponse(const SimulationResult &result,
                                    const util::Trace *trace = nullptr);
 
-/** Decodes a POST /v1/evaluate_batch body (indexes error messages). */
+/** Decodes a POST /v1/evaluate_batch body (indexes error messages);
+ *  *deadline_ms as in decodeEvaluateRequest. */
 bool decodeEvaluateBatchRequest(std::string_view body,
                                 std::vector<SimRequest> *out,
+                                int64_t *deadline_ms,
                                 net::HttpResponse *error_response);
 
 /** {"version":1,"results":[…]} (order preserved). */
@@ -217,13 +230,30 @@ struct StatzInfo {
 
     /** Set when this node fans sweeps out to shards. */
     const SweepCoordinatorStats *coordinator = nullptr;
+
+    /** Set when the frontend runs admission control. */
+    const std::vector<AdmissionController::TenantStats> *tenants =
+        nullptr;
 };
 
 /** The GET /statz body. */
 std::string statzBody(const StatzInfo &info);
 
-/** The GET /healthz body (uptime + build identity). */
-std::string healthzBody(size_t threads);
+/**
+ * The GET /healthz body (uptime + build identity).  While draining
+ * the "status" key flips from "ok" to "draining" (the frontend also
+ * answers 503) so load balancers and the sweep ring stop routing
+ * here before the listener actually goes away.
+ */
+std::string healthzBody(size_t threads, bool draining = false);
+
+/**
+ * The full GET /healthz response: 200 + healthzBody normally, 503
+ * with a Retry-After header while draining.  Built here so the
+ * status and the body's "status" key cannot drift apart.
+ */
+net::HttpResponse healthzResponse(size_t threads,
+                                  bool draining = false);
 
 } // namespace wire
 } // namespace vtrain

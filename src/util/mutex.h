@@ -28,6 +28,7 @@
 #ifndef VTRAIN_UTIL_MUTEX_H
 #define VTRAIN_UTIL_MUTEX_H
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -100,6 +101,20 @@ class CondVar
         std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
         cv_.wait(native);
         native.release();
+    }
+
+    /**
+     * wait() with a relative timeout.  Returns false when the timeout
+     * elapsed without a notification (the predicate must still be
+     * re-checked either way, exactly as with wait()).
+     */
+    bool waitFor(Mutex &mu, int timeout_ms) REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+        const std::cv_status status = cv_.wait_for(
+            native, std::chrono::milliseconds(timeout_ms));
+        native.release();
+        return status == std::cv_status::no_timeout;
     }
 
     void notifyOne() { cv_.notify_one(); }

@@ -10,6 +10,10 @@ ThreadPool::ThreadPool(size_t n_threads)
     queue_depth_gauge_ = registry.gauge(
         "vtrain_pool_queue_depth", {},
         "Tasks currently queued and not yet picked up by a worker.");
+    queue_high_water_gauge_ = registry.gauge(
+        "vtrain_pool_queue_depth_high_water", {},
+        "Deepest the task queue has ever been (backlog peak; a proxy "
+        "for how far behind the pool fell under burst load).");
     task_wait_seconds_ = registry.histogram(
         "vtrain_pool_task_wait_seconds", {},
         "Time a task spent queued before a worker dequeued it.");
@@ -43,6 +47,11 @@ ThreadPool::submit(std::function<void()> task)
         util::MutexLock lock(mutex_);
         tasks_.push(Task{std::move(task), util::monotonicNanos()});
         ++in_flight_;
+        if (tasks_.size() > queue_high_water_) {
+            queue_high_water_ = tasks_.size();
+            queue_high_water_gauge_->set(
+                static_cast<int64_t>(queue_high_water_));
+        }
     }
     queue_depth_gauge_->add(1);
     cv_task_.notifyOne();

@@ -66,9 +66,11 @@ class ThreadPool
     std::queue<Task> tasks_ GUARDED_BY(mutex_);
     size_t in_flight_ GUARDED_BY(mutex_) = 0;
     bool stop_ GUARDED_BY(mutex_) = false;
+    size_t queue_high_water_ GUARDED_BY(mutex_) = 0;
 
     // Resolved once at construction; the registry owns the objects.
     util::Gauge *queue_depth_gauge_;      //!< vtrain_pool_queue_depth
+    util::Gauge *queue_high_water_gauge_; //!< lifetime peak queue depth
     util::Histogram *task_wait_seconds_;  //!< enqueue -> dequeue
     util::Histogram *task_run_seconds_;   //!< dequeue -> completion
 };

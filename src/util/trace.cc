@@ -99,6 +99,12 @@ void TraceCapture::addEvent(const TraceEvent &event)
 {
     if (trace_.events.size() >= kMaxSpans) {
         ++trace_.dropped_spans;
+        // Surfaced process-wide too: a climbing counter here means
+        // traces are silently losing spans to the per-capture cap.
+        static Counter *dropped_total = MetricRegistry::global().counter(
+            "vtrain_trace_dropped_spans_total", {},
+            "Spans discarded because a capture hit its span cap.");
+        dropped_total->inc();
         return;
     }
     trace_.events.push_back(event);

@@ -49,6 +49,7 @@
 #include "kernels/memops_model.h"
 #include "model/model_config.h"
 #include "model/zoo.h"
+#include "net/fault_injection.h"
 #include "net/http.h"
 #include "net/http_client.h"
 #include "net/server.h"
@@ -60,6 +61,7 @@
 #include "profiling/profiler.h"
 #include "profiling/synthetic_profiler.h"
 #include "scaling/chinchilla.h"
+#include "serve/admission.h"
 #include "serve/http_frontend.h"
 #include "serve/json.h"
 #include "serve/result_cache.h"

@@ -13,9 +13,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -29,6 +31,7 @@
 #include "serve/wire.h"
 #include "sim/simulator.h"
 #include "util/hash.h"
+#include "util/metrics.h"
 
 namespace vtrain {
 namespace {
@@ -98,8 +101,10 @@ syntheticServiceOptions(size_t n_threads = 2)
 
 /** One shard: a SimService behind a real loopback HttpFrontend. */
 struct ShardStack {
-    explicit ShardStack(SimService::Options service_options = {})
-        : service(std::move(service_options)), frontend(service)
+    explicit ShardStack(SimService::Options service_options = {},
+                        HttpFrontend::Options frontend_options = {})
+        : service(std::move(service_options)),
+          frontend(service, std::move(frontend_options))
     {
         std::string error;
         if (!frontend.start(&error))
@@ -542,13 +547,24 @@ TEST(SweepFailover, DeadShardFailsOverWithoutChangingResults)
     ShardStack shard_a;
     ShardStack shard_b;
     ShardStack shard_c;
-    SweepCoordinator coordinator(coordinatorOptions(
-        {shard_a.port(), shard_b.port(), shard_c.port()}));
 
-    // Kill a shard before the sweep: its connections are refused, the
-    // coordinator fails its groups over to the next ring node, and
-    // the merged results must not change.
-    shard_b.frontend.stop();
+    // A deterministic "shard B is dead" fault: the injector rule keys
+    // on B's host:port, so the coordinator's dials to B are refused
+    // while A and C serve normally.  The coordinator fails B's groups
+    // over to the next ring node and the merged results must not
+    // change.
+    net::FaultInjector injector(17);
+    net::FaultInjector::Rule dead;
+    dead.match =
+        "127.0.0.1:" + std::to_string(shard_b.port()) + "<";
+    dead.kind = net::FaultKind::RefuseConnect;
+    injector.addRule(dead);
+
+    SweepCoordinator::Options options = coordinatorOptions(
+        {shard_a.port(), shard_b.port(), shard_c.port()});
+    options.fault_injector = &injector;
+    SweepCoordinator coordinator(std::move(options));
+
     const std::vector<ExploreResult> merged = withoutWallTime(
         coordinator.sweep(model, cluster, SimOptions{}, plans));
     expectSameResults(merged, expected);
@@ -560,7 +576,7 @@ TEST(SweepFailover, DeadShardFailsOverWithoutChangingResults)
     EXPECT_EQ(stats.shards[1].plans, 0u);
 
     // Dead marks are per sweep: a second sweep re-dials everyone and
-    // still answers correctly (b is still down, so it fails over
+    // still answers correctly (b is still refused, so it fails over
     // again rather than erroring out).
     expectSameResults(
         withoutWallTime(
@@ -578,17 +594,24 @@ TEST(SweepFailover, HungShardTimesOutAndFailsOver)
     const std::vector<ExploreResult> expected =
         withoutWallTime(local.sweep(model, plans));
 
-    // A black hole: the listener's backlog completes the TCP
-    // handshake but nothing ever reads or answers — the "killed
-    // mid-request" shape, which surfaces as a typed timeout rather
-    // than a refused connect.
-    net::TcpListener black_hole;
-    std::string error;
-    ASSERT_TRUE(black_hole.listen("127.0.0.1", 0, &error)) << error;
+    // Shard B hangs: a server-side latency injection on /v1/sweep
+    // holds every answer past the coordinator's io timeout — the
+    // "alive but wedged" shape, which surfaces as a typed timeout
+    // rather than a refused connect.
+    net::FaultInjector injector(23);
+    net::FaultInjector::Rule hang;
+    hang.match = "/v1/sweep";
+    hang.kind = net::FaultKind::InjectLatency;
+    hang.latency_ms = 800;
+    injector.addRule(hang);
 
+    HttpFrontend::Options hung_options;
+    hung_options.fault_injector = &injector;
     ShardStack shard;
+    ShardStack hung({}, std::move(hung_options));
+
     SweepCoordinator::Options options =
-        coordinatorOptions({shard.port(), black_hole.port()});
+        coordinatorOptions({shard.port(), hung.port()});
     options.io_timeout_ms = 250;
     options.max_attempts = 2;
     SweepCoordinator coordinator(std::move(options));
@@ -605,61 +628,202 @@ TEST(SweepFailover, HungShardTimesOutAndFailsOver)
     EXPECT_EQ(stats.shards[0].plans, plans.size());
 }
 
-TEST(SweepFailover, TransientServerErrorIsRetriedThenSucceeds)
+TEST(SweepFailover, TransientRejectionRetriesHonoringRetryAfter)
 {
     const ClusterSpec cluster = makeCluster(8);
     const ModelConfig model = tinyModel();
     std::vector<ParallelConfig> plans = tinyPlans(cluster);
     plans.resize(std::min<size_t>(plans.size(), 4));
 
-    // A shard that answers 503 to its first request and serves
-    // normally afterwards (a restart/overload blip).
-    SimService service(syntheticServiceOptions());
-    std::atomic<int> calls{0};
-    net::HttpServer::Options server_options;
-    server_options.host = "127.0.0.1";
-    net::HttpServer flaky(
-        std::move(server_options),
-        [&](const net::HttpRequest &request) -> net::HttpResponse {
-            if (calls.fetch_add(1) == 0)
-                return wire::v1::errorResponse(503,
-                                               "shard warming up");
-            wire::v1::SweepRequest sweep_request;
-            net::HttpResponse error_response;
-            if (!wire::v1::decodeSweepRequest(
-                    request.body, &sweep_request, &error_response))
-                return error_response;
-            std::vector<SimRequest> batch(sweep_request.plans.size());
-            for (size_t i = 0; i < batch.size(); ++i) {
-                batch[i].model = sweep_request.model;
-                batch[i].parallel = sweep_request.plans[i];
-                batch[i].cluster = sweep_request.cluster;
-                batch[i].options = sweep_request.options;
-            }
-            const std::vector<SimulationResult> sims =
-                service.evaluateBatchInline(batch);
-            std::vector<ExploreResult> results(batch.size());
-            for (size_t i = 0; i < batch.size(); ++i) {
-                results[i].plan = sweep_request.plans[i];
-                results[i].sim = sims[i];
-            }
-            net::HttpResponse ok;
-            ok.body = wire::v1::encodeSweepResponse(results);
-            return ok;
-        });
-    std::string error;
-    ASSERT_TRUE(flaky.start(&error)) << error;
+    // The shard sheds the first slice request with 503 +
+    // Retry-After: 1 (an overload blip) and serves normally
+    // afterwards: a client-side rule forcing the status keeps the
+    // shard itself untouched.
+    net::FaultInjector injector(29);
+    net::FaultInjector::Rule blip;
+    blip.match = "/v1/sweep";
+    blip.kind = net::FaultKind::ForceStatus;
+    blip.status = 503;
+    blip.retry_after_s = 1;
+    blip.max_hits = 1;
+    injector.addRule(blip);
 
-    SweepCoordinator coordinator(coordinatorOptions({flaky.port()}));
+    ShardStack shard(syntheticServiceOptions());
+    SweepCoordinator::Options options =
+        coordinatorOptions({shard.port()});
+    options.fault_injector = &injector;
+    SweepCoordinator coordinator(std::move(options));
+
+    const auto start = std::chrono::steady_clock::now();
     const std::vector<ExploreResult> results =
         coordinator.sweep(model, cluster, SimOptions{}, plans);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
     ASSERT_EQ(results.size(), plans.size());
-    EXPECT_GE(calls.load(), 2);
+
+    // The shard's Retry-After hint (1s) must stretch the next backoff
+    // sleep past the blind exponential default (10ms).
+    EXPECT_GE(elapsed.count(), 1000);
 
     const SweepCoordinatorStats stats = coordinator.stats();
     EXPECT_GE(stats.retries, 1u);
     EXPECT_EQ(stats.failovers, 0u);
     EXPECT_EQ(stats.shards[0].plans, plans.size());
+}
+
+// ------------------------------------------------------------ deadline
+
+TEST(SweepDeadline, ExpiredBudgetThrowsBeforeAnyDispatch)
+{
+    const ClusterSpec cluster = makeCluster(8);
+    const ModelConfig model = tinyModel();
+    const std::vector<ParallelConfig> plans = tinyPlans(cluster);
+
+    ShardStack shard(syntheticServiceOptions());
+    SweepCoordinator coordinator(coordinatorOptions({shard.port()}));
+
+    // An already-passed deadline: the caller gave up before we even
+    // started, so no shard should burn compute on it.
+    const uint64_t past = util::monotonicNanos();
+    EXPECT_THROW(coordinator.sweep(model, cluster, SimOptions{}, plans,
+                                   past),
+                 DeadlineExceeded);
+    EXPECT_EQ(coordinator.stats().shards[0].requests, 0u);
+    EXPECT_EQ(shard.service.stats().requests, 0u);
+}
+
+TEST(SweepDeadline, GenerousBudgetDoesNotChangeResults)
+{
+    const ClusterSpec cluster = makeCluster(8);
+    const ModelConfig model = tinyModel();
+    const std::vector<ParallelConfig> plans = tinyPlans(cluster);
+
+    ShardStack shard_a(syntheticServiceOptions());
+    ShardStack shard_b(syntheticServiceOptions());
+    SweepCoordinator coordinator(
+        coordinatorOptions({shard_a.port(), shard_b.port()}));
+
+    const uint64_t deadline =
+        util::monotonicNanos() + 60ull * 1000000000ull;
+    const std::vector<ExploreResult> results =
+        coordinator.sweep(model, cluster, SimOptions{}, plans,
+                          deadline);
+    ASSERT_EQ(results.size(), plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+        EXPECT_EQ(results[i].plan, plans[i]);
+        SimRequest request;
+        request.model = model;
+        request.parallel = plans[i];
+        request.cluster = cluster;
+        EXPECT_EQ(results[i].sim.iteration_seconds,
+                  syntheticResult(request).iteration_seconds);
+    }
+    EXPECT_EQ(coordinator.stats().failovers, 0u);
+}
+
+TEST(SweepDeadline, ShardShedsAnExpiredWireBudget)
+{
+    const ClusterSpec cluster = makeCluster(8);
+    const ModelConfig model = tinyModel();
+
+    ShardStack shard(syntheticServiceOptions());
+
+    // deadline_ms: 0 on the wire means "the budget is already gone":
+    // the shard must shed with 504 instead of computing.
+    wire::v1::SweepRequest sweep_request;
+    sweep_request.model = model;
+    sweep_request.cluster = cluster;
+    sweep_request.plans = tinyPlans(cluster);
+    sweep_request.deadline_ms = 0;
+
+    net::HttpClient client("127.0.0.1", shard.port());
+    net::HttpResponse response;
+    std::string error;
+    ASSERT_TRUE(client.post("/v1/sweep",
+                            wire::v1::encode(sweep_request).dump(),
+                            &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 504) << response.body;
+    json::Value envelope;
+    ASSERT_TRUE(json::Value::parse(response.body, &envelope, &error))
+        << error;
+    ASSERT_NE(envelope.find("error"), nullptr) << response.body;
+    EXPECT_EQ(envelope.find("error")->find("code")->asInt64(), 504);
+}
+
+// --------------------------------------------------------------- drain
+
+TEST(SweepDrain, MidSweepDrainLosesNothingAndDoubleCountsNothing)
+{
+    const ClusterSpec cluster = makeCluster(8);
+    const ModelConfig model = tinyModel();
+    const std::vector<ParallelConfig> plans = tinyPlans(cluster);
+
+    // Slow synthetic shards so the drain lands mid-slice.
+    const auto slowOptions = [] {
+        SimService::Options options = syntheticServiceOptions();
+        options.evaluator = [](const SimRequest &request) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(30));
+            return syntheticResult(request);
+        };
+        return options;
+    };
+    ShardStack shard_a(slowOptions());
+    ShardStack shard_b(slowOptions());
+    SweepCoordinator coordinator(
+        coordinatorOptions({shard_a.port(), shard_b.port()}));
+
+    std::vector<ExploreResult> results;
+    std::atomic<bool> swept{false};
+    std::thread sweeper([&] {
+        results =
+            coordinator.sweep(model, cluster, SimOptions{}, plans);
+        swept.store(true);
+    });
+
+    // Wait for B's slice to be in flight, then drain it: the drain
+    // must finish the in-flight slice (answering the coordinator)
+    // before the server stops.  (The swept guard keeps this loop
+    // bounded even if the ring hands every group to A.)
+    while (shard_b.service.stats().requests == 0 && !swept.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const bool drained = shard_b.frontend.drain(20000);
+    sweeper.join();
+    EXPECT_TRUE(drained);
+
+    // Zero lost, zero double-counted: every plan answered exactly
+    // once, bit-identical to the synthetic evaluator, with no
+    // failover (the drained slice completed, it did not fail over).
+    ASSERT_EQ(results.size(), plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+        EXPECT_EQ(results[i].plan, plans[i]);
+        SimRequest request;
+        request.model = model;
+        request.parallel = plans[i];
+        request.cluster = cluster;
+        EXPECT_EQ(results[i].sim.iteration_seconds,
+                  syntheticResult(request).iteration_seconds);
+    }
+    const SweepCoordinatorStats stats = coordinator.stats();
+    EXPECT_EQ(stats.failovers, 0u);
+    EXPECT_EQ(stats.plans, plans.size());
+    uint64_t dispatched = 0;
+    for (const SweepShardStats &shard : stats.shards)
+        dispatched += shard.plans;
+    EXPECT_EQ(dispatched, plans.size());
+    EXPECT_GT(stats.shards[1].plans, 0u); // B really had work
+
+    // The drained shard is gone now: the next sweep fails over to A
+    // and still answers every plan correctly.
+    const std::vector<ExploreResult> after =
+        coordinator.sweep(model, cluster, SimOptions{}, plans);
+    ASSERT_EQ(after.size(), plans.size());
+    for (size_t i = 0; i < plans.size(); ++i)
+        EXPECT_EQ(after[i].sim.iteration_seconds,
+                  results[i].sim.iteration_seconds);
+    EXPECT_GT(coordinator.stats().failovers, 0u);
 }
 
 TEST(SweepFailover, EveryShardDeadThrows)
