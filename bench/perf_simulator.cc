@@ -286,6 +286,73 @@ BENCHMARK(BM_BatchedReplay)
     ->Unit(benchmark::kMillisecond);
 
 void
+BM_ReplayKernel(benchmark::State &state)
+{
+    // The K-wide max-accumulate inner loop isolated from retiming:
+    // K pre-retimed duration vectors over one GPT-3 capped template,
+    // one replayBatchInto per iteration pinned to a kernel.  Arms
+    // that name a kernel the binary/host cannot run are skipped, so
+    // the suite is portable while still exposing the SIMD roof where
+    // the hardware has one.
+    //   Arg 0: kernel (0 = scalar, 1 = AVX2, 2 = AVX-512);
+    //   Arg 1: K, the batch width (sweeps vector bodies and tails).
+    setVerbose(false);
+    const ReplayKernel kernel =
+        state.range(0) == 0   ? ReplayKernel::Scalar
+        : state.range(0) == 1 ? ReplayKernel::Avx2
+                              : ReplayKernel::Avx512;
+    if (!replayKernelUsable(kernel)) {
+        state.SkipWithError("replay kernel not usable on this host");
+        return;
+    }
+    const size_t k_points = static_cast<size_t>(state.range(1));
+    const ModelConfig model = zoo::gpt3_175b();
+    const ClusterSpec cluster = makeCluster(1024);
+    const ParallelConfig plan = gpt3Plan();
+    CommModel comm(cluster);
+    GraphBuilder builder(model, plan, cluster, comm);
+    BuildOptions options;
+    options.n_micro_override = 2 * plan.pipeline + 2; // fast-mode cap
+    SyntheticProfiler profiler(cluster.node.gpu);
+    OperatorToTaskTable table(profiler);
+    const OpGraph ops = builder.build(options);
+    TaskGraph expanded;
+    const auto tmpl =
+        GraphTemplate::capture(ops, table, ExpandOptions{}, &expanded);
+    const ReplaySchedule &schedule = tmpl->schedule(); // build once
+
+    std::vector<std::vector<double>> sets(k_points);
+    std::vector<const double *> set_ptrs(k_points);
+    for (size_t k = 0; k < k_points; ++k) {
+        if (!tmpl->retimeDurations(table, plan, cluster, comm,
+                                   &sets[k])) {
+            state.SkipWithError("retime rejected the table");
+            return;
+        }
+        // Perturb per lane so no kernel can shortcut equal columns.
+        for (size_t i = 0; i < sets[k].size(); ++i)
+            sets[k][i] *= 1.0 + 0.015625 * ((k + i) % 5);
+        set_ptrs[k] = sets[k].data();
+    }
+    std::vector<EngineResult> results(k_points);
+    for (auto _ : state) {
+        replayBatchInto(schedule, set_ptrs.data(), k_points,
+                        results.data(), kernel);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(k_points));
+    state.counters["tasks"] = static_cast<double>(tmpl->numTasks());
+    state.counters["points"] = static_cast<double>(k_points);
+}
+// The SIMD acceptance metric: the same K columns through each
+// compiled kernel.  Widths cross the 8-wide AVX-512 body, the 4-wide
+// AVX2 body/tail, and the scalar remainders.
+BENCHMARK(BM_ReplayKernel)
+    ->ArgsProduct({{0, 1, 2}, {4, 16, 64}})
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_ExactVsFast(benchmark::State &state)
 {
     setVerbose(false);

@@ -62,18 +62,26 @@ main(int argc, char **argv)
 {
     setVerbose(false);
     bool serve = false;
+    bool pin = false;
     uint16_t port = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--serve") == 0) {
             serve = true;
             if (port == 0)
                 port = 8080;
+        } else if (std::strcmp(argv[i], "--pin") == 0) {
+            pin = true;
         } else {
             port = static_cast<uint16_t>(std::atoi(argv[i]));
         }
     }
 
-    SimService service;
+    SimService::Options service_options;
+    // --pin sticks each pool worker to one allowed CPU (Linux only;
+    // best-effort elsewhere).  /statz service.pool reports whether it
+    // held, and vtrain_pool_thread_migrations_total should stay 0.
+    service_options.pin_threads = pin;
+    SimService service(service_options);
     HttpFrontend::Options options;
     options.port = port;
     HttpFrontend frontend(service, options);

@@ -21,6 +21,31 @@ import sys
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+# Context keys (stamped by scripts/run_bench.sh) that make two runs
+# comparable; a mismatch means the delta measures the machine or its
+# configuration, not the code.  Warn, never fail: cross-machine diffs
+# are sometimes exactly what the user asked for.
+CONTEXT_KEYS = ("vtrain_cpu_features", "vtrain_pinning")
+
+
+def warn_on_context_mismatch(before_path, after_path):
+    def context_of(path):
+        try:
+            with open(path) as f:
+                return json.load(f).get("context", {})
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    before_ctx = context_of(before_path)
+    after_ctx = context_of(after_path)
+    for key in CONTEXT_KEYS:
+        b, a = before_ctx.get(key), after_ctx.get(key)
+        if b != a:
+            print(f"warning: context mismatch on '{key}': baseline "
+                  f"{b!r} vs candidate {a!r} -- the delta below may "
+                  f"reflect the run environment, not the code",
+                  file=sys.stderr)
+
 
 def load(path, metric):
     """Returns {name: time_in_ns} for the plain (non-aggregate) runs.
@@ -69,6 +94,7 @@ def main():
                              "the threshold")
     args = parser.parse_args()
 
+    warn_on_context_mismatch(args.before, args.after)
     before = load(args.before, args.metric)
     after = load(args.after, args.metric)
     if not after:

@@ -73,6 +73,40 @@ run_bench() {
         "${extra[@]}"
     # Fail loudly if the baseline is not valid JSON.
     python3 -m json.tool "${out}" > /dev/null
+    # Stamp the context block with the facts that decide whether two
+    # baselines are comparable: which replay-kernel ISA features the
+    # host offers (so an AVX-512 number is never diffed silently
+    # against a scalar one) and the pinning mode the run used
+    # (VTRAIN_PIN env, default "off").  bench_diff.py warns -- without
+    # failing -- when two files disagree on these.
+    VTRAIN_PIN="${VTRAIN_PIN:-off}" python3 - "${out}" <<'PYEOF'
+import json
+import os
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+flags = set()
+try:
+    with open("/proc/cpuinfo") as f:
+        for line in f:
+            if line.startswith("flags") or line.startswith("Features"):
+                flags = set(line.split(":", 1)[1].split())
+                break
+except OSError:
+    pass
+features = [name for name in ("avx2", "avx512f") if name in flags]
+
+context = doc.setdefault("context", {})
+context["vtrain_cpu_features"] = " ".join(features) if features else "none"
+context["vtrain_pinning"] = os.environ.get("VTRAIN_PIN", "off")
+
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PYEOF
     echo "perf baseline written to ${out}"
 }
 

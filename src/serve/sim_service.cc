@@ -7,12 +7,26 @@
 
 namespace vtrain {
 
+namespace {
+
+ThreadPool::Options
+poolOptions(const SimService::Options &options)
+{
+    ThreadPool::Options pool;
+    pool.n_threads = options.n_threads;
+    pool.pin_threads = options.pin_threads;
+    pool.cpu_set = options.pin_cpus;
+    return pool;
+}
+
+} // namespace
+
 SimService::SimService(Options options)
     : options_(std::move(options)), cache_(options_.cache),
       templates_(std::make_shared<GraphTemplateCache>(
           options_.template_cache)),
       engine_counters_(std::make_shared<EngineCounters>()),
-      pool_(options_.n_threads)
+      pool_(poolOptions(options_))
 {
     util::MetricRegistry &registry = util::MetricRegistry::global();
     const std::string_view latency_help =
@@ -433,6 +447,13 @@ SimService::evaluateBatchImpl(const std::vector<SimRequest> &requests,
                 try {
                     Simulator sim(head.cluster, head.options,
                                   templates_, engine_counters_);
+                    // The group's K retimes spread across the pool.
+                    // run_group itself usually *is* a pool task, but
+                    // the cooperative loop (ThreadPool::startFor)
+                    // cannot deadlock on a saturated pool: this
+                    // thread runs whatever chunks no worker takes.
+                    if (options_.parallel_retimes)
+                        sim.setRetimePool(&pool_);
                     results =
                         sim.simulateIterationBatch(head.model, plans);
                     batched = true;
@@ -540,6 +561,7 @@ SimService::stats() const
     stats.cache = cache_.stats();
     stats.graph_templates = templates_->stats();
     stats.engine = snapshot(*engine_counters_);
+    stats.pool = pool_.stats();
     return stats;
 }
 

@@ -63,6 +63,10 @@ struct ServiceStats {
      *  fallback, and how many sweep points went through the batched
      *  replay (see sim/engine.h). */
     EngineStats engine;
+
+    /** Worker-pool facts: thread count, pinning state and targets,
+     *  and observed scheduler migrations (see util/thread_pool.h). */
+    ThreadPool::PoolStats pool;
 };
 
 /**
@@ -92,6 +96,21 @@ class SimService
     struct Options {
         /** Worker threads for async/batch paths (0 = hw concurrency). */
         size_t n_threads = 0;
+
+        /** Pin pool workers to CPUs (ThreadPool::Options; off by
+         *  default, no-op where unsupported). */
+        bool pin_threads = false;
+
+        /** Explicit CPU ids for pinning; empty = every CPU the
+         *  process may run on, round-robin across workers. */
+        std::vector<int> pin_cpus;
+
+        /**
+         * Spread a batched group's per-plan retimes across the pool
+         * (Simulator::setRetimePool).  Bit-identical results; on by
+         * default, off only for serial-vs-parallel golden tests.
+         */
+        bool parallel_retimes = true;
 
         ResultCache::Options cache;
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "sim/engine.h"
 #include "util/build_info.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -1051,7 +1052,22 @@ statzBody(const StatzInfo &info)
     engine.set(
         "batched_points",
         static_cast<int64_t>(info.service.engine.batched_points));
+    engine.set("kernel", replayKernelName(activeReplayKernel()));
     service.set("engine", std::move(engine));
+
+    // Worker-pool block: pinning state and the live migration count
+    // (how often workers hopped CPUs; stays 0 when pinning holds).
+    Value pool = Value::object();
+    pool.set("threads",
+             static_cast<int64_t>(info.service.pool.threads));
+    pool.set("pinned", info.service.pool.pinned);
+    Value pool_cpus = Value::array();
+    for (int cpu : info.service.pool.cpus)
+        pool_cpus.push(Value(static_cast<int64_t>(cpu)));
+    pool.set("cpus", std::move(pool_cpus));
+    pool.set("migrations",
+             static_cast<int64_t>(info.service.pool.migrations));
+    service.set("pool", std::move(pool));
 
     Value http = Value::object();
     http.set("connections_accepted",

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/replay_kernels.h"
+#include "util/cpu_features.h"
 #include "util/logging.h"
 
 namespace vtrain {
@@ -290,9 +292,140 @@ replaySimulation(const ReplaySchedule &schedule,
     return replayImpl<false>(schedule, durations.data(), nullptr);
 }
 
+const char *
+replayKernelName(ReplayKernel kernel)
+{
+    switch (kernel) {
+    case ReplayKernel::Scalar:
+        return "scalar";
+    case ReplayKernel::Avx2:
+        return "avx2";
+    case ReplayKernel::Avx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+bool
+replayKernelCompiled(ReplayKernel kernel)
+{
+    switch (kernel) {
+    case ReplayKernel::Scalar:
+        return true;
+    case ReplayKernel::Avx2:
+        return detail::replayKernelAvx2Compiled();
+    case ReplayKernel::Avx512:
+        return detail::replayKernelAvx512Compiled();
+    }
+    return false;
+}
+
+bool
+replayKernelUsable(ReplayKernel kernel)
+{
+    switch (kernel) {
+    case ReplayKernel::Scalar:
+        return true;
+    case ReplayKernel::Avx2:
+        return detail::replayKernelAvx2Compiled() &&
+               util::cpuFeatures().avx2;
+    case ReplayKernel::Avx512:
+        return detail::replayKernelAvx512Compiled() &&
+               util::cpuFeatures().avx512f;
+    }
+    return false;
+}
+
+ReplayKernel
+activeReplayKernel()
+{
+    // AVX2 is preferred over AVX-512 on purpose, not by accident.
+    // The inner loop assembles each position's duration vector from K
+    // scattered per-set loads; at 512 bits that costs a chain of
+    // lane-crossing shuffles (port-5 bound) on top of the wide-op
+    // frequency licence.  Measured on a Xeon with avx512f
+    // (BM_ReplayKernel), the 8-wide kernel at best matches two 4-wide
+    // AVX2 passes and loses at the largest batch widths, so the extra
+    // ISA buys nothing here.  The AVX-512 kernel stays compiled,
+    // bit-identity-tested, and selectable via the pinned replayBatch
+    // overload for hardware where the trade flips.
+    static const ReplayKernel kernel = [] {
+        if (replayKernelUsable(ReplayKernel::Avx2))
+            return ReplayKernel::Avx2;
+        if (replayKernelUsable(ReplayKernel::Avx512))
+            return ReplayKernel::Avx512;
+        return ReplayKernel::Scalar;
+    }();
+    return kernel;
+}
+
+void
+replayBatchInto(const ReplaySchedule &schedule,
+                const double *const *duration_sets, size_t count,
+                EngineResult *results, ReplayKernel kernel)
+{
+    VTRAIN_CHECK(replayKernelUsable(kernel), "replay kernel '",
+                 replayKernelName(kernel),
+                 "' is not usable on this host (not compiled in, or "
+                 "the CPU lacks the ISA)");
+
+    // Greedy widest-first dispatch: full-width chunks of the selected
+    // kernel, then progressively narrower tail chunks.  Results do
+    // not depend on the split — every point is bit-identical to its
+    // own replaySimulation() run at any width and under any kernel
+    // (see replay_kernels.h).
+    std::vector<double> ready;
+    size_t begin = 0;
+    if (kernel == ReplayKernel::Avx512) {
+        while (count - begin >= detail::kAvx512ReplayWidth) {
+            detail::replayChunkAvx512(schedule, duration_sets + begin,
+                                      ready, results + begin);
+            begin += detail::kAvx512ReplayWidth;
+        }
+        // An AVX-512 host always runs the AVX2 kernel too; use it for
+        // the 4-wide tail when it was compiled in.
+        if (count - begin >= detail::kAvx2ReplayWidth &&
+            replayKernelUsable(ReplayKernel::Avx2)) {
+            detail::replayChunkAvx2(schedule, duration_sets + begin,
+                                    ready, results + begin);
+            begin += detail::kAvx2ReplayWidth;
+        }
+    } else if (kernel == ReplayKernel::Avx2) {
+        while (count - begin >= detail::kAvx2ReplayWidth) {
+            detail::replayChunkAvx2(schedule, duration_sets + begin,
+                                    ready, results + begin);
+            begin += detail::kAvx2ReplayWidth;
+        }
+    }
+    static_assert(kMaxReplayWidth == 4,
+                  "update the dispatch below with the width table");
+    while (count - begin >= 4) {
+        replayChunk<4>(schedule, duration_sets + begin, ready,
+                       results + begin);
+        begin += 4;
+    }
+    if (count - begin >= 2) {
+        replayChunk<2>(schedule, duration_sets + begin, ready,
+                       results + begin);
+        begin += 2;
+    }
+    if (count - begin == 1) {
+        replayChunk<1>(schedule, duration_sets + begin, ready,
+                       results + begin);
+    }
+}
+
 std::vector<EngineResult>
 replayBatch(const ReplaySchedule &schedule,
             const std::vector<std::vector<double>> &duration_sets)
+{
+    return replayBatch(schedule, duration_sets, activeReplayKernel());
+}
+
+std::vector<EngineResult>
+replayBatch(const ReplaySchedule &schedule,
+            const std::vector<std::vector<double>> &duration_sets,
+            ReplayKernel kernel)
 {
     const size_t n = schedule.numTasks();
     for (const std::vector<double> &set : duration_sets)
@@ -304,30 +437,8 @@ replayBatch(const ReplaySchedule &schedule,
     std::vector<const double *> set_ptrs(duration_sets.size());
     for (size_t j = 0; j < duration_sets.size(); ++j)
         set_ptrs[j] = duration_sets[j].data();
-
-    // Greedy fixed-width dispatch: full-width chunks, then one
-    // narrower chunk per remaining power of two.  Results do not
-    // depend on the split — every point is bit-identical to its own
-    // replaySimulation() run at any width.
-    std::vector<double> ready;
-    size_t begin = 0;
-    const size_t total = duration_sets.size();
-    static_assert(kMaxReplayWidth == 4,
-                  "update the dispatch below with the width table");
-    while (total - begin >= 4) {
-        replayChunk<4>(schedule, set_ptrs.data() + begin, ready,
-                       results.data() + begin);
-        begin += 4;
-    }
-    if (total - begin >= 2) {
-        replayChunk<2>(schedule, set_ptrs.data() + begin, ready,
-                       results.data() + begin);
-        begin += 2;
-    }
-    if (total - begin == 1) {
-        replayChunk<1>(schedule, set_ptrs.data() + begin, ready,
-                       results.data() + begin);
-    }
+    replayBatchInto(schedule, set_ptrs.data(), set_ptrs.size(),
+                    results.data(), kernel);
     return results;
 }
 

@@ -90,12 +90,45 @@ EngineResult replaySimulation(const ReplaySchedule &schedule,
                               std::vector<TaskSpan> *trace = nullptr);
 
 /**
+ * The chunk kernel replayBatch() runs its lockstep passes with.
+ * Scalar is the portable fallback (compile-time-width chunks the
+ * compiler autovectorizes at the build's baseline ISA); Avx2/Avx512
+ * are the explicit 256/512-bit kernels (sim/replay_kernels.h),
+ * available only when compiled in *and* the running CPU supports
+ * them.  Every kernel produces bit-identical results — the choice is
+ * purely a throughput knob, which is why the default entry points
+ * pick one automatically.
+ */
+enum class ReplayKernel { Scalar, Avx2, Avx512 };
+
+/** @return "scalar", "avx2", or "avx512" (stable; used on /statz and
+ *  in bench context blocks). */
+const char *replayKernelName(ReplayKernel kernel);
+
+/** @return true when the kernel's TU was compiled into this binary. */
+bool replayKernelCompiled(ReplayKernel kernel);
+
+/** @return true when the kernel is compiled in and the running CPU
+ *  supports its ISA (util::cpuFeatures); Scalar is always usable. */
+bool replayKernelUsable(ReplayKernel kernel);
+
+/** @return the kernel auto-dispatch selects (resolved once per
+ *  process; the cpuid probe is cached).  AVX2 when usable, else
+ *  AVX-512, else Scalar — measured, not widest-first: the 512-bit
+ *  kernel's per-position lane assembly loses to two AVX2 passes on
+ *  the Xeons benched (see activeReplayKernel() in engine.cc). */
+ReplayKernel activeReplayKernel();
+
+/**
  * Simulates K duration vectors over one shared schedule in a single
  * cache-friendly pass.  The K points advance in lockstep through the
  * schedule: per position the K-wide inner loops (contiguous, branch
- * free) autovectorize, and the schedule's metadata and child arrays
+ * free) vectorize — explicitly via the AVX2/AVX-512 chunk kernels
+ * when the host supports them, by autovectorization of the scalar
+ * chunks otherwise — and the schedule's metadata and child arrays
  * are read once per position instead of once per point.  Results are
- * bit-identical to K independent replaySimulation() calls.
+ * bit-identical to K independent replaySimulation() calls, under
+ * every kernel.
  *
  * @param duration_sets K vectors, each in original task id order.
  * @return one EngineResult per input vector, in order.
@@ -103,6 +136,27 @@ EngineResult replaySimulation(const ReplaySchedule &schedule,
 std::vector<EngineResult>
 replayBatch(const ReplaySchedule &schedule,
             const std::vector<std::vector<double>> &duration_sets);
+
+/**
+ * replayBatch() pinned to one kernel (tests and benches compare
+ * kernels with this; production callers use the auto overload).
+ * Aborts when the kernel is not usable on this host.
+ */
+std::vector<EngineResult>
+replayBatch(const ReplaySchedule &schedule,
+            const std::vector<std::vector<double>> &duration_sets,
+            ReplayKernel kernel);
+
+/**
+ * The allocation-lean core of replayBatch: `count` duration vectors
+ * given as raw pointers (each schedule.numTasks() doubles, original
+ * task id order — not validated), results written into
+ * `results[0..count)`.  The batched simulator path uses this to
+ * replay a compacted subset of its retime buffers without copying.
+ */
+void replayBatchInto(const ReplaySchedule &schedule,
+                     const double *const *duration_sets, size_t count,
+                     EngineResult *results, ReplayKernel kernel);
 
 /**
  * Engine-mode counters.  The simulator ticks them as it chooses an

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * AVX-512 replay kernel: eight duration vectors per 512-bit lane
+ * group.
+ *
+ * Compiled with -mavx512f -ffp-contract=off and entered only through
+ * engine.cc's runtime dispatch.  Doubling the lockstep width over the
+ * AVX2 kernel halves the number of passes over the schedule stream
+ * (order/lane/tag metadata and the child CSR are read once per eight
+ * points instead of four) on top of the wider arithmetic.  Loop body
+ * and per-lane operation order match the scalar chunk exactly; see
+ * replay_kernels.h for the bit-identity argument.
+ */
+#include "sim/replay_kernels.h"
+
+#include "util/logging.h"
+
+#if defined(VTRAIN_REPLAY_KERNEL_AVX512)
+
+#include <immintrin.h>
+
+namespace vtrain {
+namespace detail {
+
+bool
+replayKernelAvx512Compiled()
+{
+    return true;
+}
+
+void
+replayChunkAvx512(const ReplaySchedule &schedule,
+                  const double *const *set_ptrs,
+                  std::vector<double> &ready_vec, EngineResult *results)
+{
+    constexpr size_t K = kAvx512ReplayWidth;
+    const size_t n = schedule.numTasks();
+    const int n_devices = schedule.num_devices;
+    const int32_t *const order = schedule.order.data();
+    const int32_t *const lane = schedule.lane.data();
+    const int32_t *const busy_lane = schedule.busy_lane.data();
+    const uint8_t *const tag = schedule.tag.data();
+    const int32_t *const child_offsets = schedule.child_offsets.data();
+    const int32_t *const child_list = schedule.child_list.data();
+
+    const double *__restrict s[K];
+    for (size_t j = 0; j < K; ++j)
+        s[j] = set_ptrs[j];
+
+    ready_vec.assign(n * K, 0.0);
+    double *__restrict const ready = ready_vec.data();
+    std::vector<double> timeline_vec(
+        static_cast<size_t>(n_devices) * kNumStreams * K, 0.0);
+    std::vector<double> busy_vec(
+        static_cast<size_t>(n_devices) * 2 * K, 0.0);
+    std::vector<double> tags_vec(
+        static_cast<size_t>(kNumTaskTags) * K, 0.0);
+    double *__restrict const timeline = timeline_vec.data();
+    double *__restrict const busy = busy_vec.data();
+    double *__restrict const tags = tags_vec.data();
+
+    __m512d makespan = _mm512_setzero_pd();
+    for (size_t i = 0; i < n; ++i) {
+        const int32_t u = order[i];
+        const __m512d duration =
+            _mm512_set_pd(s[7][u], s[6][u], s[5][u], s[4][u], s[3][u],
+                          s[2][u], s[1][u], s[0][u]);
+        double *const lane_base =
+            timeline + static_cast<size_t>(lane[i]) * K;
+        double *const busy_base =
+            busy + static_cast<size_t>(busy_lane[i]) * K;
+        double *const tag_base =
+            tags + static_cast<size_t>(tag[i]) * K;
+
+        const __m512d start = _mm512_max_pd(
+            _mm512_loadu_pd(ready + i * K), _mm512_loadu_pd(lane_base));
+        const __m512d end = _mm512_add_pd(start, duration);
+        _mm512_storeu_pd(lane_base, end);
+        _mm512_storeu_pd(busy_base,
+                         _mm512_add_pd(_mm512_loadu_pd(busy_base),
+                                       duration));
+        _mm512_storeu_pd(tag_base,
+                         _mm512_add_pd(_mm512_loadu_pd(tag_base),
+                                       duration));
+        makespan = _mm512_max_pd(makespan, end);
+
+        for (const int32_t *c = child_list + child_offsets[i],
+                           *const c_end =
+                               child_list + child_offsets[i + 1];
+             c != c_end; ++c) {
+            double *const child_ready =
+                ready + static_cast<size_t>(*c) * K;
+            _mm512_storeu_pd(
+                child_ready,
+                _mm512_max_pd(_mm512_loadu_pd(child_ready), end));
+        }
+    }
+
+    alignas(64) double makespan_arr[K];
+    _mm512_store_pd(makespan_arr, makespan);
+    unpackChunkResults(K, schedule, busy, tags, makespan_arr, results);
+}
+
+} // namespace detail
+} // namespace vtrain
+
+#else // !VTRAIN_REPLAY_KERNEL_AVX512
+
+namespace vtrain {
+namespace detail {
+
+bool
+replayKernelAvx512Compiled()
+{
+    return false;
+}
+
+void
+replayChunkAvx512(const ReplaySchedule &, const double *const *,
+                  std::vector<double> &, EngineResult *)
+{
+    VTRAIN_CHECK(false, "AVX-512 replay kernel was not compiled into "
+                        "this binary (dispatch bug)");
+}
+
+} // namespace detail
+} // namespace vtrain
+
+#endif // VTRAIN_REPLAY_KERNEL_AVX512

@@ -9,6 +9,7 @@
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 #include "util/units.h"
 
@@ -382,49 +383,155 @@ Simulator::simulateIterationBatch(const ModelConfig &model,
         }
 
         std::vector<RunOutcome> &out = pass == 0 ? base : next;
-        // Duration buffers are reused across chunks (and passes):
-        // retimeDurations resizes in place, so the steady state
-        // re-times without allocating.
-        std::vector<std::vector<double>> sets;
-        std::vector<size_t> owner;
-        for (size_t begin = 0; begin < n_plans; begin += kPlanChunk) {
-            const size_t end = std::min(begin + kPlanChunk, n_plans);
-            owner.clear();
-            size_t count = 0;
-            {
+
+        // Chunked retime -> replay pipeline, double buffered: while
+        // the main thread replays chunk c out of one buffer, the
+        // retime pool (when set) produces chunk c+1's durations into
+        // the other.  Duration buffers are reused across chunks (and
+        // passes): retimeDurations resizes in place, so the steady
+        // state re-times without allocating.
+        //
+        // Concurrent retimes are safe *after the pass's first retime
+        // has run serially*: every plan in the group looks up the
+        // same template descriptors, so that prefill inserts every
+        // table entry and the parallel retimes only take read-only
+        // memoized hits (the table is not thread-safe under
+        // mutation).  Durations are a pure function of the plan, so
+        // results — and the table/counter snapshots below — are
+        // bit-identical to the serial loop.
+        struct ChunkBuf {
+            std::vector<std::vector<double>> sets; // slot-indexed
+            std::vector<size_t> owner;             // plan per slot
+            std::vector<char> ok; //!< slot's retime succeeded
+        };
+        ChunkBuf bufs[2];
+        bool prefilled = false;
+
+        // Collects a chunk's pending plans, serially runs the pass's
+        // first retime (table prefill), then either launches the
+        // rest on the pool (returns the in-flight job) or runs them
+        // serially (returns null).
+        const auto start_chunk =
+            [&](size_t begin, size_t end, ChunkBuf &buf)
+            -> std::shared_ptr<ThreadPool::ForJob> {
+            buf.owner.clear();
+            for (size_t j = begin; j < end; ++j)
+                if (!fell_back[j])
+                    buf.owner.push_back(j);
+            const size_t count = buf.owner.size();
+            buf.ok.assign(count, 0);
+            while (buf.sets.size() < count)
+                buf.sets.emplace_back();
+            if (count == 0)
+                return nullptr;
+
+            const auto retime_one = [&buf, &tmpl, &table, &plans,
+                                     this](size_t slot) {
+                try {
+                    buf.ok[slot] =
+                        tmpl->retimeDurations(table,
+                                              plans[buf.owner[slot]],
+                                              cluster_, comm_,
+                                              &buf.sets[slot])
+                            ? 1
+                            : 0;
+                } catch (...) {
+                    // A throwing retime must not escape a pool
+                    // worker; the plan falls back to its own
+                    // simulateIteration() (which recomputes from
+                    // scratch and surfaces any persistent error on
+                    // the calling thread).
+                    buf.ok[slot] = 0;
+                }
+            };
+
+            util::TraceSpan span("sim.template_retime");
+            util::ScopedLatency timer(phaseMetrics().template_retime);
+            size_t first = 0;
+            if (!prefilled) {
+                retime_one(0);
+                prefilled = true;
+                first = 1;
+                if (!buf.ok[0]) {
+                    // Retime rejection (foreign profiler or
+                    // fingerprint collision) is plan-independent
+                    // within a uniform group — every other pending
+                    // plan would reject against the same template and
+                    // table — so mark them all fallen back instead of
+                    // running K rejections.  Matches the serial
+                    // loop's end state exactly: each serial rejection
+                    // after the first is a read-only no-op.
+                    for (size_t j = 0; j < n_plans; ++j)
+                        fell_back[j] = 1;
+                    return nullptr;
+                }
+            }
+            if (first >= count)
+                return nullptr;
+            if (retime_pool_ == nullptr) {
+                for (size_t s = first; s < count; ++s)
+                    retime_one(s);
+                return nullptr;
+            }
+            return retime_pool_->startFor(
+                count - first, /*grain=*/1,
+                [retime_one, first](size_t b, size_t e) {
+                    for (size_t s = b; s < e; ++s)
+                        retime_one(first + s);
+                });
+        };
+
+        const size_t n_chunks =
+            (n_plans + kPlanChunk - 1) / kPlanChunk;
+        std::vector<const double *> set_ptrs;
+        std::vector<size_t> alive;
+        std::vector<EngineResult> engines;
+        std::shared_ptr<ThreadPool::ForJob> job =
+            start_chunk(0, std::min(kPlanChunk, n_plans), bufs[0]);
+        for (size_t c = 0; c < n_chunks; ++c) {
+            ChunkBuf &buf = bufs[c % 2];
+            if (job) {
                 util::TraceSpan span("sim.template_retime");
                 util::ScopedLatency timer(
                     phaseMetrics().template_retime);
-                for (size_t j = begin; j < end; ++j) {
-                    if (fell_back[j])
-                        continue;
-                    if (count == sets.size())
-                        sets.emplace_back();
-                    if (!tmpl->retimeDurations(table, plans[j],
-                                               cluster_, comm_,
-                                               &sets[count])) {
-                        // Foreign profiler or fingerprint collision:
-                        // this plan rebuilds from scratch below.
-                        fell_back[j] = 1;
-                        continue;
-                    }
-                    owner.push_back(j);
-                    ++count;
-                }
+                job->finish(); // cooperative: helps run the chunks
+                job = nullptr;
             }
-            if (count == 0)
+            // Compact the chunk's survivors to pointers before
+            // touching the engine, and launch the next chunk's
+            // retimes so they overlap the replay below.
+            set_ptrs.clear();
+            alive.clear();
+            for (size_t s = 0; s < buf.owner.size(); ++s) {
+                if (!buf.ok[s]) {
+                    // Foreign profiler or fingerprint collision:
+                    // this plan rebuilds from scratch below.
+                    fell_back[buf.owner[s]] = 1;
+                    continue;
+                }
+                set_ptrs.push_back(buf.sets[s].data());
+                alive.push_back(buf.owner[s]);
+            }
+            if (c + 1 < n_chunks) {
+                const size_t nb = (c + 1) * kPlanChunk;
+                job = start_chunk(nb,
+                                  std::min(nb + kPlanChunk, n_plans),
+                                  bufs[(c + 1) % 2]);
+            }
+            if (set_ptrs.empty())
                 continue;
-            sets.resize(count); // shrinks only at the tail chunk
-            std::vector<EngineResult> engines;
+            engines.resize(set_ptrs.size());
             {
                 util::TraceSpan span("sim.replay");
                 util::ScopedLatency timer(phaseMetrics().replay);
-                engines = replayBatch(tmpl->schedule(), sets);
+                replayBatchInto(tmpl->schedule(), set_ptrs.data(),
+                                set_ptrs.size(), engines.data(),
+                                activeReplayKernel());
             }
             counters_->batched_points.fetch_add(
-                count, std::memory_order_relaxed);
-            for (size_t s = 0; s < owner.size(); ++s)
-                out[owner[s]].engine = std::move(engines[s]);
+                set_ptrs.size(), std::memory_order_relaxed);
+            for (size_t s = 0; s < alive.size(); ++s)
+                out[alive[s]].engine = std::move(engines[s]);
         }
 
         // Table statistics snapshot, taken where the per-plan path

@@ -73,6 +73,7 @@ struct SimOptions {
 class Hash64;
 class GraphTemplateCache;
 class OperatorToTaskTable;
+class ThreadPool;
 
 /**
  * Folds the options into a fingerprint stream.  The perturber is
@@ -165,6 +166,23 @@ class Simulator
         return counters_;
     }
 
+    /**
+     * Optional worker pool for simulateIterationBatch(): a group's
+     * per-plan retimes (measured at ~¼ of group cost, embarrassingly
+     * parallel) are spread across `pool` and overlapped with the
+     * engine's replay of the previous chunk.  Non-owning; null (the
+     * default) re-times serially.  Results are bit-identical either
+     * way — retiming is a pure function of the plan, and the shared
+     * profiler table is only read concurrently (see the batch loop
+     * for the prefill argument).  Safe even when the caller itself
+     * runs on `pool`: the loop is cooperative (ThreadPool::startFor),
+     * so progress never depends on free pool capacity.
+     */
+    void setRetimePool(ThreadPool *pool) { retime_pool_ = pool; }
+
+    /** The retime pool (null = serial; see setRetimePool). */
+    ThreadPool *retimePool() const { return retime_pool_; }
+
   private:
     struct RunOutcome {
         EngineResult engine;
@@ -200,6 +218,7 @@ class Simulator
     CommModel comm_;
     std::shared_ptr<GraphTemplateCache> templates_;
     std::shared_ptr<EngineCounters> counters_;
+    ThreadPool *retime_pool_ = nullptr; //!< non-owning; may be null
 };
 
 /**

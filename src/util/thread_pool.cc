@@ -2,9 +2,30 @@
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace vtrain {
 
+namespace {
+
+ThreadPool::Options sizeOnlyOptions(size_t n_threads)
+{
+    ThreadPool::Options options;
+    options.n_threads = n_threads;
+    return options;
+}
+
+} // namespace
+
 ThreadPool::ThreadPool(size_t n_threads)
+    : ThreadPool(sizeOnlyOptions(n_threads))
+{
+}
+
+ThreadPool::ThreadPool(const Options &options)
 {
     util::MetricRegistry &registry = util::MetricRegistry::global();
     queue_depth_gauge_ = registry.gauge(
@@ -20,13 +41,60 @@ ThreadPool::ThreadPool(size_t n_threads)
     task_run_seconds_ = registry.histogram(
         "vtrain_pool_task_run_seconds", {},
         "Time a worker spent executing a task.");
+    migrations_total_ = registry.counter(
+        "vtrain_pool_thread_migrations_total", {},
+        "Times a pool worker was observed running on a different CPU "
+        "than its previous task (stays 0 when pinning holds).");
 
+    size_t n_threads = options.n_threads;
     if (n_threads == 0) {
         n_threads = std::max(1u, std::thread::hardware_concurrency());
     }
+
+#if defined(__linux__)
+    if (options.pin_threads) {
+        pin_cpus_ = options.cpu_set;
+        if (pin_cpus_.empty()) {
+            // Default pin set: every CPU this process is allowed on,
+            // round-robin across workers.
+            cpu_set_t allowed;
+            CPU_ZERO(&allowed);
+            if (sched_getaffinity(0, sizeof(allowed), &allowed) == 0) {
+                for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu)
+                    if (CPU_ISSET(cpu, &allowed))
+                        pin_cpus_.push_back(cpu);
+            }
+        }
+    }
+#endif
+
+    thread_cpu_gauges_.reserve(n_threads);
+    for (size_t i = 0; i < n_threads; ++i) {
+        util::Gauge *gauge = registry.gauge(
+            "vtrain_pool_thread_cpu", {{"thread", std::to_string(i)}},
+            "CPU id the worker's most recent task ran on (-1 before "
+            "its first task).");
+        gauge->set(-1);
+        thread_cpu_gauges_.push_back(gauge);
+    }
+
     workers_.reserve(n_threads);
     for (size_t i = 0; i < n_threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
+
+#if defined(__linux__)
+    if (options.pin_threads && !pin_cpus_.empty()) {
+        pinned_ = true;
+        for (size_t i = 0; i < workers_.size(); ++i) {
+            cpu_set_t one;
+            CPU_ZERO(&one);
+            CPU_SET(pin_cpus_[i % pin_cpus_.size()], &one);
+            if (pthread_setaffinity_np(workers_[i].native_handle(),
+                                       sizeof(one), &one) != 0)
+                pinned_ = false; // best effort; keep the pool usable
+        }
+    }
+#endif
 }
 
 ThreadPool::~ThreadPool()
@@ -65,17 +133,100 @@ ThreadPool::wait()
         cv_done_.wait(mutex_);
 }
 
-void
-ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+ThreadPool::PoolStats
+ThreadPool::stats() const
 {
-    for (size_t i = 0; i < n; ++i)
-        submit([i, &fn] { fn(i); });
-    wait();
+    PoolStats stats;
+    stats.threads = workers_.size();
+    stats.pinned = pinned_;
+    if (pinned_)
+        stats.cpus = pin_cpus_;
+    stats.migrations = migrations_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+ThreadPool::ForJob::ForJob(size_t n, size_t grain,
+                           std::function<void(size_t, size_t)> fn)
+    : n_(n), grain_(std::max<size_t>(1, grain)),
+      n_chunks_((n + grain_ - 1) / grain_), fn_(std::move(fn)),
+      unfinished_(n_chunks_)
+{
+}
+
+bool
+ThreadPool::ForJob::runOneChunk()
+{
+    const size_t chunk =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= n_chunks_)
+        return false;
+    const size_t begin = chunk * grain_;
+    fn_(begin, std::min(begin + grain_, n_));
+    {
+        util::MutexLock lock(mutex_);
+        --unfinished_;
+        if (unfinished_ == 0)
+            cv_done_.notifyAll();
+    }
+    return true;
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::ForJob::finish()
 {
+    while (runOneChunk()) {
+    }
+    util::MutexLock lock(mutex_);
+    while (unfinished_ != 0)
+        cv_done_.wait(mutex_);
+}
+
+std::shared_ptr<ThreadPool::ForJob>
+ThreadPool::startFor(size_t n, size_t grain,
+                     std::function<void(size_t, size_t)> fn)
+{
+    // The private constructor keeps ForJob creation behind the pool;
+    // shared ownership spans the caller and every helper task.
+    std::shared_ptr<ForJob> job(
+        new ForJob(n, grain, std::move(fn)));
+    if (n == 0)
+        return job;
+    // One helper per worker, capped by the chunk count.  Helpers
+    // drain chunks until the cursor runs past the end; a helper that
+    // dequeues after the loop completed exits immediately.
+    const size_t n_helpers =
+        std::min(workers_.size(), job->n_chunks_);
+    for (size_t h = 0; h < n_helpers; ++h)
+        submit([job] {
+            while (job->runOneChunk()) {
+            }
+        });
+    return job;
+}
+
+void
+ThreadPool::parallelFor(size_t n, size_t grain,
+                        std::function<void(size_t, size_t)> fn)
+{
+    startFor(n, grain, std::move(fn))->finish();
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t)> &fn)
+{
+    parallelFor(n, 1, [&fn](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            fn(i);
+    });
+}
+
+void
+ThreadPool::workerLoop(size_t index)
+{
+#if defined(__linux__)
+    int last_cpu = -1;
+#endif
     for (;;) {
         Task task;
         {
@@ -94,6 +245,22 @@ ThreadPool::workerLoop()
         task.fn();
         task_run_seconds_->record(
             static_cast<double>(util::monotonicNanos() - dequeue_ns) * 1e-9);
+#if defined(__linux__)
+        // Track where this worker actually ran: a changed CPU id is
+        // a scheduler migration (the cache-cold event pinning
+        // exists to prevent).
+        const int cpu = sched_getcpu();
+        if (cpu >= 0 && cpu != last_cpu) {
+            if (last_cpu >= 0) {
+                migrations_.fetch_add(1, std::memory_order_relaxed);
+                migrations_total_->inc();
+            }
+            thread_cpu_gauges_[index]->set(cpu);
+            last_cpu = cpu;
+        }
+#else
+        (void)index;
+#endif
         {
             util::MutexLock lock(mutex_);
             --in_flight_;

@@ -1,16 +1,37 @@
 /**
  * @file
- * A fixed-size worker pool used by the design-space explorer.
+ * A fixed-size worker pool used by the design-space explorer and the
+ * serve stack.
  *
  * Section III-F of the paper notes that design-space exploration is
  * embarrassingly parallel across CPU cores; ThreadPool provides that
- * parallelism for Explorer::sweep().
+ * parallelism for Explorer::sweep() and SimService.
+ *
+ * Two execution shapes:
+ *
+ *   - submit()/wait(): the classic task queue.
+ *   - startFor()/parallelFor(): cooperative chunked loops.  The
+ *     caller *participates*: it claims and runs index-range chunks
+ *     alongside the workers, so a loop completes even when every
+ *     worker is busy (or when the caller itself *is* a pool task —
+ *     the batched simulator's parallel retimes run exactly that way
+ *     without risking the pool-waits-on-itself deadlock that plain
+ *     submit()+wait() would).
+ *
+ * Workers can optionally be pinned to CPUs (Options::pin_threads,
+ * Linux only, off by default): serve deployments that dedicate cores
+ * to the pool avoid scheduler migrations that cold the per-thread
+ * caches mid-batch.  Per-thread CPU gauges and a migration counter
+ * make the effect visible on /metricsz either way.
  */
 #ifndef VTRAIN_UTIL_THREAD_POOL_H
 #define VTRAIN_UTIL_THREAD_POOL_H
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -25,8 +46,43 @@ namespace vtrain {
 class ThreadPool
 {
   public:
+    struct Options {
+        /** Worker count; 0 selects hardware concurrency. */
+        size_t n_threads = 0;
+
+        /**
+         * Pin worker i to cpu_set[i % cpu_set.size()] with
+         * pthread_setaffinity_np.  Off by default; a no-op on
+         * platforms without affinity support (non-Linux).
+         */
+        bool pin_threads = false;
+
+        /** CPU ids to pin to; empty = every CPU the process may run
+         *  on (sched_getaffinity), round-robin across workers. */
+        std::vector<int> cpu_set;
+    };
+
+    /** Point-in-time pool facts for /statz (see SimService). */
+    struct PoolStats {
+        size_t threads = 0;
+
+        /** Pinning was requested, supported, and applied to every
+         *  worker. */
+        bool pinned = false;
+
+        /** Resolved pin targets (empty unless pinning was requested
+         *  on a supporting platform). */
+        std::vector<int> cpus;
+
+        /** Times a worker was observed on a different CPU than its
+         *  previous task ran on (0 stays 0 when pinned). */
+        uint64_t migrations = 0;
+    };
+
     /** @param n_threads worker count; 0 selects hardware concurrency. */
     explicit ThreadPool(size_t n_threads = 0);
+
+    explicit ThreadPool(const Options &options);
 
     /** Drains the queue and joins all workers. */
     ~ThreadPool();
@@ -42,9 +98,71 @@ class ThreadPool
 
     size_t numThreads() const { return workers_.size(); }
 
+    /** @return pool configuration + the live migration count. */
+    PoolStats stats() const;
+
+    /**
+     * A chunked loop in flight (see startFor).  Chunks are claimed
+     * from a shared atomic cursor by pool workers *and* by whoever
+     * calls finish(), so progress never depends on free pool
+     * capacity.
+     */
+    class ForJob
+    {
+      public:
+        /**
+         * Runs remaining chunks on the calling thread, then blocks
+         * until chunks claimed by workers complete.  Call exactly
+         * once; the job is finished on return.
+         */
+        void finish() EXCLUDES(mutex_);
+
+      private:
+        friend class ThreadPool;
+
+        ForJob(size_t n, size_t grain,
+               std::function<void(size_t, size_t)> fn);
+
+        /** Claims and runs one chunk; false when none remain. */
+        bool runOneChunk() EXCLUDES(mutex_);
+
+        const size_t n_;
+        const size_t grain_;
+        const size_t n_chunks_;
+        const std::function<void(size_t, size_t)> fn_;
+        std::atomic<size_t> next_chunk_{0};
+
+        util::Mutex mutex_;
+        util::CondVar cv_done_;
+        size_t unfinished_ GUARDED_BY(mutex_);
+    };
+
+    /**
+     * Starts fn(begin, end) over [0, n) in chunks of `grain` indices
+     * and returns without waiting: the caller can overlap its own
+     * work with the loop and later call finish() (mandatory — it
+     * both helps run chunks and joins the stragglers).  fn runs
+     * concurrently and must not throw.
+     */
+    std::shared_ptr<ForJob>
+    startFor(size_t n, size_t grain,
+             std::function<void(size_t, size_t)> fn) EXCLUDES(mutex_);
+
+    /**
+     * Runs fn(begin, end) over [0, n) in chunks of `grain` indices
+     * and waits (startFor + finish): one closure dispatch per chunk
+     * instead of per index, and safe to call from a task already
+     * running on this pool.
+     */
+    void parallelFor(size_t n, size_t grain,
+                     std::function<void(size_t, size_t)> fn)
+        EXCLUDES(mutex_);
+
     /**
      * Runs fn(i) for i in [0, n) across the pool and waits for
-     * completion.  fn must be safe to call concurrently.
+     * completion.  fn must be safe to call concurrently.  Kept for
+     * call sites where per-index dispatch cost does not matter;
+     * hot loops use the chunked overload above.
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn)
         EXCLUDES(mutex_);
@@ -57,7 +175,7 @@ class ThreadPool
         uint64_t enqueue_ns = 0;
     };
 
-    void workerLoop() EXCLUDES(mutex_);
+    void workerLoop(size_t index) EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_; //!< written by ctor/dtor only
     util::Mutex mutex_;
@@ -68,11 +186,18 @@ class ThreadPool
     bool stop_ GUARDED_BY(mutex_) = false;
     size_t queue_high_water_ GUARDED_BY(mutex_) = 0;
 
+    // Pinning state, written by the constructor only.
+    std::vector<int> pin_cpus_; //!< resolved pin targets
+    bool pinned_ = false;       //!< every worker pinned successfully
+    std::atomic<uint64_t> migrations_{0};
+
     // Resolved once at construction; the registry owns the objects.
     util::Gauge *queue_depth_gauge_;      //!< vtrain_pool_queue_depth
     util::Gauge *queue_high_water_gauge_; //!< lifetime peak queue depth
     util::Histogram *task_wait_seconds_;  //!< enqueue -> dequeue
     util::Histogram *task_run_seconds_;   //!< dequeue -> completion
+    util::Counter *migrations_total_;     //!< worker CPU switches
+    std::vector<util::Gauge *> thread_cpu_gauges_; //!< last CPU per worker
 };
 
 } // namespace vtrain

@@ -17,6 +17,7 @@
 #include "graph/template.h"
 #include "model/zoo.h"
 #include "sim/simulator.h"
+#include "util/thread_pool.h"
 
 namespace vtrain {
 namespace {
@@ -210,6 +211,51 @@ TEST(TemplateGolden, BatchedReplayMatchesPerPlanPath)
     }
 }
 
+TEST(TemplateGolden, ParallelRetimesMatchSerialBatch)
+{
+    // The in-group parallel-retime pipeline (Simulator::setRetimePool)
+    // must be bit-identical to the serial batch path.  36 plans span
+    // two 32-plan chunks, so the double-buffered duration arena swaps
+    // at least once and the overlap window is actually exercised.
+    const ModelConfig model = tinyModel();
+    const ClusterSpec cluster = makeCluster(64);
+    const SimOptions options; // fast mode on
+
+    std::vector<ParallelConfig> plans;
+    for (int rep = 0; rep < 12; ++rep) {
+        for (const int d : {2, 4, 8}) {
+            ParallelConfig plan;
+            plan.tensor = 2;
+            plan.data = d;
+            plan.pipeline = 2;
+            plan.micro_batch_size = 1;
+            plan.global_batch_size = 16 * d;
+            plans.push_back(plan);
+        }
+    }
+
+    Simulator serial(cluster, options);
+    const std::vector<SimulationResult> want =
+        serial.simulateIterationBatch(model, plans);
+
+    ThreadPool pool(8);
+    Simulator parallel(cluster, options);
+    parallel.setRetimePool(&pool);
+    EXPECT_EQ(parallel.retimePool(), &pool);
+    const std::vector<SimulationResult> got =
+        parallel.simulateIterationBatch(model, plans);
+
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(timeless(want[i]), timeless(got[i])) << "plan " << i;
+
+    // Same counter semantics, not merely the same results.
+    EXPECT_EQ(parallel.engineCounters()->batched_points.load(),
+              serial.engineCounters()->batched_points.load());
+    EXPECT_EQ(parallel.engineCounters()->queue_runs.load(),
+              serial.engineCounters()->queue_runs.load());
+}
+
 TEST(TemplateGolden, BatchedReplayExactModeAndMixedGroupFallBack)
 {
     // Exact mode (fast off) batches plans that agree on the simulated
@@ -246,6 +292,18 @@ TEST(TemplateGolden, BatchedReplayExactModeAndMixedGroupFallBack)
             timeless(got[i]))
             << "plan " << i;
     }
+
+    // The same degradation must hold when retimes run on a pool: the
+    // per-plan fallback is taken on the calling thread either way.
+    ThreadPool pool(4);
+    Simulator pooled(cluster, options);
+    pooled.setRetimePool(&pool);
+    const std::vector<SimulationResult> got_pooled =
+        pooled.simulateIterationBatch(model, plans);
+    ASSERT_EQ(got_pooled.size(), got.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(timeless(got[i]), timeless(got_pooled[i]))
+            << "plan " << i;
 }
 
 TEST(TemplateGolden, BatchedReplayTracksEngineCounters)

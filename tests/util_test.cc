@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <sstream>
+#include <vector>
 
 #include "util/interp.h"
 #include "util/logging.h"
@@ -268,6 +271,123 @@ TEST(ThreadPool, DefaultsToHardwareConcurrency)
 {
     ThreadPool pool;
     EXPECT_GE(pool.numThreads(), 1u);
+}
+
+TEST(ThreadPool, ChunkedParallelForCoversAllAtEveryGrain)
+{
+    // The chunked overload must visit every index exactly once for
+    // grains that divide n, don't divide n (ragged tail), exceed n,
+    // and the degenerate grain 0 (clamped to 1).
+    ThreadPool pool(4);
+    for (const size_t grain : {0u, 1u, 3u, 7u, 32u, 100u, 1000u}) {
+        std::vector<std::atomic<int>> hits(101);
+        pool.parallelFor(101, grain, [&](size_t begin, size_t end) {
+            ASSERT_LT(begin, end);
+            ASSERT_LE(end, 101u);
+            for (size_t i = begin; i < end; ++i)
+                hits[i].fetch_add(1);
+        });
+        for (size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "grain " << grain
+                                         << " index " << i;
+    }
+}
+
+TEST(ThreadPool, ChunkedParallelForEmptyRangeReturns)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, 8, [&](size_t, size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ForJobFromPoolTaskCannotDeadlock)
+{
+    // The cooperative ForJob claims chunks on the *calling* thread in
+    // finish(), so a task already running on the pool can fan out and
+    // join even when it holds the pool's only worker.
+    ThreadPool pool(1);
+    std::atomic<int> total{0};
+    std::promise<void> done;
+    pool.submit([&] {
+        pool.parallelFor(64, 4, [&](size_t begin, size_t end) {
+            total.fetch_add(static_cast<int>(end - begin));
+        });
+        done.set_value();
+    });
+    auto status =
+        done.get_future().wait_for(std::chrono::seconds(30));
+    ASSERT_EQ(status, std::future_status::ready)
+        << "parallelFor from a pool task deadlocked a 1-thread pool";
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, StartForOverlapsProducerAndConsumer)
+{
+    // startFor() returns a joinable handle: the caller can do other
+    // work between launch and finish(), and finish() helps until all
+    // chunks are done.
+    ThreadPool pool(2);
+    std::vector<std::atomic<int>> hits(40);
+    auto job = pool.startFor(40, 5, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            hits[i].fetch_add(1);
+    });
+    job->finish();
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, StatsReportThreadsAndPinning)
+{
+    ThreadPool::Options options;
+    options.n_threads = 3;
+    ThreadPool plain(options);
+    const ThreadPool::PoolStats unpinned = plain.stats();
+    EXPECT_EQ(unpinned.threads, 3u);
+    EXPECT_FALSE(unpinned.pinned);
+    EXPECT_TRUE(unpinned.cpus.empty());
+
+#if defined(__linux__)
+    options.pin_threads = true;
+    ThreadPool pinned(options);
+    const ThreadPool::PoolStats stats = pinned.stats();
+    EXPECT_EQ(stats.threads, 3u);
+    if (stats.pinned) {
+        // Pinning resolved the allowed-CPU set and stuck each worker
+        // to one entry; pinned workers never migrate.
+        EXPECT_FALSE(stats.cpus.empty());
+        std::atomic<int> count{0};
+        pinned.parallelFor(64, 1, [&](size_t begin, size_t end) {
+            count.fetch_add(static_cast<int>(end - begin));
+        });
+        EXPECT_EQ(count.load(), 64);
+    }
+#endif
+}
+
+TEST(ThreadPool, ExplicitCpuSetRoundRobins)
+{
+#if defined(__linux__)
+    // Pin 4 workers onto one explicitly-listed CPU (id 0 always
+    // exists): the cpu_set is honored verbatim and work still runs.
+    ThreadPool::Options options;
+    options.n_threads = 4;
+    options.pin_threads = true;
+    options.cpu_set = {0};
+    ThreadPool pool(options);
+    const ThreadPool::PoolStats stats = pool.stats();
+    if (stats.pinned) {
+        EXPECT_EQ(stats.cpus, std::vector<int>{0});
+    }
+    std::atomic<int> count{0};
+    pool.parallelFor(16, 2, [&](size_t begin, size_t end) {
+        count.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(count.load(), 16);
+#else
+    GTEST_SKIP() << "thread pinning is Linux-only";
+#endif
 }
 
 TEST(Logging, PanicThrowsLogicError)
